@@ -1,0 +1,224 @@
+(** The SOFT command-line interface.
+
+    - [soft_cli fuzz <dialect>] — run a SOFT campaign against one dialect
+    - [soft_cli study] — regenerate the bug-study statistics (§4/§5)
+    - [soft_cli compare] — equal-budget tool comparison (Tables 5/6)
+    - [soft_cli tables] — every paper table/figure, paper-vs-measured
+    - [soft_cli repl <dialect>] — interactive SQL against a dialect *)
+
+open Cmdliner
+open Sqlfun_dialects
+
+let dialect_arg =
+  let doc =
+    Printf.sprintf "Target dialect: one of %s." (String.concat ", " Dialect.ids)
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"DIALECT" ~doc)
+
+let budget_arg default =
+  let doc = "Maximum number of generated statements to execute (0 = exhaust)." in
+  Arg.(value & opt int default & info [ "budget"; "b" ] ~doc)
+
+let resolve_dialect id =
+  match Dialect.find id with
+  | Some p -> Ok p
+  | None ->
+    Error (Printf.sprintf "unknown dialect %S (expected one of %s)" id
+             (String.concat ", " Dialect.ids))
+
+let fuzz_cmd =
+  let run dialect budget verbose report =
+    match resolve_dialect dialect with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok prof ->
+      let budget = if budget = 0 then None else Some budget in
+      let r = Soft.Soft_runner.fuzz ?budget prof in
+      (match report with
+       | Some path ->
+         let oc = open_out path in
+         output_string oc (Soft.Report.campaign_to_markdown r);
+         close_out oc;
+         Printf.printf "bug report written to %s\n" path
+       | None -> ());
+      Printf.printf "SOFT campaign against %s %s (simulated)\n"
+        prof.Dialect.display prof.Dialect.version;
+      Printf.printf "  seeds collected:      %d\n" r.Soft.Soft_runner.seeds_collected;
+      Printf.printf "  substitution slots:   %d\n" r.Soft.Soft_runner.positions;
+      Printf.printf "  statements executed:  %d\n" r.Soft.Soft_runner.cases_executed;
+      Printf.printf "  passed / clean errors: %d / %d\n" r.Soft.Soft_runner.passed
+        r.Soft.Soft_runner.clean_errors;
+      Printf.printf "  false positives:      %d\n" r.Soft.Soft_runner.false_positives;
+      Printf.printf "  functions triggered:  %d\n" r.Soft.Soft_runner.functions_triggered;
+      Printf.printf "  branches covered:     %d\n" r.Soft.Soft_runner.branches_covered;
+      Printf.printf "  bugs found:           %d\n" (List.length r.Soft.Soft_runner.bugs);
+      List.iter
+        (fun b ->
+          Printf.printf "    %s\n" (Soft.Soft_runner.bug_summary_line b);
+          if verbose then
+            Printf.printf "      note: %s\n" b.Soft.Detector.spec.Sqlfun_fault.Fault.note)
+        r.Soft.Soft_runner.bugs;
+      0
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print bug notes.")
+  in
+  let report =
+    Arg.(value & opt (some string) None
+         & info [ "report" ] ~docv:"FILE"
+             ~doc:"Write a markdown bug report for the campaign.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc:"Run a SOFT campaign against a simulated dialect")
+    Term.(const run $ dialect_arg $ budget_arg 0 $ verbose $ report)
+
+let study_cmd =
+  let run () =
+    print_string (Sqlfun_harness.Tables.table1 ());
+    print_newline ();
+    print_string (Sqlfun_harness.Tables.finding1 ());
+    print_newline ();
+    print_string (Sqlfun_harness.Tables.figure1 ());
+    print_newline ();
+    print_string (Sqlfun_harness.Tables.table2 ());
+    print_newline ();
+    print_string (Sqlfun_harness.Tables.finding3 ());
+    print_string (Sqlfun_harness.Tables.finding4 ());
+    print_newline ();
+    print_string (Sqlfun_harness.Tables.root_causes ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "study" ~doc:"Regenerate the 318-bug study statistics (Sections 4-5)")
+    Term.(const run $ const ())
+
+let compare_cmd =
+  let run budget =
+    let runs = Sqlfun_harness.Compare.comparison ~budget in
+    print_string (Sqlfun_harness.Tables.table5 runs);
+    print_newline ();
+    print_string (Sqlfun_harness.Tables.table6 runs);
+    print_newline ();
+    print_string (Sqlfun_harness.Tables.bugs_in_budget runs);
+    0
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Equal-budget comparison against SQUIRREL/SQLancer/SQLsmith")
+    Term.(const run $ budget_arg 3000)
+
+let tables_cmd =
+  let run budget =
+    print_string (Sqlfun_harness.Tables.table3 ());
+    print_newline ();
+    let budget = if budget = 0 then None else Some budget in
+    let results = Soft.Soft_runner.fuzz_all ?budget () in
+    print_string (Sqlfun_harness.Tables.table4 results);
+    print_newline ();
+    print_string (Sqlfun_harness.Tables.table4_totals results);
+    print_newline ();
+    print_string (Sqlfun_harness.Tables.figure2 results);
+    0
+  in
+  Cmd.v
+    (Cmd.info "tables" ~doc:"Regenerate Tables 3-4 and Figure 2")
+    Term.(const run $ budget_arg 0)
+
+let dialects_cmd =
+  let run () =
+    Printf.printf "%-12s %-10s %-9s %-6s %-5s %s\n" "dialect" "version"
+      "casting" "json" "fns" "injected bugs";
+    List.iter
+      (fun p ->
+        Printf.printf "%-12s %-10s %-9s %-6s %-5d %d\n" p.Dialect.id
+          p.Dialect.version
+          (match p.Dialect.strictness with
+           | Sqlfun_value.Cast.Strict -> "strict"
+           | Sqlfun_value.Cast.Lenient -> "lenient")
+          (match p.Dialect.json_max_depth with
+           | Some d -> string_of_int d
+           | None -> "none")
+          (List.length p.Dialect.functions)
+          (List.length (Bug_ledger.for_dialect p.Dialect.id)))
+      Dialect.all;
+    0
+  in
+  Cmd.v
+    (Cmd.info "dialects" ~doc:"List the simulated DBMS profiles")
+    Term.(const run $ const ())
+
+let logic_cmd =
+  let run dialect budget =
+    match resolve_dialect dialect with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok prof ->
+      let budget = if budget = 0 then 300 else budget in
+      let r = Sqlfun_harness.Logic_oracle.run ~budget prof in
+      print_string (Sqlfun_harness.Logic_oracle.report_to_string r);
+      if r.Sqlfun_harness.Logic_oracle.mismatches = [] then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "logic"
+       ~doc:
+         "Run the correctness oracles (TLP partitioning, NoREC \
+          re-execution, aggregate/array equivalence) against a dialect")
+    Term.(const run $ dialect_arg $ budget_arg 300)
+
+let repl_cmd =
+  let run dialect armed =
+    match resolve_dialect dialect with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok prof ->
+      let engine = Dialect.make_engine ~armed prof in
+      Printf.printf "%s %s (simulated)%s — terminate statements with ;\n"
+        prof.Dialect.display prof.Dialect.version
+        (if armed then " [injected bugs ARMED]" else "");
+      let buf = Buffer.create 128 in
+      (try
+         while true do
+           print_string (if Buffer.length buf = 0 then "sql> " else "  -> ");
+           let line = read_line () in
+           Buffer.add_string buf line;
+           Buffer.add_char buf '\n';
+           if String.contains line ';' then begin
+             let sql = Buffer.contents buf in
+             Buffer.clear buf;
+             match Sqlfun_engine.Engine.exec_script engine sql with
+             | Ok outcomes ->
+               List.iter
+                 (fun o ->
+                   print_endline (Sqlfun_engine.Engine.outcome_to_string o))
+                 outcomes
+             | Error e ->
+               print_endline (Sqlfun_engine.Engine.error_to_string e)
+             | exception Sqlfun_fault.Fault.Crash spec ->
+               Printf.printf
+                 "*** server crashed: %s (%s) — restarting ***\n"
+                 spec.Sqlfun_fault.Fault.site
+                 (Sqlfun_fault.Bug_kind.describe spec.Sqlfun_fault.Fault.kind)
+             | exception Stack_overflow ->
+               print_endline "*** server crashed: stack overflow — restarting ***"
+           end
+         done;
+         0
+       with End_of_file -> 0)
+  in
+  let armed =
+    Arg.(value & flag & info [ "armed" ] ~doc:"Enable the injected bugs.")
+  in
+  Cmd.v
+    (Cmd.info "repl" ~doc:"Interactive SQL session against a simulated dialect")
+    Term.(const run $ dialect_arg $ armed)
+
+let () =
+  let doc = "SOFT: boundary-argument testing of (simulated) DBMS SQL functions" in
+  exit
+    (Cmd.eval'
+       (Cmd.group (Cmd.info "soft_cli" ~version:"1.0.0" ~doc)
+          [ fuzz_cmd; study_cmd; compare_cmd; tables_cmd; logic_cmd;
+            dialects_cmd; repl_cmd ]))

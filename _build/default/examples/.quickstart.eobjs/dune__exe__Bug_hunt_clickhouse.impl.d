@@ -1,0 +1,1 @@
+examples/bug_hunt_clickhouse.ml: Bug_kind Dialect Engine Fault Printf Sqlfun_dialects Sqlfun_engine Sqlfun_fault String

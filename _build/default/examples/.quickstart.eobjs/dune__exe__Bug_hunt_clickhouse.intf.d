@@ -1,0 +1,1 @@
+examples/bug_hunt_clickhouse.mli:

@@ -1,0 +1,1 @@
+examples/logic_bug_demo.ml: All_fns Cast Decimal Engine Fault Func_sig List Printf Registry Sqlfun_engine Sqlfun_fault Sqlfun_functions Sqlfun_harness Sqlfun_num Sqlfun_value Value

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dialect Engine List Printf Soft Sqlfun_dialects Sqlfun_engine

@@ -1,0 +1,1 @@
+examples/study_report.ml: List Printf Sqlfun_harness Sqlfun_study

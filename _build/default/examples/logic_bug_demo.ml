@@ -1,0 +1,97 @@
+(** The §8 extension in action: correctness (logic) bugs never crash, so
+    the crash oracle is blind to them — but the metamorphic oracles
+    (TLP / NoREC / aggregate-equivalence) catch them.
+
+    We build a dialect whose SUM silently skips the first row (a classic
+    off-by-one logic bug, the class §8 says SOFT could be extended
+    toward), confirm that the *crash*-oracle campaign sees nothing, and
+    then watch the aggregate-equivalence oracle flag it.
+
+    Run with: [dune exec examples/logic_bug_demo.exe] *)
+
+open Sqlfun_value
+open Sqlfun_fault
+open Sqlfun_functions
+open Sqlfun_engine
+open Sqlfun_num
+
+(* A broken SUM: drops the first row it sees. *)
+let broken_sum =
+  Func_sig.aggregate ~category:"aggregate" "SUM" ~min_args:1 ~max_args:(Some 1)
+    ~hints:[ Func_sig.H_num ] ~examples:[ "SUM(2.5)" ]
+    (fun _ctx ~distinct ->
+      ignore distinct;
+      let acc = ref Decimal.zero in
+      let rows = ref 0 in
+      {
+        Func_sig.step =
+          (fun args ->
+            match args with
+            | { Fault.value = Value.Null; _ } :: _ -> ()
+            | { Fault.value = v; _ } :: _ ->
+              incr rows;
+              if !rows > 1 (* the bug: row 1 is skipped *) then begin
+                let d =
+                  match v with
+                  | Value.Int i -> Decimal.of_int64 i
+                  | Value.Dec d -> d
+                  | _ -> Decimal.zero
+                in
+                acc := Decimal.add !acc d
+              end
+            | [] -> ());
+        final = (fun () -> if !rows = 0 then Value.Null else Value.Dec !acc);
+      })
+
+let make_broken_engine () =
+  let registry = All_fns.registry () in
+  Registry.add registry broken_sum;
+  let e =
+    Engine.create ~registry
+      ~cast_cfg:{ Cast.strictness = Cast.Strict; json_max_depth = Some 512 }
+      ~dialect:"acme-broken" ()
+  in
+  (match
+     Engine.exec_script e
+       "CREATE TABLE items (id INT, name TEXT, price DECIMAL(10,2), added \
+        DATE); INSERT INTO items VALUES (1, 'apple', 1.50, '2023-01-10'), \
+        (2, 'banana', 0.75, '2023-02-14'), (3, 'cherry', 4.20, '2023-03-01')"
+   with
+  | Ok _ -> ()
+  | Error err -> failwith (Engine.error_to_string err));
+  e
+
+let () =
+  let e = make_broken_engine () in
+  print_endline "-- a dialect whose SUM drops the first row --";
+  (match Engine.exec_sql e "SELECT SUM(price) FROM items" with
+   | Ok o -> Printf.printf "SELECT SUM(price) FROM items\n%s   (true total: 6.45)\n"
+               (Engine.outcome_to_string o)
+   | Error err -> print_endline (Engine.error_to_string err));
+
+  (* The crash oracle cannot see this: everything returns normally. *)
+  print_endline "\n-- crash oracle: nothing to report --";
+  let crashes = ref 0 in
+  List.iter
+    (fun sql ->
+      match Engine.exec_sql e sql with
+      | Ok _ | Error _ -> ()
+      | exception _ -> incr crashes)
+    [
+      "SELECT SUM(price) FROM items"; "SELECT SUM(id) FROM items";
+      "SELECT SUM(price) FROM items WHERE id > 1";
+    ];
+  Printf.printf "crashes observed: %d (the bug is invisible to SOFT's oracle)\n"
+    !crashes;
+
+  (* The aggregate-equivalence oracle compares SUM against an independent
+     implementation of the same computation and catches the lie. *)
+  print_endline "\n-- aggregate-equivalence oracle --";
+  match
+    Sqlfun_harness.Logic_oracle.agg_equiv_check e ~table:"items" ~column:"price"
+  with
+  | Ok [] -> print_endline "no mismatch (unexpected!)"
+  | Ok (m :: _) ->
+    Printf.printf "LOGIC BUG DETECTED [%s]\n  %s\n" m.Sqlfun_harness.Logic_oracle.oracle
+      m.Sqlfun_harness.Logic_oracle.detail
+  | Error msg -> Printf.printf "oracle inapplicable: %s\n" msg

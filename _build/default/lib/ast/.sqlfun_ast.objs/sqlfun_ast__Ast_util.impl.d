@@ -1,0 +1,1 @@
+lib/ast/ast_util.ml: Ast List Option Stdlib

@@ -1,0 +1,1 @@
+lib/ast/ast_util.mli: Ast

@@ -1,0 +1,1 @@
+lib/ast/sql_pp.ml: Ast Buffer Char Format List Printf String

@@ -1,0 +1,184 @@
+(** Abstract syntax for the SQL fragment shared by all simulated dialects.
+
+    Numeric literals are kept as their source digit strings: boundary
+    literals routinely exceed [int64] and [float] ranges, and the whole
+    point of the reproduction is to carry them intact to the type-casting
+    layer. *)
+
+type type_name =
+  | T_bool
+  | T_smallint
+  | T_int
+  | T_bigint
+  | T_unsigned
+  | T_decimal of (int * int) option  (** precision, scale *)
+  | T_float
+  | T_double
+  | T_char of int option
+  | T_varchar of int option
+  | T_text
+  | T_blob
+  | T_date
+  | T_time
+  | T_datetime
+  | T_interval_t
+  | T_json
+  | T_array_t of type_name
+  | T_map_t of type_name * type_name
+  | T_inet
+  | T_uuid
+  | T_geometry
+  | T_xml
+  | T_row_t
+  | T_named of string * int list
+      (** dialect-specific types, e.g. [Decimal256(45)] *)
+
+type unop =
+  | Neg
+  | Not
+  | Bit_not
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Concat  (** [||] *)
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+  | Like
+  | Bit_and
+  | Bit_or
+  | Bit_xor
+  | Shift_l
+  | Shift_r
+
+type expr =
+  | Null
+  | Bool_lit of bool
+  | Int_lit of string   (** unbounded digit string, optional leading [-] *)
+  | Dec_lit of string   (** digits with a decimal point and/or exponent *)
+  | Str_lit of string
+  | Hex_lit of string   (** raw bytes decoded from [x'...'] *)
+  | Star                (** the bare asterisk argument: [COUNT] of star *)
+  | Column of string option * string  (** optional table qualifier *)
+  | Call of call
+  | Cast of expr * type_name
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Row of expr list
+  | Array_lit of expr list
+  | Case of case
+  | In_list of expr * expr list
+  | Is_null of expr * bool  (** [IS NULL] / [IS NOT NULL] (bool = negated) *)
+  | Between of expr * expr * expr
+  | Subquery of query
+  | Exists of query
+
+and call = {
+  fname : string;       (** uppercased function name *)
+  args : expr list;
+  distinct : bool;      (** [f(DISTINCT ...)] for aggregates *)
+}
+
+and case = {
+  operand : expr option;
+  branches : (expr * expr) list;
+  else_ : expr option;
+}
+
+and select = {
+  sel_distinct : bool;
+  projection : proj_item list;
+  from : from option;
+  where : expr option;
+  group_by : expr list;
+  having : expr option;
+}
+
+and proj_item =
+  | Proj_star
+  | Proj_expr of expr * string option  (** expression, optional alias *)
+
+and from =
+  | From_table of string * string option  (** table, optional alias *)
+  | From_subquery of query * string       (** derived table, alias *)
+  | From_join of {
+      left : from;
+      right : from;
+      kind : join_kind;
+      on : expr option;  (** [None] for cross joins *)
+    }
+
+and join_kind =
+  | Inner
+  | Left_outer
+  | Cross
+
+and body =
+  | Body_select of select
+  | Body_union of { all : bool; left : body; right : body }
+
+and order_item = { ord_expr : expr; asc : bool }
+
+and query = {
+  body : body;
+  order_by : order_item list;
+  limit : int option;
+}
+
+type column_def = {
+  col_name : string;
+  col_type : type_name;
+  col_not_null : bool;
+  col_default : expr option;
+}
+
+type stmt =
+  | Select_stmt of query
+  | Explain of stmt  (** EXPLAIN <statement>: renders the logical plan *)
+  | Create_table of {
+      tbl_name : string;
+      columns : column_def list;
+      if_not_exists : bool;
+    }
+  | Insert of {
+      ins_table : string;
+      ins_columns : string list;  (** empty = positional *)
+      rows : expr list list;
+    }
+  | Drop_table of { drop_name : string; if_exists : bool }
+
+(** Smart constructors used pervasively by generators. *)
+
+let call ?(distinct = false) fname args =
+  Call { fname = String.uppercase_ascii fname; args; distinct }
+
+let int_lit i = Int_lit (string_of_int i)
+let str_lit s = Str_lit s
+
+let simple_select projection =
+  {
+    sel_distinct = false;
+    projection;
+    from = None;
+    where = None;
+    group_by = [];
+    having = None;
+  }
+
+let query_of_select sel =
+  { body = Body_select sel; order_by = []; limit = None }
+
+let select_exprs exprs =
+  Select_stmt
+    (query_of_select (simple_select (List.map (fun e -> Proj_expr (e, None)) exprs)))
+
+let select_expr e = select_exprs [ e ]

@@ -1,0 +1,1 @@
+lib/baselines/baseline.ml: List Printf Prng Sqlfun_ast Sqlfun_functions

@@ -1,0 +1,1 @@
+lib/baselines/prng.ml: Char Int64 List String

@@ -1,0 +1,1 @@
+lib/baselines/sqlsmith_gen.ml: Ast Baseline Func_sig List Prng Registry Sqlfun_ast Sqlfun_dialects Sqlfun_functions Stdlib

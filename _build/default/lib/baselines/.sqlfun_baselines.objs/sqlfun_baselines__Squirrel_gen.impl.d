@@ -1,0 +1,1 @@
+lib/baselines/squirrel_gen.ml: Ast Ast_util Baseline List Prng Sqlfun_ast Sqlfun_dialects Sqlfun_parse String

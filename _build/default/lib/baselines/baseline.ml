@@ -1,0 +1,94 @@
+(** Common shape of the three reimplemented comparison tools.
+
+    Each generator reproduces the published strategy of its namesake at
+    the granularity that matters for the paper's comparison: how function
+    arguments are produced (random, in-range values — never boundary
+    pools), and how many functions the tool can reach at all. *)
+
+type t = {
+  name : string;
+  dialect : string;
+  next : unit -> Sqlfun_ast.Ast.stmt;
+}
+
+(* Shared "ordinary value" generators: the ranges real random testers use
+   for semantically valid queries. *)
+
+let random_int rng = Sqlfun_ast.Ast.Int_lit (string_of_int (Prng.int rng 1999 - 999))
+
+let random_decimal rng =
+  Sqlfun_ast.Ast.Dec_lit
+    (Printf.sprintf "%d.%02d" (Prng.int rng 200 - 100) (Prng.int rng 100))
+
+let random_string rng = Sqlfun_ast.Ast.Str_lit (Prng.word rng)
+
+let random_date rng =
+  Sqlfun_ast.Ast.Str_lit
+    (Printf.sprintf "20%02d-%02d-%02d" (Prng.int rng 24) (1 + Prng.int rng 12)
+       (1 + Prng.int rng 28))
+
+let random_time rng =
+  Sqlfun_ast.Ast.Str_lit
+    (Printf.sprintf "%02d:%02d:%02d" (Prng.int rng 24) (Prng.int rng 60)
+       (Prng.int rng 60))
+
+let random_json rng =
+  Sqlfun_ast.Ast.Str_lit
+    (Printf.sprintf "{\"%s\": %d}" (Prng.word rng) (Prng.int rng 100))
+
+let random_scalar rng =
+  match Prng.int rng 5 with
+  | 0 -> random_int rng
+  | 1 -> random_decimal rng
+  | 2 -> random_string rng
+  | 3 -> Sqlfun_ast.Ast.Bool_lit (Prng.bool rng)
+  | _ -> random_int rng
+
+(* Argument synthesis guided by a function's hints — values stay in
+   ordinary ranges; formats are respected (that is what "semantically
+   correct statements" means for these tools). *)
+let arg_for_hint rng hint =
+  let open Sqlfun_functions.Func_sig in
+  match hint with
+  | H_num -> if Prng.bool rng then random_int rng else random_decimal rng
+  | H_int -> Sqlfun_ast.Ast.Int_lit (string_of_int (1 + Prng.int rng 20))
+  | H_str | H_sep | H_locale -> random_string rng
+  | H_bool -> Sqlfun_ast.Ast.Bool_lit (Prng.bool rng)
+  | H_json -> random_json rng
+  | H_json_path -> Sqlfun_ast.Ast.Str_lit "$.a"
+  | H_date | H_datetime -> random_date rng
+  | H_time -> random_time rng
+  | H_interval_unit -> Sqlfun_ast.Ast.Str_lit "DAY"
+  | H_array ->
+    Sqlfun_ast.Ast.Array_lit [ random_int rng; random_int rng ]
+  | H_map ->
+    Sqlfun_ast.Ast.call "MAP_FROM_ARRAYS"
+      [ Sqlfun_ast.Ast.Array_lit [ random_string rng ];
+        Sqlfun_ast.Ast.Array_lit [ random_int rng ] ]
+  | H_xml -> Sqlfun_ast.Ast.Str_lit "<a><b>x</b></a>"
+  | H_xpath -> Sqlfun_ast.Ast.Str_lit "/a/b"
+  | H_geo -> Sqlfun_ast.Ast.Str_lit "POINT(1 2)"
+  | H_inet ->
+    Sqlfun_ast.Ast.Str_lit
+      (Printf.sprintf "%d.%d.%d.%d" (1 + Prng.int rng 254) (Prng.int rng 255)
+         (Prng.int rng 255) (1 + Prng.int rng 254))
+  | H_regex -> Sqlfun_ast.Ast.Str_lit ("[a-z]" ^ Prng.word rng)
+  | H_format -> Sqlfun_ast.Ast.Str_lit "%Y-%m-%d"
+  | H_any -> random_scalar rng
+
+let random_call_of_spec rng spec =
+  let open Sqlfun_functions.Func_sig in
+  let arity =
+    match spec.max_args with
+    | Some mx when mx = spec.min_args -> mx
+    | Some mx -> spec.min_args + Prng.int rng (mx - spec.min_args + 1)
+    | None -> spec.min_args + Prng.int rng 2
+  in
+  let args =
+    List.init arity (fun i -> arg_for_hint rng (hint_at spec i))
+  in
+  let args =
+    (* COUNT of star is the one star call random tools emit *)
+    if spec.name = "COUNT" && args = [] then [ Sqlfun_ast.Ast.Star ] else args
+  in
+  Sqlfun_ast.Ast.Call { fname = spec.name; args; distinct = false }

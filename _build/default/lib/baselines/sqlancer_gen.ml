@@ -1,0 +1,60 @@
+(** SQLancer-style generation (PQS mode): only functions that have been
+    hand-modeled in the tool generate, with random in-range arguments of
+    the modeled types. The paper singles this out: "SQLancer requires
+    writing function models in Java code to support the generation of a
+    new function, and it only supports generating random values" — so the
+    reachable function set is small and fixed. *)
+
+open Sqlfun_ast
+open Sqlfun_functions
+
+(* The hand-modeled function set (SQLancer's providers cover roughly this
+   core across its DBMS adapters). *)
+let modeled =
+  [
+    "ABS"; "LENGTH"; "UPPER"; "LOWER"; "CONCAT"; "SUBSTRING"; "TRIM";
+    "REPLACE"; "ROUND"; "FLOOR"; "CEIL"; "SQRT"; "POWER"; "MOD"; "GREATEST";
+    "LEAST"; "COUNT"; "SUM"; "AVG"; "MIN"; "MAX"; "IFNULL"; "COALESCE";
+    "NULLIF"; "IF";
+  ]
+
+let make ~dialect ~seed =
+  let rng = Prng.create (seed + 7) in
+  let profile = Sqlfun_dialects.Dialect.find_exn dialect in
+  let registry = Sqlfun_dialects.Dialect.registry profile in
+  let specs =
+    List.filter_map (Registry.find registry) modeled
+  in
+  let next () =
+    if specs = [] then Ast.select_expr (Baseline.random_scalar rng)
+    else begin
+      let spec = Prng.pick rng specs in
+      let call = Baseline.random_call_of_spec rng spec in
+      (* PQS scaffolding: pivot-row-style SELECT with a WHERE predicate
+         comparing a column against a random value *)
+      let is_aggregate =
+        match spec.Func_sig.kind with
+        | Func_sig.Aggregate _ -> true
+        | Func_sig.Scalar _ -> false
+      in
+      let use_table = is_aggregate || Prng.bool rng in
+      if use_table then
+        Ast.Select_stmt
+          (Ast.query_of_select
+             {
+               Ast.sel_distinct = false;
+               projection = [ Ast.Proj_expr (call, None) ];
+               from = Some (Ast.From_table ("items", None));
+               where =
+                 Some
+                   (Ast.Binop
+                      ( Prng.pick rng [ Ast.Eq; Ast.Gt; Ast.Le ],
+                        Ast.Column (None, "id"),
+                        Baseline.random_int rng ));
+               group_by = [];
+               having = None;
+             })
+      else Ast.select_expr call
+    end
+  in
+  { Baseline.name = "sqlancer"; dialect; next }

@@ -1,0 +1,135 @@
+(** SQLsmith-style generation: random, grammar-driven queries over the
+    whole catalog. It reaches many functions (its strength in Tables 5/6),
+    but every argument is an ordinary random value — the boundary space
+    stays untouched, which is exactly why it finds no SQL function bugs in
+    the paper's comparison. *)
+
+open Sqlfun_ast
+open Sqlfun_functions
+
+let columns = [ ("items", [ "id"; "name"; "price"; "added" ]); ("logs", [ "ts"; "level"; "msg" ]) ]
+
+let make ~dialect ~seed =
+  let rng = Prng.create seed in
+  let profile = Sqlfun_dialects.Dialect.find_exn dialect in
+  let registry = Sqlfun_dialects.Dialect.registry profile in
+  (* SQLsmith's type-directed generator cannot synthesize values for the
+     exotic argument sorts (maps, geometries, XML, paths), so those
+     functions stay out of its reach — the gap behind its Table 5 deficit. *)
+  let reachable spec =
+    List.for_all
+      (fun h ->
+        match h with
+        | Func_sig.H_map | Func_sig.H_geo | Func_sig.H_xml | Func_sig.H_xpath
+        | Func_sig.H_json_path | Func_sig.H_interval_unit ->
+          false
+        | _ -> true)
+      spec.Func_sig.hints
+    && spec.Func_sig.name <> "INTERVAL_LIT"
+  in
+  let specs = List.filter reachable (Registry.specs registry) in
+  let scalar_specs =
+    List.filter
+      (fun s -> match s.Func_sig.kind with Func_sig.Scalar _ -> true | _ -> false)
+      specs
+  in
+  let agg_specs =
+    List.filter
+      (fun s -> match s.Func_sig.kind with Func_sig.Aggregate _ -> true | _ -> false)
+      specs
+  in
+  let random_column rng table =
+    match List.assoc_opt table columns with
+    | Some cols -> Ast.Column (None, Prng.pick rng cols)
+    | None -> Ast.Column (None, "id")
+  in
+  let rec random_expr rng depth table =
+    if depth = 0 then
+      match Prng.int rng 3 with
+      | 0 when table <> None ->
+        (match table with Some t -> random_column rng t | None -> Baseline.random_scalar rng)
+      | _ -> Baseline.random_scalar rng
+    else
+      match Prng.int rng 6 with
+      | 0 | 1 ->
+        (* a random function call with random literal arguments *)
+        Baseline.random_call_of_spec rng (Prng.pick rng scalar_specs)
+      | 2 ->
+        let op = Prng.pick rng [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Concat ] in
+        Ast.Binop (op, random_expr rng (depth - 1) table, random_expr rng (depth - 1) table)
+      | 3 ->
+        let op = Prng.pick rng [ Ast.Eq; Ast.Lt; Ast.Gt; Ast.Neq ] in
+        Ast.Binop (op, random_expr rng (depth - 1) table, random_expr rng (depth - 1) table)
+      | 4 ->
+        Ast.Case
+          {
+            operand = None;
+            branches =
+              [ (random_expr rng (depth - 1) table, random_expr rng (depth - 1) table) ];
+            else_ = Some (random_expr rng (depth - 1) table);
+          }
+      | _ -> random_expr rng 0 table
+  in
+  let next () =
+    let use_table = Prng.bool rng in
+    let table = if use_table then Some (Prng.pick rng [ "items"; "logs" ]) else None in
+    let aggregated = use_table && Prng.int rng 4 = 0 && agg_specs <> [] in
+    let projection =
+      if aggregated then begin
+        (* aggregates range over selected columns, as in the real tool *)
+        let spec = Prng.pick rng agg_specs in
+        let args =
+          if spec.Func_sig.name = "COUNT" then [ Ast.Star ]
+          else
+            List.init (Stdlib.max 1 spec.Func_sig.min_args) (fun _ ->
+                match table with
+                | Some t -> random_column rng t
+                | None -> Baseline.random_int rng)
+        in
+        [ Ast.Proj_expr (Ast.Call { fname = spec.Func_sig.name; args; distinct = false }, None) ]
+      end
+      else
+        List.init
+          (1 + Prng.int rng 3)
+          (fun _ -> Ast.Proj_expr (random_expr rng 2 table, None))
+    in
+    let where =
+      if use_table && Prng.bool rng then
+        Some
+          (Ast.Binop
+             ( Prng.pick rng [ Ast.Gt; Ast.Lt; Ast.Eq ],
+               (match table with Some t -> random_column rng t | None -> Ast.int_lit 1),
+               Baseline.random_scalar rng ))
+      else None
+    in
+    let sel =
+      {
+        Ast.sel_distinct = Prng.int rng 8 = 0;
+        projection;
+        from =
+          (match table with Some t -> Some (Ast.From_table (t, None)) | None -> None);
+        where;
+        group_by = [];
+        having = None;
+      }
+    in
+    let body =
+      if Prng.int rng 6 = 0 then
+        Ast.Body_union
+          {
+            all = Prng.bool rng;
+            left = Ast.Body_select sel;
+            right =
+              Ast.Body_select
+                (Ast.simple_select [ Ast.Proj_expr (Baseline.random_scalar rng, None) ]);
+          }
+      else Ast.Body_select sel
+    in
+    Ast.Select_stmt
+      {
+        Ast.body;
+        order_by = [];
+        limit = (if Prng.int rng 4 = 0 then Some (1 + Prng.int rng 10) else None);
+      }
+  in
+  { Baseline.name = "sqlsmith"; dialect; next }

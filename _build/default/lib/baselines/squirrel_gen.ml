@@ -1,0 +1,78 @@
+(** SQUIRREL-style generation: IR-level mutation of seed statements with
+    type-aware value slots. Literals mutate into other ordinary values of
+    the same type, clauses are shuffled/dropped, statements combine via
+    UNION — syntactic and semantic validity is preserved, but argument
+    values never leave normal ranges. *)
+
+open Sqlfun_ast
+
+let mutate_literal rng e =
+  match e with
+  | Ast.Int_lit _ -> Baseline.random_int rng
+  | Ast.Dec_lit _ -> Baseline.random_decimal rng
+  | Ast.Str_lit s when String.length s > 0 && s.[0] = '$' -> e (* keep paths *)
+  | Ast.Str_lit s when String.contains s '%' -> e (* keep formats *)
+  | Ast.Str_lit s when String.contains s '<' -> e (* keep XML *)
+  | Ast.Str_lit s when String.contains s '{' -> e (* keep JSON *)
+  | Ast.Str_lit _ -> Baseline.random_string rng
+  | Ast.Bool_lit _ -> Ast.Bool_lit (Prng.bool rng)
+  | other -> other
+
+let make ~dialect ~seed =
+  let rng = Prng.create (seed + 99) in
+  let profile = Sqlfun_dialects.Dialect.find_exn dialect in
+  let seeds =
+    List.filter_map
+      (fun sql ->
+        match Sqlfun_parse.Parser.parse_stmt sql with
+        | Ok (Ast.Select_stmt _ as s) -> Some s
+        | Ok _ | Error _ -> None)
+      profile.Sqlfun_dialects.Dialect.seeds
+  in
+  let next () =
+    match seeds with
+    | [] -> Ast.select_expr (Baseline.random_scalar rng)
+    | _ ->
+      let stmt = Prng.pick rng seeds in
+      (match Prng.int rng 4 with
+       | 0 | 1 ->
+         (* value mutation: rewrite every literal with probability 1/2 *)
+         Ast_util.map_exprs
+           (fun e -> if Prng.bool rng then mutate_literal rng e else e)
+           stmt
+       | 2 ->
+         (* clause mutation: drop or add a WHERE *)
+         (match stmt with
+          | Ast.Select_stmt ({ body = Ast.Body_select sel; _ } as q) ->
+            let sel' =
+              if sel.Ast.where <> None && Prng.bool rng then
+                { sel with Ast.where = None }
+              else
+                {
+                  sel with
+                  Ast.where =
+                    Some
+                      (Ast.Binop
+                         ( Prng.pick rng [ Ast.Gt; Ast.Lt ],
+                           Baseline.random_int rng,
+                           Baseline.random_int rng ));
+                }
+            in
+            Ast.Select_stmt { q with Ast.body = Ast.Body_select sel' }
+          | other -> other)
+       | _ ->
+         (* structural mutation: UNION two seed queries *)
+         let other = Prng.pick rng seeds in
+         (match (stmt, other) with
+          | Ast.Select_stmt q1, Ast.Select_stmt q2 ->
+            Ast.Select_stmt
+              {
+                Ast.body =
+                  Ast.Body_union
+                    { all = Prng.bool rng; left = q1.Ast.body; right = q2.Ast.body };
+                order_by = [];
+                limit = None;
+              }
+          | s, _ -> s))
+  in
+  { Baseline.name = "squirrel"; dialect; next }

@@ -1,0 +1,1 @@
+lib/core/boundary_pool.ml: Ast List Sqlfun_ast String

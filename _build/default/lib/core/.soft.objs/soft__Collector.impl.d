@@ -1,0 +1,1 @@
+lib/core/collector.ml: Ast Ast_util Func_sig Hashtbl List Registry Sql_pp Sqlfun_ast Sqlfun_functions Sqlfun_parse

@@ -1,0 +1,1 @@
+lib/core/collector.mli: Ast Registry Sqlfun_ast Sqlfun_functions

@@ -1,0 +1,1 @@
+lib/core/detector.ml: Buffer Dialect Engine Fault Hashtbl List Pattern_id Patterns Seq Sqlfun_ast Sqlfun_coverage Sqlfun_dialects Sqlfun_engine Sqlfun_fault String

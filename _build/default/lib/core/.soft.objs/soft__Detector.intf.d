@@ -1,0 +1,1 @@
+lib/core/detector.mli: Dialect Fault Pattern_id Patterns Seq Sqlfun_ast Sqlfun_coverage Sqlfun_dialects Sqlfun_fault

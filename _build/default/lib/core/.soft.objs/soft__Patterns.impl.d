@@ -1,0 +1,1 @@
+lib/core/patterns.ml: Ast Ast_util Boundary_pool Collector Fun Func_sig List Option Pattern_id Registry Seq Sql_pp Sqlfun_ast Sqlfun_fault Sqlfun_functions Stdlib String

@@ -1,0 +1,1 @@
+lib/core/patterns.mli: Ast Collector Pattern_id Registry Seq Sqlfun_ast Sqlfun_fault Sqlfun_functions

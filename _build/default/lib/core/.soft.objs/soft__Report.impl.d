@@ -1,0 +1,1 @@
+lib/core/report.ml: Buffer Bug_kind Detector Dialect Fault List Pattern_id Printf Soft_runner Sqlfun_dialects Sqlfun_fault

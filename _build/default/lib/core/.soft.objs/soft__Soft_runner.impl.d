@@ -1,0 +1,1 @@
+lib/core/soft_runner.ml: Bug_kind Collector Detector Dialect Fault List Pattern_id Patterns Printf Sqlfun_coverage Sqlfun_dialects Sqlfun_fault Stdlib

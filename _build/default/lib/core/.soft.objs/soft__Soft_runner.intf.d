@@ -1,0 +1,1 @@
+lib/core/soft_runner.mli: Detector Dialect Pattern_id Sqlfun_coverage Sqlfun_dialects Sqlfun_fault

@@ -1,0 +1,74 @@
+(** Pattern 1.1 — the boundary literal pool.
+
+    The paper's rule: enumerate extreme values with *different digit
+    lengths* (a single huge value is rejected at parse time), plus the
+    empty string, NULL, and the bare asterisk. *)
+
+open Sqlfun_ast
+
+(* Digit lengths used for 9-runs. The paper enumerates lengths rather than
+   one extreme; 35 is the deepest literal pool value (P1.3 splices go
+   further, which keeps the two patterns' trigger ranges disjoint). *)
+let digit_lengths = [ 1; 2; 5; 10; 15; 19; 25; 30; 35 ]
+
+let nines n = String.make n '9'
+
+let int_literals () =
+  List.concat_map
+    (fun n -> [ Ast.Int_lit (nines n); Ast.Int_lit ("-" ^ nines n) ])
+    digit_lengths
+
+let decimal_literals () =
+  List.concat_map
+    (fun n ->
+      [ Ast.Dec_lit ("0." ^ nines n); Ast.Dec_lit ("-0." ^ nines n) ])
+    digit_lengths
+
+let special_literals () =
+  [
+    Ast.Null;
+    Ast.Str_lit "";
+    Ast.Star;
+    Ast.Int_lit "0";
+    Ast.Int_lit "1";
+    Ast.Int_lit "-1";
+  ]
+
+let all () = special_literals () @ int_literals () @ decimal_literals ()
+
+(** Repetition counts for Pattern 3.1. The last one intentionally exceeds
+    any sane memory budget: it reproduces the paper's false-positive class
+    ("REPEAT('a', 9999999999)" terminated by the resource guard). *)
+let repeat_counts = [ 99; 999; 9999; 9999999999 ]
+
+(** Digit-run lengths spliced by Pattern 1.3 (beyond the literal pool's 35
+    so P1.3 has its own trigger range). *)
+let splice_lengths = [ 5; 20; 50 ]
+
+(** Duplication factors for Pattern 1.4. *)
+let dup_factors = [ 4; 8; 16 ]
+
+(** Cast targets enumerated by Pattern 2.1. *)
+let cast_targets =
+  [
+    Ast.T_bigint;
+    Ast.T_unsigned;
+    Ast.T_decimal (Some (38, 10));
+    Ast.T_double;
+    Ast.T_text;
+    Ast.T_blob;
+    Ast.T_json;
+    Ast.T_date;
+    Ast.T_inet;
+    Ast.T_geometry;
+  ]
+
+(** Counter-values for Pattern 2.2's UNION branch. *)
+let union_partners () =
+  [
+    Ast.Null;
+    Ast.Int_lit "1";
+    Ast.Str_lit "x";
+    Ast.Dec_lit ("0." ^ nines 30);
+    Ast.Array_lit [ Ast.Int_lit "1" ];
+  ]

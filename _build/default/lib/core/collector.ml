@@ -1,0 +1,58 @@
+open Sqlfun_ast
+open Sqlfun_functions
+
+type source = Docs | Suite
+
+type seed = { stmt : Ast.stmt; source : source }
+
+let known_calls registry stmt =
+  List.filter
+    (fun (c : Ast.call) -> Registry.mem registry c.Ast.fname)
+    (Ast_util.function_calls stmt)
+
+let collect ~registry ~suite =
+  let doc_seeds =
+    List.concat_map
+      (fun spec ->
+        List.filter_map
+          (fun example ->
+            match Sqlfun_parse.Parser.parse_expr_string example with
+            | Ok e -> Some { stmt = Ast.select_expr e; source = Docs }
+            | Error _ -> None)
+          spec.Func_sig.examples)
+      (Registry.specs registry)
+  in
+  let suite_seeds =
+    List.filter_map
+      (fun sql ->
+        match Sqlfun_parse.Parser.parse_stmt sql with
+        | Ok (Ast.Select_stmt _ as stmt) when known_calls registry stmt <> [] ->
+          Some { stmt; source = Suite }
+        | Ok _ | Error _ -> None)
+      suite
+  in
+  doc_seeds @ suite_seeds
+
+let donors seeds =
+  let seen = Hashtbl.create 64 in
+  List.concat_map
+    (fun seed ->
+      List.filter_map
+        (fun (c : Ast.call) ->
+          let key = Sql_pp.expr (Ast.Call c) in
+          if Hashtbl.mem seen key then None
+          else begin
+            Hashtbl.add seen key ();
+            Some c
+          end)
+        (Ast_util.function_calls seed.stmt))
+    seeds
+
+let prerequisites suite =
+  List.filter
+    (fun sql ->
+      match Sqlfun_parse.Parser.parse_stmt sql with
+      | Ok (Ast.Create_table _ | Ast.Insert _) -> true
+      | Ok (Ast.Select_stmt _ | Ast.Drop_table _ | Ast.Explain _) | Error _ ->
+        false)
+    suite

@@ -1,0 +1,30 @@
+(** Function-expression collection — SOFT's first step.
+
+    The paper scans (1) the DBMS documentation for function names and
+    example calls, and (2) the regression test suite for statements whose
+    parenthesized tokens follow a known function name. Here the
+    documentation is each registry entry's [examples] field and the test
+    suite is the dialect's seed corpus. *)
+
+open Sqlfun_ast
+open Sqlfun_functions
+
+type source = Docs | Suite
+
+type seed = {
+  stmt : Ast.stmt;          (** a SELECT containing >= 1 function call *)
+  source : source;
+}
+
+val collect :
+  registry:Registry.t -> suite:string list -> seed list
+(** Docs seeds first, then suite seeds. Statements that fail to parse or
+    contain no known function expression are skipped, as are non-SELECT
+    statements (those become prerequisites, not substitution targets). *)
+
+val donors : seed list -> Ast.call list
+(** Every distinct function-call expression found in the seeds — the
+    donor set for Patterns 2.3, 3.2 and 3.3. *)
+
+val prerequisites : string list -> string list
+(** The CREATE/INSERT statements of a suite, preserved in order. *)

@@ -1,0 +1,145 @@
+open Sqlfun_fault
+open Sqlfun_engine
+open Sqlfun_dialects
+module Coverage = Sqlfun_coverage.Coverage
+
+type verdict =
+  | Passed
+  | Clean_error of string
+  | False_positive of string
+  | New_bug of Fault.spec
+  | Dup_bug of Fault.spec
+  | Known_crash of string
+
+type found_bug = {
+  spec : Fault.spec;
+  found_by : Pattern_id.t option;
+  poc : string;
+  case_number : int;
+}
+
+type t = {
+  prof : Dialect.profile;
+  cov : Coverage.t;
+  mutable engine : Engine.t;
+  mutable executed : int;
+  mutable passed : int;
+  mutable clean_errors : int;
+  mutable false_positives : int;
+  mutable known_crashes : int;
+  sites : (string, unit) Hashtbl.t;
+  fp_signatures : (string, unit) Hashtbl.t;
+  mutable found : found_bug list;  (* reversed *)
+}
+
+let fresh_engine cov prof = Dialect.make_engine ~cov ~armed:true prof
+
+let create ?cov prof =
+  let cov = match cov with Some c -> c | None -> Coverage.create () in
+  {
+    prof;
+    cov;
+    engine = fresh_engine cov prof;
+    executed = 0;
+    passed = 0;
+    clean_errors = 0;
+    false_positives = 0;
+    known_crashes = 0;
+    sites = Hashtbl.create 64;
+    fp_signatures = Hashtbl.create 16;
+    found = [];
+  }
+
+let restart t = t.engine <- fresh_engine t.cov t.prof
+
+(* [poc] is rendered lazily: pretty-printing every generated statement
+   would dominate the runtime, and only crashing statements need SQL. *)
+let classify t ?pattern ~poc run =
+  t.executed <- t.executed + 1;
+  match run () with
+  | Ok _ ->
+    t.passed <- t.passed + 1;
+    Passed
+  | Error (Engine.Parse_failed msg) | Error (Engine.Sql_failed msg) ->
+    t.clean_errors <- t.clean_errors + 1;
+    Clean_error msg
+  | Error (Engine.Limit_hit msg) ->
+    t.false_positives <- t.false_positives + 1;
+    (* the paper counts unique false-positive *reports*; dedupe on the
+       message with digits normalized out *)
+    let signature =
+      let buf = Buffer.create (String.length msg) in
+      let prev_digit = ref false in
+      String.iter
+        (fun c ->
+          let is_digit = c >= '0' && c <= '9' in
+          if is_digit then begin
+            if not !prev_digit then Buffer.add_char buf '#'
+          end
+          else Buffer.add_char buf c;
+          prev_digit := is_digit)
+        msg;
+      Buffer.contents buf
+    in
+    if not (Hashtbl.mem t.fp_signatures signature) then
+      Hashtbl.add t.fp_signatures signature ();
+    False_positive msg
+  | exception Fault.Crash spec ->
+    restart t;
+    if Hashtbl.mem t.sites spec.Fault.site then Dup_bug spec
+    else begin
+      Hashtbl.add t.sites spec.Fault.site ();
+      t.found <-
+        { spec; found_by = pattern; poc = poc (); case_number = t.executed }
+        :: t.found;
+      New_bug spec
+    end
+  | exception Stack_overflow ->
+    restart t;
+    t.known_crashes <- t.known_crashes + 1;
+    Known_crash "stack exhausted (CVE-2015-5289 class)"
+
+let run_sql t ?pattern sql =
+  classify t ?pattern
+    ~poc:(fun () -> sql)
+    (fun () -> Engine.exec_sql t.engine sql)
+
+let run_stmt t ?pattern stmt =
+  classify t ?pattern
+    ~poc:(fun () -> Sqlfun_ast.Sql_pp.stmt stmt)
+    (fun () -> Engine.exec_stmt t.engine stmt)
+
+let run_case t (case : Patterns.case) =
+  classify t ~pattern:case.Patterns.pattern
+    ~poc:(fun () -> Sqlfun_ast.Sql_pp.stmt case.Patterns.stmt)
+    (fun () -> Engine.exec_stmt t.engine case.Patterns.stmt)
+
+let run_cases t ?budget cases =
+  let limit = match budget with Some b -> b | None -> max_int in
+  let count = ref 0 in
+  let rec go cases =
+    if !count >= limit then ()
+    else
+      match Seq.uncons cases with
+      | None -> ()
+      | Some (case, rest) ->
+        incr count;
+        ignore (run_case t case);
+        go rest
+  in
+  go cases;
+  !count
+
+let executed t = t.executed
+let passed t = t.passed
+let clean_errors t = t.clean_errors
+let false_positives t = t.false_positives
+let unique_false_positives t = Hashtbl.length t.fp_signatures
+
+let fp_signatures t =
+  Hashtbl.fold (fun k () acc -> k :: acc) t.fp_signatures []
+  |> List.sort String.compare
+let known_crashes t = t.known_crashes
+let bugs t = List.rev t.found
+let coverage t = t.cov
+let profile t = t.prof

@@ -1,0 +1,56 @@
+(** Crash detection — SOFT's third step.
+
+    Statements run against a live (armed) simulated server. A clean SQL
+    error is the expected boundary behaviour; a {!Sqlfun_fault.Fault.Crash}
+    or a blown stack is a found bug (the server "died" and is restarted);
+    a resource-limit termination is the paper's false-positive class. *)
+
+open Sqlfun_fault
+open Sqlfun_dialects
+
+type verdict =
+  | Passed
+  | Clean_error of string
+  | False_positive of string  (** killed by the memory/step guard *)
+  | New_bug of Fault.spec     (** first trigger of a ledger bug *)
+  | Dup_bug of Fault.spec     (** a site already on file *)
+  | Known_crash of string     (** e.g. the CVE-2015-5289-class stack blow *)
+
+type found_bug = {
+  spec : Fault.spec;
+  found_by : Pattern_id.t option;  (** [None] when a raw seed crashed *)
+  poc : string;                    (** the crashing SQL statement *)
+  case_number : int;               (** 1-based execution index *)
+}
+
+type t
+
+val create : ?cov:Sqlfun_coverage.Coverage.t -> Dialect.profile -> t
+(** Builds an armed engine for the profile (restarted after each crash). *)
+
+val run_sql : t -> ?pattern:Pattern_id.t -> string -> verdict
+val run_stmt : t -> ?pattern:Pattern_id.t -> Sqlfun_ast.Ast.stmt -> verdict
+val run_case : t -> Patterns.case -> verdict
+
+val run_cases : t -> ?budget:int -> Patterns.case Seq.t -> int
+(** Executes cases until the sequence or the budget is exhausted; returns
+    the number executed. *)
+
+val executed : t -> int
+val passed : t -> int
+val clean_errors : t -> int
+val false_positives : t -> int
+
+val unique_false_positives : t -> int
+(** Distinct false-positive report signatures, the unit the paper's "7
+    false positives" counts. *)
+
+val fp_signatures : t -> string list
+(** The signatures themselves (sorted), for cross-dialect deduplication. *)
+
+val known_crashes : t -> int
+val bugs : t -> found_bug list
+(** In discovery order. *)
+
+val coverage : t -> Sqlfun_coverage.Coverage.t
+val profile : t -> Dialect.profile

@@ -1,0 +1,349 @@
+open Sqlfun_ast
+open Sqlfun_fault
+open Sqlfun_functions
+
+type case = { stmt : Ast.stmt; pattern : Pattern_id.t; origin : string }
+
+(* ----- substitution plumbing ----- *)
+
+(* Replace argument [ai] of call number [ci] (pre-order) in [stmt]. *)
+let with_arg stmt ci ai make_new =
+  let calls = Ast_util.function_calls stmt in
+  match List.nth_opt calls ci with
+  | None -> None
+  | Some c ->
+    (match List.nth_opt c.Ast.args ai with
+     | None -> None
+     | Some old_arg ->
+       (match make_new old_arg with
+        | None -> None
+        | Some new_arg ->
+          let args = List.mapi (fun i a -> if i = ai then new_arg else a) c.Ast.args in
+          Ast_util.replace_nth_call stmt ci (Ast.Call { c with args })))
+
+(* All (call index, arg index, call) positions of a statement. *)
+let positions stmt =
+  List.concat
+    (List.mapi
+       (fun ci (c : Ast.call) ->
+         List.mapi (fun ai _ -> (ci, ai, c)) c.Ast.args)
+       (Ast_util.function_calls stmt))
+
+let count_positions seeds =
+  List.fold_left
+    (fun acc (s : Collector.seed) -> acc + List.length (positions s.Collector.stmt))
+    0 seeds
+
+let seq_of_list = List.to_seq
+
+(* Lazily map a generator over every (seed, position). *)
+let over_positions seeds f =
+  seq_of_list seeds
+  |> Seq.concat_map (fun (seed : Collector.seed) ->
+         let origin = Sql_pp.stmt seed.Collector.stmt in
+         seq_of_list (positions seed.Collector.stmt)
+         |> Seq.concat_map (fun (ci, ai, call) ->
+                f ~stmt:seed.Collector.stmt ~origin ~ci ~ai ~call))
+
+let case pattern origin stmt = { stmt; pattern; origin }
+
+let small_stmt (stmt : Ast.stmt) = Ast_util.count_function_exprs stmt <= 2
+
+(* ----- the string-literal surgery of P1.3 / P1.4 / P3.1 ----- *)
+
+let splice_digits s =
+  (* insert a 9-run after the first character and before the last *)
+  let n = String.length s in
+  List.concat_map
+    (fun run_len ->
+      let run = String.make run_len '9' in
+      if n = 0 then [ run ]
+      else
+        [
+          String.sub s 0 1 ^ run ^ String.sub s 1 (n - 1);
+          String.sub s 0 (n - 1) ^ run ^ String.sub s (n - 1) 1;
+        ])
+    Boundary_pool.splice_lengths
+
+let splice_into_number s =
+  (* c[:i] + 99999 + c[i+1:] on the digit string, after the first digit
+     and after the decimal point when present *)
+  let insert_at i run =
+    if i > String.length s then None
+    else Some (String.sub s 0 i ^ run ^ String.sub s i (String.length s - i))
+  in
+  List.concat_map
+    (fun run_len ->
+      let run = String.make run_len '9' in
+      let after_first = insert_at 1 run in
+      let after_dot =
+        match String.index_opt s '.' with
+        | Some i -> insert_at (i + 1) run
+        | None -> None
+      in
+      List.filter_map Fun.id [ after_first; after_dot ])
+    Boundary_pool.splice_lengths
+
+let duplicate_chars s =
+  (* duplicate the first character k times, and the middle character *)
+  let n = String.length s in
+  if n = 0 then []
+  else
+    List.concat_map
+      (fun k ->
+        let first = String.make k s.[0] ^ s in
+        let mid_idx = n / 2 in
+        let mid =
+          String.sub s 0 mid_idx
+          ^ String.make k s.[mid_idx]
+          ^ String.sub s mid_idx (n - mid_idx)
+        in
+        [ first; mid ])
+      Boundary_pool.dup_factors
+
+(* ----- per-pattern generators ----- *)
+
+let p1_1 () =
+  seq_of_list (Boundary_pool.all ())
+  |> Seq.filter_map (fun lit ->
+         match lit with
+         | Ast.Star -> None (* a bare SELECT * probe is not a function test *)
+         | _ ->
+           Some (case Pattern_id.P1_1 "pool" (Ast.select_expr lit)))
+
+let p1_2 seeds =
+  over_positions seeds (fun ~stmt ~origin ~ci ~ai ~call:_ ->
+      seq_of_list (Boundary_pool.all ())
+      |> Seq.filter_map (fun lit ->
+             match with_arg stmt ci ai (fun _ -> Some lit) with
+             | Some stmt' -> Some (case Pattern_id.P1_2 origin stmt')
+             | None -> None))
+
+let literal_arg_variants stmt ci ai variants_of =
+  let calls = Ast_util.function_calls stmt in
+  match List.nth_opt calls ci with
+  | None -> []
+  | Some c ->
+    (match List.nth_opt c.Ast.args ai with
+     | Some arg ->
+       (match variants_of arg with
+        | [] -> []
+        | variants ->
+          List.filter_map
+            (fun v -> with_arg stmt ci ai (fun _ -> Some v))
+            variants)
+     | None -> [])
+
+let p1_3 seeds =
+  over_positions seeds (fun ~stmt ~origin ~ci ~ai ~call:_ ->
+      let variants_of = function
+        | Ast.Str_lit s when s <> "" ->
+          List.map (fun s' -> Ast.Str_lit s') (splice_digits s)
+        | Ast.Int_lit s -> List.map (fun s' -> Ast.Int_lit s') (splice_into_number s)
+        | Ast.Dec_lit s -> List.map (fun s' -> Ast.Dec_lit s') (splice_into_number s)
+        | _ -> []
+      in
+      seq_of_list (literal_arg_variants stmt ci ai variants_of)
+      |> Seq.map (fun stmt' -> case Pattern_id.P1_3 origin stmt'))
+
+let p1_4 seeds =
+  over_positions seeds (fun ~stmt ~origin ~ci ~ai ~call:_ ->
+      let variants_of = function
+        | Ast.Str_lit s when s <> "" ->
+          List.map (fun s' -> Ast.Str_lit s') (duplicate_chars s)
+        | _ -> []
+      in
+      seq_of_list (literal_arg_variants stmt ci ai variants_of)
+      |> Seq.map (fun stmt' -> case Pattern_id.P1_4 origin stmt'))
+
+let p2_1 seeds =
+  over_positions seeds (fun ~stmt ~origin ~ci ~ai ~call:_ ->
+      seq_of_list Boundary_pool.cast_targets
+      |> Seq.filter_map (fun ty ->
+             match with_arg stmt ci ai (fun arg -> Some (Ast.Cast (arg, ty))) with
+             | Some stmt' -> Some (case Pattern_id.P2_1 origin stmt')
+             | None -> None))
+
+let scalar_subquery_union a b =
+  Ast.Subquery
+    {
+      Ast.body =
+        Ast.Body_union
+          {
+            all = false;
+            left = Ast.Body_select (Ast.simple_select [ Ast.Proj_expr (a, None) ]);
+            right = Ast.Body_select (Ast.simple_select [ Ast.Proj_expr (b, None) ]);
+          };
+      order_by = [];
+      limit = None;
+    }
+
+let p2_2 seeds =
+  over_positions seeds (fun ~stmt ~origin ~ci ~ai ~call:_ ->
+      seq_of_list (Boundary_pool.union_partners ())
+      |> Seq.concat_map (fun partner ->
+             let both =
+               [
+                 with_arg stmt ci ai (fun arg ->
+                     if arg = Ast.Star then None
+                     else Some (scalar_subquery_union arg partner));
+                 with_arg stmt ci ai (fun arg ->
+                     if arg = Ast.Star then None
+                     else Some (scalar_subquery_union partner arg));
+               ]
+             in
+             seq_of_list
+               (List.filter_map
+                  (Option.map (fun stmt' -> case Pattern_id.P2_2 origin stmt'))
+                  both)))
+
+(* P2.3: replace a call's argument list with another function's arguments.
+   Donor lists are truncated to the receiver's maximum arity; missing
+   positions keep the receiver's original arguments. *)
+let is_literal_expr = function
+  | Ast.Null | Ast.Bool_lit _ | Ast.Int_lit _ | Ast.Dec_lit _ | Ast.Str_lit _
+  | Ast.Hex_lit _ ->
+    true
+  | _ -> false
+
+let p2_3 ~registry seeds =
+  (* Only literal argument lists migrate between functions: P2.3 is about
+     *format* mismatch of plain values (a date string landing in a JSON
+     slot); nested calls as arguments are P3.3's territory. *)
+  let donor_arglists =
+    List.filter_map
+      (fun (c : Ast.call) ->
+        if c.Ast.args <> [] && List.for_all is_literal_expr c.Ast.args then
+          Some c.Ast.args
+        else None)
+      (Collector.donors seeds)
+  in
+  seq_of_list seeds
+  |> Seq.concat_map (fun (seed : Collector.seed) ->
+         let stmt = seed.Collector.stmt in
+         if not (small_stmt stmt) then Seq.empty
+         else begin
+           let origin = Sql_pp.stmt stmt in
+           let calls = Ast_util.function_calls stmt in
+           seq_of_list (List.mapi (fun ci c -> (ci, c)) calls)
+           |> Seq.concat_map (fun (ci, (c : Ast.call)) ->
+                  match Registry.find registry c.Ast.fname with
+                  | None -> Seq.empty
+                  | Some spec ->
+                    seq_of_list donor_arglists
+                    |> Seq.filter_map (fun donor_args ->
+                           let max_n =
+                             match spec.Func_sig.max_args with
+                             | Some mx -> mx
+                             | None -> List.length donor_args
+                           in
+                           let rec take n = function
+                             | [] -> []
+                             | _ when n = 0 -> []
+                             | x :: rest -> x :: take (n - 1) rest
+                           in
+                           let taken = take max_n donor_args in
+                           let rec drop n = function
+                             | l when n = 0 -> l
+                             | [] -> []
+                             | _ :: rest -> drop (n - 1) rest
+                           in
+                           let args = taken @ drop (List.length taken) c.Ast.args in
+                           if args = c.Ast.args || args = [] then None
+                           else
+                             Ast_util.replace_nth_call stmt ci
+                               (Ast.Call { c with args })
+                             |> Option.map (fun stmt' ->
+                                    case Pattern_id.P2_3 origin stmt')))
+         end)
+
+let p3_1 seeds =
+  over_positions seeds (fun ~stmt ~origin ~ci ~ai ~call:_ ->
+      let variants_of = function
+        | Ast.Str_lit s when s <> "" ->
+          let prefixes =
+            List.sort_uniq compare
+              [
+                String.sub s 0 1;
+                String.sub s 0 (Stdlib.min 2 (String.length s));
+                String.sub s 0 (Stdlib.min 3 (String.length s));
+              ]
+          in
+          List.concat_map
+            (fun prefix ->
+              List.map
+                (fun count ->
+                  Ast.call "REPEAT"
+                    [ Ast.Str_lit prefix; Ast.Int_lit (string_of_int count) ])
+                Boundary_pool.repeat_counts)
+            prefixes
+        | _ -> []
+      in
+      if not (small_stmt stmt) then Seq.empty
+      else
+        seq_of_list (literal_arg_variants stmt ci ai variants_of)
+        |> Seq.map (fun stmt' -> case Pattern_id.P3_1 origin stmt'))
+
+(* Wrappers for P3.2: any scalar function that accepts one argument. *)
+let unary_wrappers registry =
+  List.filter_map
+    (fun spec ->
+      match spec.Func_sig.kind with
+      | Func_sig.Scalar _
+        when spec.Func_sig.min_args <= 1
+             && (match spec.Func_sig.max_args with
+                 | Some mx -> mx >= 1
+                 | None -> true)
+             && spec.Func_sig.name <> "REPEAT" ->
+        Some spec.Func_sig.name
+      | Func_sig.Scalar _ | Func_sig.Aggregate _ -> None)
+    (Registry.specs registry)
+
+let p3_2 ~registry seeds =
+  let wrappers = unary_wrappers registry in
+  over_positions seeds (fun ~stmt ~origin ~ci ~ai ~call:_ ->
+      if not (small_stmt stmt) then Seq.empty
+      else
+        seq_of_list wrappers
+        |> Seq.filter_map (fun wrapper ->
+               match
+                 with_arg stmt ci ai (fun arg ->
+                     if arg = Ast.Star then None
+                     else Some (Ast.call wrapper [ arg ]))
+               with
+               | Some stmt' -> Some (case Pattern_id.P3_2 origin stmt')
+               | None -> None))
+
+let p3_3 ~registry seeds =
+  let donor_calls =
+    List.filter
+      (fun (c : Ast.call) -> Registry.mem registry c.Ast.fname)
+      (Collector.donors seeds)
+  in
+  over_positions seeds (fun ~stmt ~origin ~ci ~ai ~call ->
+      if not (small_stmt stmt) then Seq.empty
+      else
+        seq_of_list donor_calls
+        |> Seq.filter_map (fun donor ->
+               if donor.Ast.fname = call.Ast.fname then None
+               else
+                 match with_arg stmt ci ai (fun _ -> Some (Ast.Call donor)) with
+                 | Some stmt' -> Some (case Pattern_id.P3_3 origin stmt')
+                 | None -> None))
+
+let generate ~registry ~seeds pattern =
+  match pattern with
+  | Pattern_id.P1_1 -> p1_1 ()
+  | Pattern_id.P1_2 -> p1_2 seeds
+  | Pattern_id.P1_3 -> p1_3 seeds
+  | Pattern_id.P1_4 -> p1_4 seeds
+  | Pattern_id.P2_1 -> p2_1 seeds
+  | Pattern_id.P2_2 -> p2_2 seeds
+  | Pattern_id.P2_3 -> p2_3 ~registry seeds
+  | Pattern_id.P3_1 -> p3_1 seeds
+  | Pattern_id.P3_2 -> p3_2 ~registry seeds
+  | Pattern_id.P3_3 -> p3_3 ~registry seeds
+
+let all_cases ~registry ~seeds =
+  seq_of_list Pattern_id.all
+  |> Seq.concat_map (fun p -> generate ~registry ~seeds p)

@@ -1,0 +1,35 @@
+(** The ten boundary-value-generation patterns (§6) as statement
+    generators.
+
+    Each generator enumerates substitution positions in the collected
+    seeds and yields rewritten statements lazily, in the paper's pattern
+    order (P1.2 … P3.3 — P1.1 is the pool itself, consumed by the
+    others). Per Finding 3, seeds already containing more than two
+    function expressions are not expanded further by the nesting
+    patterns. *)
+
+open Sqlfun_ast
+open Sqlfun_fault
+open Sqlfun_functions
+
+type case = {
+  stmt : Ast.stmt;
+  pattern : Pattern_id.t;
+  origin : string;  (** SQL of the seed this case was derived from *)
+}
+
+val generate :
+  registry:Registry.t ->
+  seeds:Collector.seed list ->
+  Pattern_id.t ->
+  case Seq.t
+(** Cases for one pattern. [P1_1] yields the pool itself as bare
+    [SELECT <literal>] probes. *)
+
+val all_cases :
+  registry:Registry.t -> seeds:Collector.seed list -> case Seq.t
+(** All patterns concatenated in paper order. *)
+
+val count_positions : Collector.seed list -> int
+(** Number of (call, argument) substitution slots across the seeds —
+    reported by the CLI and exercised in tests. *)

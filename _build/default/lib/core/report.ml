@@ -1,0 +1,53 @@
+open Sqlfun_fault
+open Sqlfun_dialects
+
+let bug_to_markdown (b : Detector.found_bug) =
+  let spec = b.Detector.spec in
+  Printf.sprintf
+    "## %s: %s in `%s`\n\n\
+     - **Site**: `%s`\n\
+     - **Crash class**: %s\n\
+     - **Generation pattern**: %s (%s)\n\
+     - **Status**: %s\n\
+     - **Found at statement**: #%d\n\n\
+     Proof of concept:\n\n\
+     ```sql\n%s;\n```\n\n\
+     Root cause (boundary condition): %s\n"
+    (Bug_kind.to_string spec.Fault.kind)
+    (Bug_kind.describe spec.Fault.kind)
+    spec.Fault.func spec.Fault.site
+    (Bug_kind.describe spec.Fault.kind)
+    (match b.Detector.found_by with
+     | Some p -> Pattern_id.to_string p
+     | None -> "regression suite")
+    (match b.Detector.found_by with
+     | Some p -> Pattern_id.family_to_string (Pattern_id.family p)
+     | None -> "seed replay")
+    (Fault.status_to_string spec.Fault.status)
+    b.Detector.case_number b.Detector.poc spec.Fault.note
+
+let campaign_to_markdown (r : Soft_runner.result) =
+  let buf = Buffer.create 4096 in
+  let p = r.Soft_runner.dialect in
+  Buffer.add_string buf
+    (Printf.sprintf "# SOFT campaign report — %s %s (simulated)\n\n"
+       p.Dialect.display p.Dialect.version);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "- statements executed: %d\n\
+        - passed / clean errors: %d / %d\n\
+        - resource false positives: %d (%d unique reports)\n\
+        - functions triggered: %d\n\
+        - branch points covered: %d\n\
+        - **bugs found: %d**\n\n"
+       r.Soft_runner.cases_executed r.Soft_runner.passed
+       r.Soft_runner.clean_errors r.Soft_runner.false_positives
+       r.Soft_runner.unique_false_positives r.Soft_runner.functions_triggered
+       r.Soft_runner.branches_covered
+       (List.length r.Soft_runner.bugs));
+  List.iter
+    (fun b ->
+      Buffer.add_string buf (bug_to_markdown b);
+      Buffer.add_char buf '\n')
+    r.Soft_runner.bugs;
+  Buffer.contents buf

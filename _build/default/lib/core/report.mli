@@ -1,0 +1,10 @@
+(** Bug-report rendering — the artifact SOFT's detection step logs "for
+    bug reporting" (§7.1). One markdown section per found bug: the PoC to
+    paste into the vendor tracker, the observed crash class, and the
+    boundary condition that explains it. *)
+
+val bug_to_markdown : Detector.found_bug -> string
+
+val campaign_to_markdown : Soft_runner.result -> string
+(** Full campaign report: header with the run statistics, then one section
+    per bug in discovery order. *)

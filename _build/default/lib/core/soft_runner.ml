@@ -1,0 +1,87 @@
+open Sqlfun_fault
+open Sqlfun_dialects
+module Coverage = Sqlfun_coverage.Coverage
+
+type result = {
+  dialect : Dialect.profile;
+  seeds_collected : int;
+  positions : int;
+  cases_executed : int;
+  passed : int;
+  clean_errors : int;
+  false_positives : int;
+  unique_false_positives : int;
+  fp_signatures : string list;
+  known_crashes : int;
+  bugs : Detector.found_bug list;
+  functions_triggered : int;
+  branches_covered : int;
+}
+
+let fuzz ?budget ?cov ?(patterns = Pattern_id.all) prof =
+  let registry = Dialect.registry prof in
+  let seeds = Collector.collect ~registry ~suite:prof.Dialect.seeds in
+  let detector = Detector.create ?cov prof in
+  (* Sanity pass: the regression suite must run on the armed server too —
+     the paper's tool replays the suite it scanned. *)
+  List.iter
+    (fun (seed : Collector.seed) ->
+      ignore (Detector.run_stmt detector seed.Collector.stmt))
+    seeds;
+  (* An explicit budget is split evenly across the requested patterns so a
+     bounded campaign still exercises every pattern family (the paper's
+     full enumeration corresponds to no budget). *)
+  let per_pattern =
+    match budget with
+    | None -> None
+    | Some b -> Some (Stdlib.max 1 (b / Stdlib.max 1 (List.length patterns)))
+  in
+  List.iter
+    (fun p ->
+      ignore
+        (Detector.run_cases detector ?budget:per_pattern
+           (Patterns.generate ~registry ~seeds p)))
+    patterns;
+  let cov = Detector.coverage detector in
+  {
+    dialect = prof;
+    seeds_collected = List.length seeds;
+    positions = Patterns.count_positions seeds;
+    cases_executed = Detector.executed detector;
+    passed = Detector.passed detector;
+    clean_errors = Detector.clean_errors detector;
+    false_positives = Detector.false_positives detector;
+    unique_false_positives = Detector.unique_false_positives detector;
+    fp_signatures = Detector.fp_signatures detector;
+    known_crashes = Detector.known_crashes detector;
+    bugs = Detector.bugs detector;
+    functions_triggered = Coverage.prefixed_count cov "fn/";
+    branches_covered = Coverage.count cov;
+  }
+
+let fuzz_all ?budget () =
+  List.map (fun prof -> fuzz ?budget prof) Dialect.all
+
+let bugs_by_pattern_family result =
+  let count family =
+    List.length
+      (List.filter
+         (fun (b : Detector.found_bug) ->
+           Pattern_id.family b.Detector.spec.Fault.pattern = family)
+         result.bugs)
+  in
+  [
+    (Pattern_id.Literal, count Pattern_id.Literal);
+    (Pattern_id.Casting, count Pattern_id.Casting);
+    (Pattern_id.Nested, count Pattern_id.Nested);
+  ]
+
+let bug_summary_line (b : Detector.found_bug) =
+  Printf.sprintf "[%s] %s %s %s via %s: %s"
+    (Bug_kind.to_string b.Detector.spec.Fault.kind)
+    b.Detector.spec.Fault.dialect b.Detector.spec.Fault.func
+    b.Detector.spec.Fault.site
+    (match b.Detector.found_by with
+     | Some p -> Pattern_id.to_string p
+     | None -> "seed")
+    b.Detector.poc

@@ -1,0 +1,40 @@
+(** The complete SOFT pipeline: collect → generate per pattern → detect.
+
+    One call of {!fuzz} is one "testing campaign" against one simulated
+    DBMS, the unit the paper's Tables 4–6 aggregate. *)
+
+open Sqlfun_fault
+open Sqlfun_dialects
+
+type result = {
+  dialect : Dialect.profile;
+  seeds_collected : int;
+  positions : int;           (** substitution slots found by the collector *)
+  cases_executed : int;
+  passed : int;
+  clean_errors : int;
+  false_positives : int;
+  unique_false_positives : int;  (** distinct FP report signatures *)
+  fp_signatures : string list;
+  known_crashes : int;
+  bugs : Detector.found_bug list;
+  functions_triggered : int; (** distinct functions reached (Table 5) *)
+  branches_covered : int;    (** distinct coverage points (Table 6) *)
+}
+
+val fuzz :
+  ?budget:int ->
+  ?cov:Sqlfun_coverage.Coverage.t ->
+  ?patterns:Pattern_id.t list ->
+  Dialect.profile ->
+  result
+(** [budget] caps generated-case executions (default: exhaust all
+    patterns). [patterns] restricts the pattern set — the ablation knob.
+    Seeds are executed first (sanity pass, not counted against the
+    budget). *)
+
+val fuzz_all : ?budget:int -> unit -> result list
+(** One campaign per dialect, paper order. *)
+
+val bugs_by_pattern_family : result -> (Pattern_id.family * int) list
+val bug_summary_line : Detector.found_bug -> string

@@ -1,0 +1,1 @@
+lib/coverage/coverage.ml: Hashtbl List String

@@ -1,0 +1,43 @@
+type t = { tbl : (string, int) Hashtbl.t; mutable hits : int }
+
+let create () = { tbl = Hashtbl.create 256; hits = 0 }
+
+let hit t point =
+  t.hits <- t.hits + 1;
+  match Hashtbl.find_opt t.tbl point with
+  | Some n -> Hashtbl.replace t.tbl point (n + 1)
+  | None -> Hashtbl.add t.tbl point 1
+
+let count t = Hashtbl.length t.tbl
+let total_hits t = t.hits
+
+let points t =
+  let l = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tbl [] in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) l
+
+let mem t point = Hashtbl.mem t.tbl point
+
+let reset t =
+  Hashtbl.reset t.tbl;
+  t.hits <- 0
+
+let merge_into ~dst src =
+  Hashtbl.iter
+    (fun k v ->
+      match Hashtbl.find_opt dst.tbl k with
+      | Some n -> Hashtbl.replace dst.tbl k (n + v)
+      | None -> Hashtbl.add dst.tbl k v)
+    src.tbl;
+  dst.hits <- dst.hits + src.hits
+
+let diff a b =
+  Hashtbl.fold (fun k _ acc -> if Hashtbl.mem b.tbl k then acc else k :: acc) a.tbl []
+  |> List.sort String.compare
+
+let prefixed_count t prefix =
+  let plen = String.length prefix in
+  Hashtbl.fold
+    (fun k _ acc ->
+      if String.length k >= plen && String.sub k 0 plen = prefix then acc + 1
+      else acc)
+    t.tbl 0

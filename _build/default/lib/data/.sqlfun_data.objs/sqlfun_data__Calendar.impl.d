@@ -1,0 +1,1 @@
+lib/data/calendar.ml: Buffer Int64 List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/data/codec.ml: Array Buffer Char Int64 Lazy Printf String

@@ -1,0 +1,1 @@
+lib/data/geometry.ml: Buffer Char Float Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/data/inet.ml: Array Bytes Char List Printf String

@@ -1,0 +1,1 @@
+lib/data/json.ml: Buffer Char List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/data/regex.ml: Buffer Char List Printf String

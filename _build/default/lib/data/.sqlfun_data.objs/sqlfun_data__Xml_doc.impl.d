@@ -1,0 +1,1 @@
+lib/data/xml_doc.ml: List Printf Stdlib String

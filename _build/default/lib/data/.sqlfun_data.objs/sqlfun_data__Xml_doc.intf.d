@@ -1,0 +1,1 @@
+lib/data/xml_doc.mli:

@@ -1,0 +1,136 @@
+let hex_encode s =
+  let buf = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02X" (Char.code c))) s;
+  Buffer.contents buf
+
+let hex_val c =
+  if c >= '0' && c <= '9' then Some (Char.code c - 48)
+  else if c >= 'a' && c <= 'f' then Some (Char.code c - 87)
+  else if c >= 'A' && c <= 'F' then Some (Char.code c - 55)
+  else None
+
+let hex_decode s =
+  let n = String.length s in
+  if n mod 2 <> 0 then None
+  else begin
+    let buf = Buffer.create (n / 2) in
+    let rec go i =
+      if i >= n then Some (Buffer.contents buf)
+      else
+        match (hex_val s.[i], hex_val s.[i + 1]) with
+        | Some hi, Some lo ->
+          Buffer.add_char buf (Char.chr ((hi * 16) + lo));
+          go (i + 2)
+        | _, _ -> None
+    in
+    go 0
+  end
+
+let b64_alphabet =
+  "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+
+let base64_encode s =
+  let n = String.length s in
+  let buf = Buffer.create (((n + 2) / 3) * 4) in
+  let rec go i =
+    if i >= n then ()
+    else begin
+      let b0 = Char.code s.[i] in
+      let b1 = if i + 1 < n then Char.code s.[i + 1] else 0 in
+      let b2 = if i + 2 < n then Char.code s.[i + 2] else 0 in
+      Buffer.add_char buf b64_alphabet.[b0 lsr 2];
+      Buffer.add_char buf b64_alphabet.[((b0 land 3) lsl 4) lor (b1 lsr 4)];
+      if i + 1 < n then
+        Buffer.add_char buf b64_alphabet.[((b1 land 15) lsl 2) lor (b2 lsr 6)]
+      else Buffer.add_char buf '=';
+      if i + 2 < n then Buffer.add_char buf b64_alphabet.[b2 land 63]
+      else Buffer.add_char buf '=';
+      go (i + 3)
+    end
+  in
+  go 0;
+  Buffer.contents buf
+
+let b64_val c =
+  if c >= 'A' && c <= 'Z' then Some (Char.code c - 65)
+  else if c >= 'a' && c <= 'z' then Some (Char.code c - 71)
+  else if c >= '0' && c <= '9' then Some (Char.code c + 4)
+  else if c = '+' then Some 62
+  else if c = '/' then Some 63
+  else None
+
+let base64_decode s =
+  (* tolerate whitespace, require valid groups *)
+  let cleaned = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '\t' | '\n' | '\r' -> ()
+      | c -> Buffer.add_char cleaned c)
+    s;
+  let s = Buffer.contents cleaned in
+  let n = String.length s in
+  if n mod 4 <> 0 then None
+  else begin
+    let buf = Buffer.create (n / 4 * 3) in
+    let rec go i =
+      if i >= n then Some (Buffer.contents buf)
+      else begin
+        let pad_at k = s.[i + k] = '=' && i + 4 = n in
+        match (b64_val s.[i], b64_val s.[i + 1]) with
+        | Some v0, Some v1 ->
+          Buffer.add_char buf (Char.chr ((v0 lsl 2) lor (v1 lsr 4)));
+          (match b64_val s.[i + 2] with
+           | Some v2 ->
+             Buffer.add_char buf (Char.chr (((v1 land 15) lsl 4) lor (v2 lsr 2)));
+             (match b64_val s.[i + 3] with
+              | Some v3 ->
+                Buffer.add_char buf (Char.chr (((v2 land 3) lsl 6) lor v3));
+                go (i + 4)
+              | None -> if pad_at 3 then Some (Buffer.contents buf) else None)
+           | None ->
+             if pad_at 2 && s.[i + 3] = '=' then Some (Buffer.contents buf)
+             else None)
+        | _, _ -> None
+      end
+    in
+    if n = 0 then Some "" else go 0
+  end
+
+let fnv1a_64 s =
+  let prime = 0x100000001b3L in
+  let hash = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      hash := Int64.logxor !hash (Int64.of_int (Char.code c));
+      hash := Int64.mul !hash prime)
+    s;
+  !hash
+
+let digest_hex s =
+  let h1 = fnv1a_64 s in
+  let h2 = fnv1a_64 (s ^ "\x00pass2") in
+  Printf.sprintf "%016Lx%016Lx" h1 h2
+
+let crc32_table =
+  lazy
+    (Array.init 256 (fun i ->
+         let c = ref (Int64.of_int i) in
+         for _ = 0 to 7 do
+           if Int64.rem !c 2L = 1L then
+             c := Int64.logxor 0xedb88320L (Int64.shift_right_logical !c 1)
+           else c := Int64.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc32_table in
+  let c = ref 0xffffffffL in
+  String.iter
+    (fun ch ->
+      let idx =
+        Int64.to_int (Int64.logand (Int64.logxor !c (Int64.of_int (Char.code ch))) 0xffL)
+      in
+      c := Int64.logxor table.(idx) (Int64.shift_right_logical !c 8))
+    s;
+  Int64.logand (Int64.logxor !c 0xffffffffL) 0xffffffffL

@@ -1,0 +1,280 @@
+type point = { x : float; y : float }
+
+type t =
+  | Point of point
+  | Linestring of point list
+  | Polygon of point list list
+  | Multipoint of point list
+  | Collection of t list
+
+let float_str f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%g" f
+
+let point_str p = float_str p.x ^ " " ^ float_str p.y
+
+let ring_str ps = "(" ^ String.concat ", " (List.map point_str ps) ^ ")"
+
+let rec to_wkt = function
+  | Point p -> "POINT(" ^ point_str p ^ ")"
+  | Linestring ps -> "LINESTRING" ^ ring_str ps
+  | Polygon rings ->
+    "POLYGON(" ^ String.concat ", " (List.map ring_str rings) ^ ")"
+  | Multipoint ps -> "MULTIPOINT" ^ ring_str ps
+  | Collection gs ->
+    "GEOMETRYCOLLECTION(" ^ String.concat ", " (List.map to_wkt gs) ^ ")"
+
+(* ----- WKT parsing ----- *)
+
+exception Wkt_error of string
+
+type cursor = { src : string; mutable pos : int }
+
+let ws c =
+  while
+    c.pos < String.length c.src
+    && (c.src.[c.pos] = ' ' || c.src.[c.pos] = '\t' || c.src.[c.pos] = '\n')
+  do
+    c.pos <- c.pos + 1
+  done
+
+let expect_char c ch =
+  ws c;
+  if c.pos < String.length c.src && c.src.[c.pos] = ch then c.pos <- c.pos + 1
+  else raise (Wkt_error (Printf.sprintf "expected %C at %d" ch c.pos))
+
+let peek_char c =
+  ws c;
+  if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let word c =
+  ws c;
+  let start = c.pos in
+  while
+    c.pos < String.length c.src
+    && (let ch = c.src.[c.pos] in
+        (ch >= 'A' && ch <= 'Z') || (ch >= 'a' && ch <= 'z'))
+  do
+    c.pos <- c.pos + 1
+  done;
+  String.uppercase_ascii (String.sub c.src start (c.pos - start))
+
+let number c =
+  ws c;
+  let start = c.pos in
+  while
+    c.pos < String.length c.src
+    && (let ch = c.src.[c.pos] in
+        (ch >= '0' && ch <= '9')
+        || ch = '-' || ch = '+' || ch = '.' || ch = 'e' || ch = 'E')
+  do
+    c.pos <- c.pos + 1
+  done;
+  match float_of_string_opt (String.sub c.src start (c.pos - start)) with
+  | Some f -> f
+  | None -> raise (Wkt_error (Printf.sprintf "bad number at %d" start))
+
+let parse_point_body c =
+  let x = number c in
+  let y = number c in
+  { x; y }
+
+let parse_ring c =
+  expect_char c '(';
+  let rec go acc =
+    let p = parse_point_body c in
+    match peek_char c with
+    | Some ',' ->
+      c.pos <- c.pos + 1;
+      go (p :: acc)
+    | _ ->
+      expect_char c ')';
+      List.rev (p :: acc)
+  in
+  go []
+
+let rec parse_geom c =
+  match word c with
+  | "POINT" ->
+    expect_char c '(';
+    let p = parse_point_body c in
+    expect_char c ')';
+    Point p
+  | "LINESTRING" -> Linestring (parse_ring c)
+  | "MULTIPOINT" -> Multipoint (parse_ring c)
+  | "POLYGON" ->
+    expect_char c '(';
+    let rec rings acc =
+      let r = parse_ring c in
+      match peek_char c with
+      | Some ',' ->
+        c.pos <- c.pos + 1;
+        rings (r :: acc)
+      | _ ->
+        expect_char c ')';
+        List.rev (r :: acc)
+    in
+    Polygon (rings [])
+  | "GEOMETRYCOLLECTION" ->
+    expect_char c '(';
+    let rec geoms acc =
+      let g = parse_geom c in
+      match peek_char c with
+      | Some ',' ->
+        c.pos <- c.pos + 1;
+        geoms (g :: acc)
+      | _ ->
+        expect_char c ')';
+        List.rev (g :: acc)
+    in
+    Collection (geoms [])
+  | w -> raise (Wkt_error ("unknown geometry type " ^ w))
+
+let of_wkt s =
+  let c = { src = s; pos = 0 } in
+  match parse_geom c with
+  | g ->
+    ws c;
+    if c.pos <> String.length s then Error "trailing characters in WKT"
+    else Ok g
+  | exception Wkt_error msg -> Error msg
+
+(* ----- WKB ----- *)
+
+let tag_of = function
+  | Point _ -> 1
+  | Linestring _ -> 2
+  | Polygon _ -> 3
+  | Multipoint _ -> 4
+  | Collection _ -> 7
+
+let put_u32 buf v =
+  for i = 0 to 3 do
+    Buffer.add_char buf (Char.chr ((v lsr (8 * i)) land 0xFF))
+  done
+
+let put_f64 buf f =
+  let bits = Int64.bits_of_float f in
+  for i = 0 to 7 do
+    Buffer.add_char buf
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical bits (8 * i)) 0xFFL)))
+  done
+
+let put_point buf p =
+  put_f64 buf p.x;
+  put_f64 buf p.y
+
+let rec put_geom buf g =
+  Buffer.add_char buf '\001' (* little endian *);
+  put_u32 buf (tag_of g);
+  match g with
+  | Point p -> put_point buf p
+  | Linestring ps | Multipoint ps ->
+    put_u32 buf (List.length ps);
+    List.iter (put_point buf) ps
+  | Polygon rings ->
+    put_u32 buf (List.length rings);
+    List.iter
+      (fun r ->
+        put_u32 buf (List.length r);
+        List.iter (put_point buf) r)
+      rings
+  | Collection gs ->
+    put_u32 buf (List.length gs);
+    List.iter (put_geom buf) gs
+
+let to_wkb g =
+  let buf = Buffer.create 64 in
+  put_geom buf g;
+  Buffer.contents buf
+
+exception Wkb_error of string
+
+let of_wkb s =
+  let pos = ref 0 in
+  let need n =
+    if !pos + n > String.length s then raise (Wkb_error "truncated WKB buffer")
+  in
+  let u8 () =
+    need 1;
+    let v = Char.code s.[!pos] in
+    incr pos;
+    v
+  in
+  let u32 () =
+    need 4;
+    let v =
+      Char.code s.[!pos]
+      lor (Char.code s.[!pos + 1] lsl 8)
+      lor (Char.code s.[!pos + 2] lsl 16)
+      lor (Char.code s.[!pos + 3] lsl 24)
+    in
+    pos := !pos + 4;
+    v
+  in
+  let f64 () =
+    need 8;
+    let bits = ref 0L in
+    for i = 7 downto 0 do
+      bits := Int64.logor (Int64.shift_left !bits 8) (Int64.of_int (Char.code s.[!pos + i]))
+    done;
+    pos := !pos + 8;
+    let f = Int64.float_of_bits !bits in
+    if Float.is_nan f || Float.abs f = Float.infinity then
+      raise (Wkb_error "non-finite coordinate");
+    f
+  in
+  let point () =
+    let x = f64 () in
+    let y = f64 () in
+    { x; y }
+  in
+  let counted limit f =
+    let n = u32 () in
+    if n > limit then raise (Wkb_error "unreasonable element count")
+    else List.init n (fun _ -> f ())
+  in
+  let rec geom depth =
+    if depth > 16 then raise (Wkb_error "WKB nesting too deep");
+    let endian = u8 () in
+    if endian <> 1 then raise (Wkb_error "unsupported byte order");
+    match u32 () with
+    | 1 -> Point (point ())
+    | 2 -> Linestring (counted 1_000_000 point)
+    | 3 -> Polygon (counted 10_000 (fun () -> counted 1_000_000 point))
+    | 4 -> Multipoint (counted 1_000_000 point)
+    | 7 -> Collection (counted 10_000 (fun () -> geom (depth + 1)))
+    | tag -> raise (Wkb_error (Printf.sprintf "unknown geometry tag %d" tag))
+  in
+  match geom 0 with
+  | g ->
+    if !pos <> String.length s then Error "trailing bytes in WKB"
+    else Ok g
+  | exception Wkb_error msg -> Error msg
+
+let is_closed = function
+  | [] -> false
+  | first :: _ as ps ->
+    (match List.rev ps with
+     | last :: _ -> first = last
+     | [] -> false)
+
+let boundary = function
+  | Point _ -> None
+  | Linestring [] -> None
+  | Linestring ps ->
+    if is_closed ps then Some (Multipoint [])
+    else
+      (match (ps, List.rev ps) with
+       | first :: _, last :: _ -> Some (Multipoint [ first; last ])
+       | _, _ -> None)
+  | Polygon rings -> Some (Collection (List.map (fun r -> Linestring r) rings))
+  | Multipoint _ -> None
+  | Collection _ -> None
+
+let rec num_points = function
+  | Point _ -> 1
+  | Linestring ps | Multipoint ps -> List.length ps
+  | Polygon rings -> List.fold_left (fun acc r -> acc + List.length r) 0 rings
+  | Collection gs -> List.fold_left (fun acc g -> acc + num_points g) 0 gs

@@ -1,0 +1,32 @@
+(** Planar geometries with WKT and WKB codecs.
+
+    Spatial functions account for 7 of the paper's new bugs; the decisive
+    behaviour is that WKB blobs arriving from non-spatial functions (e.g.
+    [INET6_ATON]) must be *validated*, and dialects that skip validation
+    crash — so the decoder reports precise failure reasons. *)
+
+type point = { x : float; y : float }
+
+type t =
+  | Point of point
+  | Linestring of point list
+  | Polygon of point list list  (** outer ring first *)
+  | Multipoint of point list
+  | Collection of t list
+
+val to_wkt : t -> string
+val of_wkt : string -> (t, string) result
+
+val to_wkb : t -> string
+(** Little-endian WKB. *)
+
+val of_wkb : string -> (t, string) result
+(** Strict decoder: rejects truncated buffers, unknown geometry tags, and
+    non-finite coordinates. *)
+
+val boundary : t -> t option
+(** Topological boundary: points have none ([None]), a linestring's is its
+    endpoints, a polygon's is its rings as linestrings. *)
+
+val is_closed : point list -> bool
+val num_points : t -> int

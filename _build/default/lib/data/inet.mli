@@ -1,0 +1,22 @@
+(** IPv4/IPv6 address parsing and binary encoding.
+
+    [INET6_ATON]-style functions return raw binary blobs that downstream
+    functions misinterpret — the exact chain in the paper's MariaDB
+    case 6 ([ST_ASTEXT(BOUNDARY(INET6_ATON('255.255.255.255')))]). *)
+
+type t =
+  | V4 of int array  (** 4 octets *)
+  | V6 of int array  (** 8 16-bit groups *)
+
+val of_string : string -> t option
+(** Parses dotted-quad IPv4 and RFC-4291 IPv6 including [::] compression
+    and the embedded-IPv4 tail form. *)
+
+val to_string : t -> string
+(** Canonical textual form (lowercase hex, longest zero run compressed). *)
+
+val to_bytes : t -> string
+(** 4 bytes for V4, 16 for V6 — the [INET6_ATON] wire form. *)
+
+val of_bytes : string -> t option
+(** Inverse of {!to_bytes}; [None] unless length is exactly 4 or 16. *)

@@ -1,0 +1,28 @@
+(** A small backtracking regular-expression engine.
+
+    Regex matching is a classic SQL-function bug surface (PostgreSQL
+    CVE-2016-0773 is a char-range integer overflow); this engine supports
+    the POSIX-ish subset SQL regex functions use: literals, [.], [*], [+],
+    [?], bounded repetition [{m,n}], character classes with ranges and
+    negation, anchors, alternation, groups, and [\d \w \s \xHH] escapes. *)
+
+type t
+
+val compile : string -> (t, string) result
+
+val matches : t -> string -> bool
+(** Unanchored search ([true] if the pattern occurs anywhere). *)
+
+val find : t -> string -> (int * int) option
+(** Leftmost match as [(start, length)]. *)
+
+val replace_all : t -> string -> string -> string
+(** [replace_all re s repl] — non-overlapping, leftmost-first. *)
+
+val steps_of_last_match : unit -> int
+(** Backtracking steps consumed by the most recent operation — the
+    evaluator charges these against its step budget so pathological
+    patterns surface as resource limits, not hangs. *)
+
+exception Step_limit
+(** Raised when backtracking exceeds the hard step cap (2e6). *)

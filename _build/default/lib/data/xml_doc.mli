@@ -1,0 +1,29 @@
+(** A small XML document model with XPath-style child addressing.
+
+    Backs the [UPDATEXML]/[EXTRACTVALUE] family. Only the element/text
+    subset that SQL XML functions manipulate is modeled (no attributes in
+    paths, no namespaces). *)
+
+type t =
+  | Element of string * t list  (** tag name, children *)
+  | Text of string
+
+val parse : string -> (t list, string) result
+(** Parses a fragment (a sequence of sibling nodes). *)
+
+val to_string : t list -> string
+
+type step = { tag : string; index : int option }
+(** One XPath step, e.g. [c[1]] — indexes are 1-based as in XPath. *)
+
+val parse_xpath : string -> (step list, string) result
+(** Parses absolute paths like [/a/c[1]]. *)
+
+val extract : t list -> step list -> t list
+(** All nodes matched by the path. *)
+
+val update : t list -> step list -> t list -> t list
+(** Replaces every matched node with the given replacement fragment. *)
+
+val node_depth : t -> int
+val text_content : t -> string

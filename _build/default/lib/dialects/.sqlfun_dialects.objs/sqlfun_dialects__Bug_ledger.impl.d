@@ -1,0 +1,1 @@
+lib/dialects/bug_ledger.ml: Bug_kind Fault List Pattern_id Printf Sqlfun_fault Sqlfun_value String Triggers

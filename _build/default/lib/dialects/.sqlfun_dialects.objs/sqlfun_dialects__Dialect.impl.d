@@ -1,0 +1,1 @@
+lib/dialects/dialect.ml: All_fns Bug_ledger Cast Engine Inventory List Registry Seed_corpus Sqlfun_engine Sqlfun_fault Sqlfun_functions Sqlfun_value String

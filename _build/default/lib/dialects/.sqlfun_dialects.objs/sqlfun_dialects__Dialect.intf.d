@@ -1,0 +1,1 @@
+lib/dialects/dialect.mli: Cast Engine Sqlfun_coverage Sqlfun_engine Sqlfun_functions Sqlfun_value

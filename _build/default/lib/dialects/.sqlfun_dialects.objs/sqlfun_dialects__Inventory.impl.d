@@ -1,0 +1,1 @@
+lib/dialects/inventory.ml: All_fns Func_sig List Registry Sqlfun_functions String

@@ -1,0 +1,1 @@
+lib/dialects/seed_corpus.ml:

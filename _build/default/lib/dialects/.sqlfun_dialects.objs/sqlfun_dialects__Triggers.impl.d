@@ -1,0 +1,1 @@
+lib/dialects/triggers.ml: Sqlfun_fault Sqlfun_value

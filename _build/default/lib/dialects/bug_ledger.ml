@@ -1,0 +1,632 @@
+(** The injected-bug ledger: 132 boundary-value bugs mirroring the paper's
+    Table 4 row by row — per-DBMS counts, function categories, bug kinds,
+    crediting patterns, and confirmed/fixed statuses all match.
+
+    Every trigger is phrased as a boundary condition on the (value,
+    provenance) pairs reaching the function, of the same three sources the
+    paper identifies: boundary literals (P1.x), boundary castings (P2.x),
+    and boundary results of nested functions (P3.x). *)
+
+open Sqlfun_fault
+open Sqlfun_value.Value
+open Triggers
+
+let bug ~d ~f ~cat ~k ~p ?(st = Fault.Fixed) ~t ~note slug =
+  {
+    Fault.site = Printf.sprintf "%s/%s/%s" d (String.lowercase_ascii f) slug;
+    dialect = d;
+    func = f;
+    category = cat;
+    kind = k;
+    pattern = p;
+    status = st;
+    trigger = t;
+    note;
+  }
+
+let confirmed = Fault.Confirmed
+
+(* ----- PostgreSQL: 1 bug ----- *)
+
+let postgresql =
+  [
+    bug ~d:"postgresql" ~f:"JSONB_OBJECT_AGG" ~cat:"aggregate"
+      ~k:Bug_kind.Hbof ~p:Pattern_id.P2_3
+      ~t:
+        (Fault.And_
+           [
+             Arg_at (0, All_of [ Type_is Ty_str; From_literal ]);
+             Arg_at (1, All_of [ Type_is Ty_str; From_literal; Str_len_ge 3 ]);
+           ])
+      ~note:
+        "unknown-type string literals read past the terminator when both \
+         key and value arrive as bare literals (CVE-2023-5868 shape)"
+      "unknown-type-strings";
+  ]
+
+(* ----- MySQL: 16 bugs ----- *)
+
+let mysql =
+  [
+    bug ~d:"mysql" ~f:"AVG" ~cat:"aggregate" ~k:Bug_kind.Gbof
+      ~p:Pattern_id.P1_3 ~st:confirmed
+      ~t:(Arg_at (0, All_of [ From_literal; Precision_ge 40; Scale_ge 20 ]))
+      ~note:
+        "decimal accumulator renders past its global digit buffer for \
+         literals beyond the supported precision (paper case 1)"
+      "decimal-digits";
+    bug ~d:"mysql" ~f:"SUM" ~cat:"aggregate" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P3_3 ~st:confirmed
+      ~t:(nested_named_typed 0 "JSON_EXTRACT" Ty_json)
+      ~note:"JSON document handle not re-checked when summing extracted values"
+      "json-item";
+    bug ~d:"mysql" ~f:"MAX" ~cat:"aggregate" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P3_3 ~st:confirmed
+      ~t:(nested_named_typed 0 "INET6_ATON" Ty_blob)
+      ~note:"address blobs enter the comparator without a collation object"
+      "inet-blob";
+    bug ~d:"mysql" ~f:"MIN" ~cat:"aggregate" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P3_3 ~st:confirmed
+      ~t:(nested_named_typed 0 "UNHEX" Ty_blob)
+      ~note:"raw UNHEX output bypasses the charset pointer initialisation"
+      "unhex-blob";
+    bug ~d:"mysql" ~f:"STDDEV" ~cat:"aggregate" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P3_3 ~st:confirmed
+      ~t:(nested_named_typed 0 "FROM_BASE64" Ty_blob)
+      ~note:"binary input reaches the variance state without a numeric view"
+      "base64-blob";
+    bug ~d:"mysql" ~f:"GROUP_CONCAT" ~cat:"aggregate" ~k:Bug_kind.Segv
+      ~p:Pattern_id.P2_1 ~st:confirmed
+      ~t:(cast_to_type 0 Ty_blob)
+      ~note:"explicitly cast BLOB rows skip the string-converter setup"
+      "blob-cast";
+    bug ~d:"mysql" ~f:"DATE_FORMAT" ~cat:"date" ~k:Bug_kind.Segv
+      ~p:Pattern_id.P3_3 ~st:confirmed
+      ~t:(nested_named_typed 0 "FROM_UNIXTIME" Ty_datetime)
+      ~note:"internal datetime from FROM_UNIXTIME misses the timezone slot"
+      "unixtime-chain";
+    bug ~d:"mysql" ~f:"ST_ASTEXT" ~cat:"spatial" ~k:Bug_kind.Uaf
+      ~p:Pattern_id.P3_3 ~st:confirmed
+      ~t:(nested_named_typed 0 "CENTROID" Ty_geometry)
+      ~note:"centroid's temporary geometry is freed before serialization"
+      "centroid-chain";
+    bug ~d:"mysql" ~f:"INSERT" ~cat:"string" ~k:Bug_kind.Hbof
+      ~p:Pattern_id.P3_2 ~st:confirmed
+      ~t:(wrapped_result 3 [ Type_is Ty_str; Str_len_ge 32 ])
+      ~note:"replacement strings from digest functions overflow the splice \
+             buffer sized for the original literal"
+      "digest-splice";
+    bug ~d:"mysql" ~f:"LPAD" ~cat:"string" ~k:Bug_kind.Hbof
+      ~p:Pattern_id.P3_3 ~st:confirmed
+      ~t:(nested_named 2 "SPACE")
+      ~note:"pad strings produced by SPACE bypass the length re-check"
+      "space-pad";
+    bug ~d:"mysql" ~f:"SLEEP" ~cat:"system" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P3_3
+      ~t:(nested_named 0 "ASCII")
+      ~note:"integer durations from ASCII arrive without an Item context"
+      "ascii-duration";
+    bug ~d:"mysql" ~f:"SLEEP" ~cat:"system" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P3_3 ~st:confirmed
+      ~t:(nested_named 0 "CRC32")
+      ~note:"unsigned checksum values overflow the signed duration slot"
+      "crc32-duration";
+    bug ~d:"mysql" ~f:"BENCHMARK" ~cat:"system" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P3_3 ~st:confirmed
+      ~t:(nested_named 1 "UUID")
+      ~note:"non-constant benchmark body from UUID lacks a cached item tree"
+      "uuid-body";
+    bug ~d:"mysql" ~f:"BENCHMARK" ~cat:"system" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P3_3 ~st:confirmed
+      ~t:(nested_named 0 "BIT_COUNT")
+      ~note:"loop counts from BIT_COUNT skip the range normalisation"
+      "bitcount-loops";
+    bug ~d:"mysql" ~f:"BENCHMARK" ~cat:"system" ~k:Bug_kind.Hbof
+      ~p:Pattern_id.P3_2 ~st:confirmed
+      ~t:(wrapped_result 0 [ Type_is Ty_dec ])
+      ~note:"decimal loop counts are copied into a fixed int buffer"
+      "decimal-count";
+    bug ~d:"mysql" ~f:"UPDATEXML" ~cat:"xml" ~k:Bug_kind.Uaf
+      ~p:Pattern_id.P3_2 ~st:confirmed
+      ~t:(wrapped_result 0 [ Type_is Ty_str; Str_contains "<" ])
+      ~note:"re-wrapped XML text reuses the parse arena of the inner call"
+      "rewrapped-doc";
+  ]
+
+(* ----- MariaDB: 24 bugs ----- *)
+
+let mariadb =
+  [
+    bug ~d:"mariadb" ~f:"AVG" ~cat:"aggregate" ~k:Bug_kind.Segv
+      ~p:Pattern_id.P1_2 ~st:confirmed ~t:star_arg
+      ~note:"the bare '*' argument is dereferenced as an Item pointer"
+      "star-arg";
+    bug ~d:"mariadb" ~f:"SUM" ~cat:"aggregate" ~k:Bug_kind.Segv
+      ~p:Pattern_id.P1_2 ~st:confirmed
+      ~t:(Arg_at (0, All_of [ From_literal; Scale_ge 25 ]))
+      ~note:"accumulator scale table indexed past its 24-entry bound"
+      "deep-scale";
+    bug ~d:"mariadb" ~f:"GROUP_CONCAT" ~cat:"aggregate" ~k:Bug_kind.So
+      ~p:Pattern_id.P1_2 ~st:confirmed ~t:(empty_string 0)
+      ~note:"empty-string rows recurse through the separator fast path"
+      "empty-row";
+    bug ~d:"mariadb" ~f:"STDDEV" ~cat:"aggregate" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P2_2 ~st:confirmed ~t:(union_arg 0 [ Is_null ])
+      ~note:"NULL arriving through UNION coercion skips the null-bitmap \
+             setup of the variance state"
+      "union-null";
+    bug ~d:"mariadb" ~f:"IFNULL" ~cat:"condition" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P2_2 ~st:confirmed ~t:(union_arg 0 [ Is_null ])
+      ~note:"the UNION-typed NULL carries a broken field descriptor \
+             (MDEV-11030 shape)"
+      "union-null";
+    bug ~d:"mariadb" ~f:"LAST_DAY" ~cat:"date" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P1_2 ~st:confirmed ~t:(null_literal 0)
+      ~note:"NULL literal reaches the month-table lookup before the null \
+             check"
+      "null-date";
+    bug ~d:"mariadb" ~f:"DATE_FORMAT" ~cat:"date" ~k:Bug_kind.Gbof
+      ~p:Pattern_id.P2_3 ~st:confirmed ~t:(format_mismatch 1 "$")
+      ~note:"JSON-path text in the format slot walks past the specifier \
+             table"
+      "path-as-format";
+    bug ~d:"mariadb" ~f:"DATEDIFF" ~cat:"date" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P3_3 ~st:confirmed
+      ~t:(nested_named_typed 0 "FROM_DAYS" Ty_date)
+      ~note:"dates built by FROM_DAYS skip the zero-date normalisation"
+      "fromdays-chain";
+    bug ~d:"mariadb" ~f:"JSON_VALID" ~cat:"json" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P1_4 ~st:confirmed ~t:(char_run 0 6)
+      ~note:"runs of repeated structural characters collapse the token \
+             lookahead to a null state"
+      "char-run";
+    bug ~d:"mariadb" ~f:"JSON_DEPTH" ~cat:"json" ~k:Bug_kind.Af
+      ~p:Pattern_id.P1_4 ~st:confirmed ~t:(char_run 0 8)
+      ~note:"depth counter asserts on unbalanced repeated openers"
+      "char-run";
+    bug ~d:"mariadb" ~f:"JSON_EXTRACT" ~cat:"json" ~k:Bug_kind.Segv
+      ~p:Pattern_id.P2_3 ~st:confirmed ~t:(format_mismatch 1 "%")
+      ~note:"date-format text in the path slot is executed as a path \
+             program"
+      "format-as-path";
+    bug ~d:"mariadb" ~f:"JSON_LENGTH" ~cat:"json" ~k:Bug_kind.Gbof
+      ~p:Pattern_id.P3_1 ~st:confirmed ~t:(repeat_blowup 0 200)
+      ~note:"REPEAT-built nested arrays overflow the global level stack \
+             (paper case 5)"
+      "repeat-array";
+    bug ~d:"mariadb" ~f:"JSON_QUOTE" ~cat:"json" ~k:Bug_kind.Gbof
+      ~p:Pattern_id.P3_1 ~st:confirmed ~t:(repeat_blowup 0 1000)
+      ~note:"escape buffer sized for the original literal, not the \
+             REPEAT-expanded one"
+      "repeat-escape";
+    bug ~d:"mariadb" ~f:"JSON_UNQUOTE" ~cat:"json" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P3_3 ~st:confirmed ~t:(nested_named 0 "HEX")
+      ~note:"hex output re-parsed as JSON without a document context"
+      "hex-chain";
+    bug ~d:"mariadb" ~f:"NEXTVAL" ~cat:"sequence" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P3_3 ~st:confirmed ~t:(nested_named 0 "QUOTE")
+      ~note:"quoted sequence names miss the catalog handle"
+      "quoted-name";
+    bug ~d:"mariadb" ~f:"ST_ASTEXT" ~cat:"spatial" ~k:Bug_kind.Segv
+      ~p:Pattern_id.P3_3
+      ~t:(nested_named_typed 0 "INET6_ATON" Ty_blob)
+      ~note:"address bytes from INET6_ATON decoded as WKB without \
+             validation (paper case 6)"
+      "inet-wkb";
+    bug ~d:"mariadb" ~f:"BOUNDARY" ~cat:"spatial" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P3_3
+      ~t:(nested_named_typed 0 "INET6_ATON" Ty_blob)
+      ~note:"boundary computation on a non-geometry blob (paper case 6)"
+      "inet-boundary";
+    bug ~d:"mariadb" ~f:"ST_NUMPOINTS" ~cat:"spatial" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P3_3
+      ~t:(nested_named_typed 0 "UNHEX" Ty_blob)
+      ~note:"point counting walks an unvalidated byte string"
+      "unhex-wkb";
+    bug ~d:"mariadb" ~f:"CENTROID" ~cat:"spatial" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P3_3 ~st:confirmed
+      ~t:(nested_named_typed 0 "ST_ASBINARY" Ty_blob)
+      ~note:"WKB round trip drops the SRID header the centroid reader \
+             expects"
+      "wkb-roundtrip";
+    bug ~d:"mariadb" ~f:"ENVELOPE" ~cat:"spatial" ~k:Bug_kind.So
+      ~p:Pattern_id.P3_2 ~st:confirmed
+      ~t:(wrapped_result 0 [ Type_is Ty_blob ])
+      ~note:"binary-wrapped geometries re-enter the envelope recursion"
+      "wrapped-blob";
+    bug ~d:"mariadb" ~f:"FORMAT" ~cat:"string" ~k:Bug_kind.Hbof
+      ~p:Pattern_id.P1_2
+      ~t:
+        (Fault.And_
+           [
+             Arg_at (1, All_of [ From_literal; Abs_int_ge 32L ]);
+             (* the overflow needs the locale-specific rendering path *)
+             Arg_at (2, All_of [ Type_is Ty_str; Str_contains "de" ]);
+           ])
+      ~note:
+        "String::set_real switches to scientific notation past 31 digits, \
+         leaving the locale-formatted fraction buffer short (MDEV-23415)"
+      "digits-31";
+    bug ~d:"mariadb" ~f:"REGEXP_REPLACE" ~cat:"string" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P1_2 ~st:confirmed ~t:(empty_string 1)
+      ~note:"the empty pattern compiles to a null program pointer"
+      "empty-pattern";
+    bug ~d:"mariadb" ~f:"REPLACE" ~cat:"string" ~k:Bug_kind.So
+      ~p:Pattern_id.P3_1 ~st:confirmed ~t:(repeat_blowup 0 2000)
+      ~note:"REPEAT-expanded subjects recurse per occurrence"
+      "repeat-subject";
+    bug ~d:"mariadb" ~f:"LPAD" ~cat:"string" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P3_3 ~st:confirmed ~t:(nested_named 1 "BIT_LENGTH")
+      ~note:"width from BIT_LENGTH bypasses the sign normalisation"
+      "bitlength-width";
+  ]
+
+(* ----- ClickHouse: 6 bugs ----- *)
+
+let clickhouse =
+  [
+    bug ~d:"clickhouse" ~f:"SUM" ~cat:"aggregate" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P1_2
+      ~t:(Arg_at (0, All_of [ From_literal; Precision_ge 30 ]))
+      ~note:"wide decimal literals select a null accumulator column"
+      "wide-decimal";
+    bug ~d:"clickhouse" ~f:"ARRAY_ELEMENT" ~cat:"array" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P2_3
+      ~t:(Arg_at (1, All_of [ Type_is Ty_str; Str_contains "$" ]))
+      ~note:"JSON-path text in the index slot dereferences a null column"
+      "path-as-index";
+    bug ~d:"clickhouse" ~f:"FROM_DAYS" ~cat:"date" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P1_2
+      ~t:(Arg_at (0, All_of [ From_literal; Abs_int_ge 100000000L ]))
+      ~note:"day numbers beyond the LUT return a null date entry"
+      "huge-days";
+    bug ~d:"clickhouse" ~f:"TODECIMALSTRING" ~cat:"string" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P1_2 ~t:star_arg
+      ~note:
+        "the '*' argument yields a null precision column (issue #52407, \
+         the paper's opening bug)"
+      "star-precision";
+    bug ~d:"clickhouse" ~f:"REPLACE" ~cat:"string" ~k:Bug_kind.Segv
+      ~p:Pattern_id.P2_3 ~t:(format_mismatch 1 "%Y")
+      ~note:"date-format specifiers in the needle corrupt the offsets \
+             column"
+      "format-needle";
+    bug ~d:"clickhouse" ~f:"SUBSTRING" ~cat:"string" ~k:Bug_kind.Segv
+      ~p:Pattern_id.P3_1 ~t:(repeat_blowup 0 5000)
+      ~note:"REPEAT-built subjects overflow the chunked offset math"
+      "repeat-subject";
+  ]
+
+(* ----- MonetDB: 19 bugs ----- *)
+
+let monetdb =
+  [
+    bug ~d:"monetdb" ~f:"AVG" ~cat:"aggregate" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P1_2 ~t:star_arg
+      ~note:"'*' produces a nil BAT descriptor" "star-arg";
+    bug ~d:"monetdb" ~f:"SUM" ~cat:"aggregate" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P2_1 ~t:(cast_to_type 0 Ty_blob)
+      ~note:"BLOB-cast inputs produce a typeless aggregate plan" "blob-cast";
+    bug ~d:"monetdb" ~f:"MIN" ~cat:"aggregate" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P2_2 ~t:(union_arg 0 [ Is_null ])
+      ~note:"UNION-coerced NULL skips the nil-candidate list" "union-null";
+    bug ~d:"monetdb" ~f:"MAX" ~cat:"aggregate" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P2_2 ~t:(union_arg 0 [ Type_is Ty_str ])
+      ~note:"string columns synthesized by UNION lack a tail heap" "union-str";
+    bug ~d:"monetdb" ~f:"COUNT" ~cat:"aggregate" ~k:Bug_kind.Segv
+      ~p:Pattern_id.P2_3
+      ~t:(Arg_at (0, All_of [ Type_is Ty_str; From_literal; Str_contains "-" ]))
+      ~note:"date text in the count slot is scanned as a candidate list"
+      "date-arg";
+    bug ~d:"monetdb" ~f:"STDDEV" ~cat:"aggregate" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P2_3 ~t:(format_mismatch 0 "{")
+      ~note:"JSON text reaches the numeric variance kernel" "json-arg";
+    bug ~d:"monetdb" ~f:"VARIANCE" ~cat:"aggregate" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P3_3 ~t:(nested_named_typed 0 "JSON_KEYS" Ty_json)
+      ~note:"JSON arrays from JSON_KEYS enter the numeric kernel" "json-keys";
+    bug ~d:"monetdb" ~f:"IFNULL" ~cat:"condition" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P2_2 ~t:(union_arg 1 [ Is_null ])
+      ~note:"fallback value typed by UNION carries a nil descriptor"
+      "union-fallback";
+    bug ~d:"monetdb" ~f:"NULLIF" ~cat:"condition" ~k:Bug_kind.Segv
+      ~p:Pattern_id.P3_2 ~t:(wrapped_result 0 [ Type_is Ty_float ])
+      ~note:"float results re-enter the equality kernel untyped"
+      "float-wrap";
+    bug ~d:"monetdb" ~f:"COALESCE" ~cat:"condition" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P3_3 ~t:(nested_named 0 "PI")
+      ~note:"argument-less function results miss the null-mask column"
+      "pi-chain";
+    bug ~d:"monetdb" ~f:"MOD" ~cat:"math" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P2_2 ~t:(union_arg 1 [ Type_is Ty_int ])
+      ~note:"modulus typed through UNION loses its zero guard" "union-mod";
+    bug ~d:"monetdb" ~f:"LENGTH" ~cat:"string" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P1_2 ~t:(empty_string 0)
+      ~note:"the empty string maps to a nil heap pointer" "empty";
+    bug ~d:"monetdb" ~f:"UPPER" ~cat:"string" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P1_3 ~t:(digit_run 0)
+      ~note:"spliced digit runs defeat the UTF-8 width precount" "digit-run";
+    bug ~d:"monetdb" ~f:"LOWER" ~cat:"string" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P1_4 ~t:(char_run 0 6)
+      ~note:"repeated-character runs collapse the case-mapping cache"
+      "char-run";
+    bug ~d:"monetdb" ~f:"TRIM" ~cat:"string" ~k:Bug_kind.Hbof
+      ~p:Pattern_id.P2_3 ~t:(format_mismatch 0 "{")
+      ~note:"JSON text in the subject slot overruns the trim window"
+      "json-subject";
+    bug ~d:"monetdb" ~f:"INSTR" ~cat:"string" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P2_3 ~t:(format_mismatch 1 "$")
+      ~note:"path text as needle dereferences the pattern cache" "path-needle";
+    bug ~d:"monetdb" ~f:"LPAD" ~cat:"string" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P2_3 ~t:(format_mismatch 0 "{")
+      ~note:"JSON subject defeats the pad-width estimation" "json-subject";
+    bug ~d:"monetdb" ~f:"SLEEP" ~cat:"system" ~k:Bug_kind.Segv
+      ~p:Pattern_id.P1_2
+      ~t:(Arg_at (0, All_of [ From_literal; Abs_int_ge 99999L ]))
+      ~note:"durations past the tick table index out of bounds" "huge-sleep";
+    bug ~d:"monetdb" ~f:"BENCHMARK" ~cat:"system" ~k:Bug_kind.Dbz
+      ~p:Pattern_id.P2_3 ~t:(format_mismatch 1 "%")
+      ~note:"format text as body divides by a zero iteration width"
+      "format-body";
+  ]
+
+(* ----- DuckDB: 21 bugs ----- *)
+
+let duckdb =
+  [
+    bug ~d:"duckdb" ~f:"ARRAY_LENGTH" ~cat:"array" ~k:Bug_kind.Af
+      ~p:Pattern_id.P1_2 ~t:star_arg
+      ~note:"'*' asserts in the list-vector binder" "star-arg";
+    bug ~d:"duckdb" ~f:"ARRAY_ELEMENT" ~cat:"array" ~k:Bug_kind.Af
+      ~p:Pattern_id.P1_2
+      ~t:(Arg_at (1, All_of [ From_literal; Abs_int_ge 99999L ]))
+      ~note:"selection vector asserts on out-of-band indexes" "huge-index";
+    bug ~d:"duckdb" ~f:"ARRAY_SLICE" ~cat:"array" ~k:Bug_kind.Af
+      ~p:Pattern_id.P1_2
+      ~t:(Arg_at (1, All_of [ From_literal; Abs_int_ge 99999L ]))
+      ~note:"slice start beyond the child vector asserts" "huge-start";
+    bug ~d:"duckdb" ~f:"ARRAY_SLICE" ~cat:"array" ~k:Bug_kind.Hbof
+      ~p:Pattern_id.P1_2
+      ~t:(Arg_at (2, All_of [ From_literal; Abs_int_ge 99999L ]))
+      ~note:"slice length is added to the base pointer unchecked" "huge-len";
+    bug ~d:"duckdb" ~f:"ARRAY_POSITION" ~cat:"array" ~k:Bug_kind.Af
+      ~p:Pattern_id.P1_2 ~t:(null_literal 1)
+      ~note:"NULL needle asserts in the equality dispatch" "null-needle";
+    bug ~d:"duckdb" ~f:"ARRAY_CONTAINS" ~cat:"array" ~k:Bug_kind.Af
+      ~p:Pattern_id.P1_2 ~t:(null_literal 1)
+      ~note:"NULL needle asserts in the contains kernel" "null-needle";
+    bug ~d:"duckdb" ~f:"ARRAY_JOIN" ~cat:"array" ~k:Bug_kind.Hbof
+      ~p:Pattern_id.P1_2 ~t:(empty_string 1)
+      ~note:"empty separator miscounts the result reservation" "empty-sep";
+    bug ~d:"duckdb" ~f:"ARRAY_APPEND" ~cat:"array" ~k:Bug_kind.Hbof
+      ~p:Pattern_id.P1_4 ~t:(char_run 1 6)
+      ~note:"repeated-character payloads break the string-heap dedup"
+      "char-run";
+    bug ~d:"duckdb" ~f:"ARRAY_CONCAT" ~cat:"array" ~k:Bug_kind.So
+      ~p:Pattern_id.P2_2 ~t:(union_arg 0 [ Type_is Ty_array ])
+      ~note:"UNION-typed list operands recurse in the binder (paper case 4 \
+             shape)"
+      "union-list";
+    bug ~d:"duckdb" ~f:"DATE_ADD" ~cat:"date" ~k:Bug_kind.So
+      ~p:Pattern_id.P3_1 ~t:(repeat_blowup 0 2000)
+      ~note:"REPEAT-expanded date text recurses in the cast binder"
+      "repeat-date";
+    bug ~d:"duckdb" ~f:"MAP_KEYS" ~cat:"map" ~k:Bug_kind.Hbof
+      ~p:Pattern_id.P1_2 ~t:star_arg
+      ~note:"'*' reads the key vector of an absent map" "star-arg";
+    bug ~d:"duckdb" ~f:"ELEMENT_AT" ~cat:"map" ~k:Bug_kind.Af
+      ~p:Pattern_id.P1_2 ~t:(null_literal 1)
+      ~note:"NULL key asserts in the map probe" "null-key";
+    bug ~d:"duckdb" ~f:"MAP_CONTAINS" ~cat:"map" ~k:Bug_kind.Hbof
+      ~p:Pattern_id.P2_1 ~t:(cast_arg 1 [ Type_is Ty_blob ])
+      ~note:"BLOB-cast keys hash past the probe buffer" "blob-key";
+    bug ~d:"duckdb" ~f:"JSON_DEPTH" ~cat:"json" ~k:Bug_kind.Af
+      ~p:Pattern_id.P1_2 ~t:(empty_string 0)
+      ~note:"the empty document asserts in the depth scanner" "empty-doc";
+    bug ~d:"duckdb" ~f:"ROUND" ~cat:"math" ~k:Bug_kind.Af
+      ~p:Pattern_id.P1_2
+      ~t:(Arg_at (1, All_of [ From_literal; Abs_int_ge 9999L ]))
+      ~note:"precision beyond the power table asserts" "huge-places";
+    bug ~d:"duckdb" ~f:"POWER" ~cat:"math" ~k:Bug_kind.Hbof
+      ~p:Pattern_id.P2_1 ~t:(cast_arg 0 [ Scale_ge 10 ])
+      ~note:"DECIMAL-cast bases widen past the exponent buffer" "decimal-base";
+    bug ~d:"duckdb" ~f:"REVERSE" ~cat:"string" ~k:Bug_kind.Af
+      ~p:Pattern_id.P1_2 ~t:(empty_string 0)
+      ~note:"empty input asserts in the grapheme iterator" "empty";
+    bug ~d:"duckdb" ~f:"LEFT" ~cat:"string" ~k:Bug_kind.Af
+      ~p:Pattern_id.P1_3 ~t:(digit_run 0)
+      ~note:"spliced digit runs defeat the prefix width cache" "digit-run";
+    bug ~d:"duckdb" ~f:"REPEAT" ~cat:"string" ~k:Bug_kind.Segv
+      ~p:Pattern_id.P3_1 ~t:(repeat_blowup 0 10000)
+      ~note:"nested REPEAT output overflows the chunk allocator" "nested-repeat";
+    bug ~d:"duckdb" ~f:"RIGHT" ~cat:"string" ~k:Bug_kind.Segv
+      ~p:Pattern_id.P3_3 ~t:(nested_named 1 "CHAR_LENGTH")
+      ~note:"widths from CHAR_LENGTH bypass the byte/char distinction"
+      "charlen-width";
+    bug ~d:"duckdb" ~f:"TYPEOF" ~cat:"system" ~k:Bug_kind.Af
+      ~p:Pattern_id.P2_1 ~t:(cast_arg 0 [ Type_is Ty_blob ])
+      ~note:"BLOB-cast arguments assert in the logical-type printer"
+      "blob-cast";
+  ]
+
+(* ----- Virtuoso: 45 bugs ----- *)
+
+let virtuoso =
+  [
+    bug ~d:"virtuoso" ~f:"AVG" ~cat:"aggregate" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P1_2 ~t:star_arg
+      ~note:"'*' dereferenced as a column box" "star-arg";
+    bug ~d:"virtuoso" ~f:"SUM" ~cat:"aggregate" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P3_2 ~t:(wrapped_result 0 [ Type_is Ty_float ])
+      ~note:"float boxes from wrapping math functions lose their tag"
+      "float-box";
+    bug ~d:"virtuoso" ~f:"MIN" ~cat:"aggregate" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P3_3 ~t:(nested_named_typed 0 "INET6_ATON" Ty_blob)
+      ~note:"address blobs compare against an uninitialised box" "inet-blob";
+    bug ~d:"virtuoso" ~f:"MAX" ~cat:"aggregate" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P3_3 ~t:(nested_named_typed 0 "UNHEX" Ty_blob)
+      ~note:"raw blobs skip the collation box" "unhex-blob";
+    bug ~d:"virtuoso" ~f:"COUNT" ~cat:"aggregate" ~k:Bug_kind.Segv
+      ~p:Pattern_id.P3_3 ~t:(nested_named 0 "UUID")
+      ~note:"session UUID boxes are miscounted as wide strings" "uuid-count";
+    bug ~d:"virtuoso" ~f:"CONVERT" ~cat:"casting" ~k:Bug_kind.Af
+      ~p:Pattern_id.P1_2 ~t:(null_literal 0)
+      ~note:"NULL source asserts in the dtp dispatch" "null-src";
+    bug ~d:"virtuoso" ~f:"CONV" ~cat:"casting" ~k:Bug_kind.Af
+      ~p:Pattern_id.P1_2
+      ~t:(Arg_at (1, All_of [ From_literal; Abs_int_ge 99L ]))
+      ~note:"radix beyond 36 asserts in the digit table" "huge-radix";
+    bug ~d:"virtuoso" ~f:"IF" ~cat:"condition" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P3_3 ~t:(nested_named 0 "ISNULL")
+      ~note:"ISNULL's int box reaches the condition slot untagged"
+      "isnull-cond";
+    bug ~d:"virtuoso" ~f:"NULLIF" ~cat:"condition" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P3_3 ~t:(nested_named_typed 0 "INET6_ATON" Ty_blob)
+      ~note:"blob equality dereferences a nil comparer" "inet-eq";
+    bug ~d:"virtuoso" ~f:"COALESCE" ~cat:"condition" ~k:Bug_kind.Segv
+      ~p:Pattern_id.P3_3 ~t:(nested_named 0 "QUOTE")
+      ~note:"quoted boxes are unboxed twice in the chain walk" "quote-chain";
+    bug ~d:"virtuoso" ~f:"SQRT" ~cat:"math" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P1_2
+      ~t:(Arg_at (0, All_of [ From_literal; Precision_ge 25 ]))
+      ~note:"wide numerics downcast to a nil double box" "wide-numeric";
+    bug ~d:"virtuoso" ~f:"FLOOR" ~cat:"math" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P1_2 ~t:(deep_scale 0 25)
+      ~note:"deep scales underflow the rounding box" "deep-scale";
+    bug ~d:"virtuoso" ~f:"CEIL" ~cat:"math" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P2_1 ~t:(cast_arg 0 [ Type_is Ty_str ])
+      ~note:"string-cast numerics reach the ceil kernel as boxes"
+      "string-cast";
+    bug ~d:"virtuoso" ~f:"ABS" ~cat:"math" ~k:Bug_kind.Segv
+      ~p:Pattern_id.P2_2 ~t:(union_arg 0 [ Is_null ])
+      ~note:"UNION-typed NULL flows into the sign test" "union-null";
+    bug ~d:"virtuoso" ~f:"MOD" ~cat:"math" ~k:Bug_kind.Dbz
+      ~p:Pattern_id.P2_3 ~t:(format_mismatch 1 "/a/")
+      ~note:"XPath text parses as a zero modulus" "path-mod";
+    bug ~d:"virtuoso" ~f:"ST_X" ~cat:"spatial" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P1_2 ~t:(null_literal 0)
+      ~note:"NULL geometry dereferenced for its x slot" "null-geo";
+    bug ~d:"virtuoso" ~f:"ST_Y" ~cat:"spatial" ~k:Bug_kind.Segv
+      ~p:Pattern_id.P2_1 ~t:(cast_arg 0 [ Type_is Ty_blob ])
+      ~note:"BLOB-cast geometries are read as point structs" "blob-geo";
+    bug ~d:"virtuoso" ~f:"LENGTH" ~cat:"string" ~k:Bug_kind.Segv
+      ~p:Pattern_id.P1_2 ~t:star_arg
+      ~note:"'*' measured as a wide string box (paper case 2 shape)"
+      "star-arg";
+    bug ~d:"virtuoso" ~f:"CONTAINS" ~cat:"string" ~k:Bug_kind.Segv
+      ~p:Pattern_id.P1_2 ~t:star_arg
+      ~note:"the '*' option argument is dereferenced as an option list \
+             (paper case 2)"
+      "star-option";
+    bug ~d:"virtuoso" ~f:"SUBSTRING" ~cat:"string" ~k:Bug_kind.Segv
+      ~p:Pattern_id.P1_2
+      ~t:(Arg_at (1, All_of [ From_literal; Abs_int_ge 99999L ]))
+      ~note:"huge start offsets index past the box" "huge-start";
+    bug ~d:"virtuoso" ~f:"LOWER" ~cat:"string" ~k:Bug_kind.Segv
+      ~p:Pattern_id.P1_2 ~t:(empty_string 0)
+      ~note:"empty boxes carry a nil data pointer" "empty";
+    bug ~d:"virtuoso" ~f:"UPPER" ~cat:"string" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P1_2 ~t:(empty_string 0)
+      ~note:"empty boxes carry a nil data pointer" "empty";
+    bug ~d:"virtuoso" ~f:"REPLACE" ~cat:"string" ~k:Bug_kind.Segv
+      ~p:Pattern_id.P2_3 ~t:(format_mismatch 2 "<")
+      ~note:"XML text as replacement walks the tag table" "xml-replacement";
+    bug ~d:"virtuoso" ~f:"SUBSTR" ~cat:"string" ~k:Bug_kind.So
+      ~p:Pattern_id.P3_1 ~t:(repeat_blowup 0 3000)
+      ~note:"REPEAT-expanded subjects recurse in the box copier"
+      "repeat-subject";
+    bug ~d:"virtuoso" ~f:"TRIM" ~cat:"string" ~k:Bug_kind.Segv
+      ~p:Pattern_id.P3_1 ~t:(repeat_blowup 0 3000)
+      ~note:"trim window overflows on REPEAT-expanded subjects"
+      "repeat-subject";
+    bug ~d:"virtuoso" ~f:"CONCAT_WS" ~cat:"string" ~k:Bug_kind.Uaf
+      ~p:Pattern_id.P3_1 ~t:(repeat_blowup 1 3000)
+      ~note:"separator-expanded pieces reuse a freed scratch box"
+      "repeat-piece";
+    bug ~d:"virtuoso" ~f:"REVERSE" ~cat:"string" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P3_2 ~t:(wrapped_result 0 [ Type_is Ty_str; Str_len_ge 32 ])
+      ~note:"digest-width strings from wrapping functions lose the length \
+             header"
+      "digest-wrap";
+    bug ~d:"virtuoso" ~f:"UPDATEXML" ~cat:"xml" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P1_2 ~t:(empty_string 1)
+      ~note:"the empty XPath compiles to a nil program" "empty-xpath";
+    bug ~d:"virtuoso" ~f:"EXTRACTVALUE" ~cat:"xml" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P1_2 ~t:(empty_string 1)
+      ~note:"the empty XPath compiles to a nil program" "empty-xpath";
+    bug ~d:"virtuoso" ~f:"XML_VALID" ~cat:"xml" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P1_2 ~t:(empty_string 0)
+      ~note:"the empty document skips the root allocation" "empty-doc";
+    bug ~d:"virtuoso" ~f:"CURRENT_SETTING" ~cat:"system" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P1_2 ~t:(empty_string 0)
+      ~note:"the empty setting name probes a nil hash" "empty-name";
+    bug ~d:"virtuoso" ~f:"CURRENT_SETTING" ~cat:"system" ~k:Bug_kind.Segv
+      ~p:Pattern_id.P1_2 ~t:(null_literal 0)
+      ~note:"NULL names bypass the string guard" "null-name";
+    bug ~d:"virtuoso" ~f:"CURRENT_SETTING" ~cat:"system" ~k:Bug_kind.Segv
+      ~p:Pattern_id.P3_1 ~t:(repeat_blowup 0 1000)
+      ~note:"REPEAT-expanded names overflow the ini-key buffer"
+      "repeat-name";
+    bug ~d:"virtuoso" ~f:"TYPEOF" ~cat:"system" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P1_2 ~t:star_arg
+      ~note:"'*' has no dtp tag to print" "star-arg";
+    bug ~d:"virtuoso" ~f:"TYPEOF" ~cat:"system" ~k:Bug_kind.Segv
+      ~p:Pattern_id.P1_2 ~t:(Arg_at (0, All_of [ From_literal; Scale_ge 20 ]))
+      ~note:"deep-scale numerics overflow the tag name table" "deep-scale";
+    bug ~d:"virtuoso" ~f:"TYPEOF" ~cat:"system" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P3_1 ~t:(repeat_blowup 0 2000)
+      ~note:"REPEAT-built values print through a nil name box" "repeat-arg";
+    bug ~d:"virtuoso" ~f:"PG_TYPEOF" ~cat:"system" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P1_2 ~t:star_arg
+      ~note:"'*' has no type oid" "star-arg";
+    bug ~d:"virtuoso" ~f:"PG_TYPEOF" ~cat:"system" ~k:Bug_kind.Segv
+      ~p:Pattern_id.P1_2 ~t:(null_literal 0)
+      ~note:"NULL literals probe the oid cache with a nil key" "null-arg";
+    bug ~d:"virtuoso" ~f:"PG_TYPEOF" ~cat:"system" ~k:Bug_kind.Hbof
+      ~p:Pattern_id.P3_1 ~t:(repeat_blowup 0 2000)
+      ~note:"type names for REPEAT-expanded values overrun the label buffer"
+      "repeat-arg";
+    bug ~d:"virtuoso" ~f:"SLEEP" ~cat:"system" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P1_2 ~t:(huge_int 0 9999999L)
+      ~note:"durations past the timer range produce a nil timer" "huge";
+    bug ~d:"virtuoso" ~f:"SLEEP" ~cat:"system" ~k:Bug_kind.Segv
+      ~p:Pattern_id.P1_2 ~t:(deep_scale 0 20)
+      ~note:"fractional durations with deep scales misparse" "deep-scale";
+    bug ~d:"virtuoso" ~f:"SLEEP" ~cat:"system" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P1_2 ~t:(null_literal 0)
+      ~note:"NULL durations skip the numeric guard" "null";
+    bug ~d:"virtuoso" ~f:"BENCHMARK" ~cat:"system" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P1_2 ~t:(huge_int 0 999999999L)
+      ~note:"loop counts past the scheduler budget wrap to nil" "huge-loops";
+    bug ~d:"virtuoso" ~f:"BENCHMARK" ~cat:"system" ~k:Bug_kind.Segv
+      ~p:Pattern_id.P1_2 ~t:(null_literal 1)
+      ~note:"NULL bodies are compiled to a nil code box" "null-body";
+    bug ~d:"virtuoso" ~f:"BENCHMARK" ~cat:"system" ~k:Bug_kind.Npd
+      ~p:Pattern_id.P3_3 ~t:(nested_named 1 "VERSION")
+      ~note:"version strings as body recurse into the session box" "version-body";
+  ]
+
+let all = postgresql @ mysql @ mariadb @ clickhouse @ monetdb @ duckdb @ virtuoso
+
+let for_dialect d = List.filter (fun s -> s.Fault.dialect = d) all
+
+(** Expected totals, used by tests and the bench harness. Dialect, family,
+    and status totals match both Table 4 and the §7.3 summary. Kind totals
+    follow Table 4's rows: summing the paper's own table gives HBOF 13 and
+    SO 6 where the §7.3 prose says 12 and 7 — we reproduce the table. *)
+let expected_counts =
+  [
+    ("postgresql", 1); ("mysql", 16); ("mariadb", 24); ("clickhouse", 6);
+    ("monetdb", 19); ("duckdb", 21); ("virtuoso", 45);
+  ]
+
+let expected_kind_counts =
+  [
+    (Bug_kind.Npd, 61); (Bug_kind.Segv, 29); (Bug_kind.Hbof, 13);
+    (Bug_kind.Gbof, 4); (Bug_kind.Uaf, 3); (Bug_kind.So, 6);
+    (Bug_kind.Dbz, 2); (Bug_kind.Af, 14);
+  ]
+
+let expected_family_counts =
+  [ (Pattern_id.Literal, 56); (Pattern_id.Casting, 28); (Pattern_id.Nested, 48) ]
+
+let expected_fixed = 97

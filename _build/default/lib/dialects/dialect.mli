@@ -1,0 +1,36 @@
+(** The seven simulated DBMS profiles. *)
+
+open Sqlfun_value
+open Sqlfun_engine
+
+type profile = {
+  id : string;            (** e.g. ["clickhouse"] *)
+  display : string;       (** e.g. ["ClickHouse"] *)
+  version : string;       (** the version the paper tested *)
+  strictness : Cast.strictness;
+  json_max_depth : int option;
+      (** [None] models the missing recursion budget of CVE-2015-5289 *)
+  functions : string list;
+  seeds : string list;
+}
+
+val all : profile list
+val ids : string list
+val find : string -> profile option
+val find_exn : string -> profile
+
+val registry : profile -> Sqlfun_functions.Registry.t
+(** The profile's function inventory as a registry. *)
+
+val make_engine :
+  ?cov:Sqlfun_coverage.Coverage.t ->
+  ?armed:bool ->
+  ?limits:Sqlfun_functions.Fn_ctx.limits ->
+  profile ->
+  Engine.t
+(** A fresh simulated server. [armed] (default false) enables the
+    profile's injected bugs from {!Bug_ledger}. The seed schema
+    (CREATE/INSERT statements) is pre-loaded. *)
+
+val load_seeds : Engine.t -> profile -> unit
+(** (Re-)execute the seed schema statements; ignores errors. *)

@@ -1,0 +1,154 @@
+(** Per-dialect built-in function inventories.
+
+    Selection is by category with name-level exclusions, mirroring how the
+    real systems differ (MySQL has no arrays, PostgreSQL has no
+    [BENCHMARK], ClickHouse has the richest function surface, MonetDB the
+    smallest). The relative inventory sizes reproduce the shape of the
+    paper's Table 5: clickhouse > postgresql > mysql > mariadb > monetdb. *)
+
+open Sqlfun_functions
+
+let full = All_fns.registry ()
+
+let select ~cats ~exclude =
+  let exclude = List.map String.uppercase_ascii exclude in
+  List.filter_map
+    (fun spec ->
+      if
+        List.mem spec.Func_sig.category cats
+        && not (List.mem spec.Func_sig.name exclude)
+      then Some spec.Func_sig.name
+      else None)
+    (Registry.specs full)
+
+let postgresql =
+  select
+    ~cats:
+      [ "string"; "math"; "aggregate"; "date"; "json"; "array"; "condition";
+        "casting"; "system"; "sequence" ]
+    ~exclude:
+      [
+        "ELT"; "FIELD"; "COLUMN_CREATE"; "COLUMN_JSON"; "COLUMN_GET";
+        "TODECIMALSTRING"; "BENCHMARK"; "SLEEP"; "FROM_UNIXTIME";
+        "UNIX_TIMESTAMP"; "INTERVAL"; "UUID_TO_BIN"; "BIN_TO_UUID"; "CHOOSE";
+        "NVL"; "CONTAINS"; "FROM_BASE64"; "TO_BASE64"; "ISNULL"; "CRC32";
+        "GROUP_CONCAT"; "ELEMENT_AT"; "MID"; "UCASE"; "LCASE"; "SOUNDEX";
+        "EXPORT_SET"; "MAKE_SET"; "CHAR_FN"; "SUBSTRING_INDEX"; "YEARWEEK";
+        "WEEKDAY"; "PERIOD_ADD"; "ADDTIME"; "SUBTIME"; "TIMEDIFF"; "DECODE";
+        "IIF"; "COERCIBILITY"; "CHARSET"; "SQUARE"; "IS_IPV4"; "IS_IPV6";
+      ]
+
+let mysql =
+  select
+    ~cats:
+      [ "string"; "math"; "aggregate"; "date"; "json"; "condition"; "casting";
+        "system"; "spatial"; "xml" ]
+    ~exclude:
+      [
+        "SPLIT_PART"; "INITCAP"; "TRANSLATE"; "STRING_AGG";
+        "JSONB_OBJECT_AGG"; "ARRAY_AGG"; "MEDIAN"; "PG_TYPEOF";
+        "CURRENT_SETTING"; "TYPEOF"; "TODECIMALSTRING"; "COLUMN_CREATE";
+        "COLUMN_JSON"; "COLUMN_GET"; "CHOOSE"; "NVL"; "CONTAINS"; "GCD";
+        "FACTORIAL"; "LOG2"; "CHR"; "XML_VALID"; "REGEXP_SUBSTR"; "TRY_CAST";
+        "IIF"; "DECODE"; "ARRAY_SUM"; "ARRAY_AVG"; "ARRAY_UNION";
+        "ARRAY_INTERSECT"; "LOG1P"; "CBRT"; "LCM"; "JSON_PRETTY"; "TO_CHAR";
+        "SQUARE"; "SINH"; "COSH"; "TANH"; "TOSTRING"; "TONUMBER";
+      ]
+
+let mariadb =
+  select
+    ~cats:
+      [ "string"; "math"; "aggregate"; "date"; "json"; "condition"; "casting";
+        "system"; "spatial"; "xml"; "sequence" ]
+    ~exclude:
+      [
+        "SPLIT_PART"; "INITCAP"; "TRANSLATE"; "STRING_AGG";
+        "JSONB_OBJECT_AGG"; "ARRAY_AGG"; "MEDIAN"; "PG_TYPEOF";
+        "CURRENT_SETTING"; "TYPEOF"; "TODECIMALSTRING"; "CHOOSE"; "NVL";
+        "CONTAINS"; "GCD"; "FACTORIAL"; "LOG2"; "CHR"; "XML_VALID";
+        "REGEXP_INSTR"; "REGEXP_SUBSTR"; "LOCATE"; "TO_BASE64"; "FROM_BASE64";
+        "SHA1"; "BIT_XOR"; "WEEK"; "QUARTER"; "MONTHNAME"; "DAYNAME";
+        "STR_TO_DATE"; "MAKEDATE"; "UUID_TO_BIN"; "BIN_TO_UUID";
+        "FROM_UNIXTIME"; "UNIX_TIMESTAMP"; "TRUNCATE"; "RAND"; "DEGREES";
+        "RADIANS"; "TRY_CAST"; "IIF"; "DECODE"; "ARRAY_SUM"; "ARRAY_AVG";
+        "ARRAY_UNION"; "ARRAY_INTERSECT"; "LOG1P"; "CBRT"; "LCM";
+        "JSON_PRETTY"; "JSON_SEARCH"; "SINH"; "COSH"; "TANH"; "SQUARE";
+        "TO_CHAR"; "COERCIBILITY"; "CHARSET"; "EXPORT_SET"; "SOUNDEX";
+        "TOSTRING"; "TONUMBER";
+      ]
+
+let clickhouse =
+  select
+    ~cats:
+      [ "string"; "math"; "aggregate"; "date"; "json"; "array"; "map";
+        "condition"; "casting"; "system" ]
+    ~exclude:
+      [ "COLUMN_CREATE"; "COLUMN_JSON"; "COLUMN_GET"; "JSONB_OBJECT_AGG";
+        "PG_TYPEOF"; "CURRENT_SETTING" ]
+
+(* MonetDB: an explicit core subset — the smallest inventory. *)
+let monetdb =
+  [
+    "LENGTH"; "CHAR_LENGTH"; "UPPER"; "LOWER"; "CONCAT"; "SUBSTRING";
+    "REPLACE"; "TRIM"; "LTRIM"; "RTRIM"; "REPEAT"; "INSTR"; "LPAD"; "RPAD";
+    "ASCII"; "HEX"; "UNHEX"; "SPACE"; "LEFT"; "RIGHT";
+    "ABS"; "SIGN"; "ROUND"; "CEIL"; "FLOOR"; "SQRT"; "EXP"; "LN"; "LOG10";
+    "POWER"; "MOD"; "PI"; "GREATEST"; "LEAST"; "SIN"; "COS"; "TAN";
+    "COUNT"; "SUM"; "AVG"; "MIN"; "MAX"; "STDDEV"; "VARIANCE"; "MEDIAN";
+    "NOW"; "CURDATE"; "YEAR"; "MONTH"; "DAY"; "HOUR"; "MINUTE"; "SECOND";
+    "DATEDIFF"; "DATE_FORMAT"; "LAST_DAY"; "DAYOFYEAR"; "TO_DAYS";
+    "IFNULL"; "NULLIF"; "COALESCE"; "IF"; "ISNULL";
+    "CONVERT"; "TOSTRING"; "TONUMBER"; "BIN"; "OCT";
+    "JSON_VALID"; "JSON_LENGTH"; "JSON_EXTRACT"; "JSON_OBJECT"; "JSON_KEYS";
+    "VERSION"; "DATABASE"; "SLEEP"; "BENCHMARK"; "CONNECTION_ID";
+  ]
+
+let duckdb =
+  select
+    ~cats:
+      [ "string"; "math"; "aggregate"; "date"; "json"; "array"; "map";
+        "condition"; "casting"; "system" ]
+    ~exclude:
+      [
+        "COLUMN_CREATE"; "COLUMN_JSON"; "COLUMN_GET"; "JSONB_OBJECT_AGG";
+        "SLEEP"; "PG_TYPEOF"; "INET_ATON"; "INET_NTOA"; "INET6_ATON";
+        "INET6_NTOA"; "IS_IPV4"; "IS_IPV6"; "ELT"; "FIELD"; "UPDATEXML";
+        "EXTRACTVALUE"; "XML_VALID"; "GROUP_CONCAT"; "CONTAINS"; "NVL";
+        "CHOOSE"; "UUID_TO_BIN"; "BIN_TO_UUID"; "FROM_UNIXTIME";
+        "UNIX_TIMESTAMP"; "CRC32"; "QUOTE"; "CONV"; "BENCHMARK";
+        "CURRENT_SETTING"; "FOUND_ROWS"; "ROW_COUNT"; "LAST_INSERT_ID";
+        "MID"; "UCASE"; "LCASE"; "SOUNDEX"; "EXPORT_SET"; "MAKE_SET";
+        "CHAR_FN"; "SUBSTRING_INDEX"; "YEARWEEK"; "WEEKDAY"; "PERIOD_ADD";
+        "ADDTIME"; "SUBTIME"; "TIMEDIFF"; "DECODE"; "COERCIBILITY";
+        "CHARSET"; "TO_CHAR";
+      ]
+
+let virtuoso =
+  select
+    ~cats:
+      [ "string"; "math"; "aggregate"; "date"; "condition"; "casting";
+        "system"; "spatial"; "xml" ]
+    ~exclude:
+      [
+        "COLUMN_CREATE"; "COLUMN_JSON"; "COLUMN_GET"; "JSONB_OBJECT_AGG";
+        "TODECIMALSTRING"; "ELT"; "FIELD"; "SPLIT_PART"; "TRANSLATE";
+        "STRING_AGG"; "ARRAY_AGG"; "MEDIAN"; "FROM_UNIXTIME";
+        "UNIX_TIMESTAMP"; "STR_TO_DATE"; "MAKEDATE"; "WEEK"; "QUARTER";
+        "TO_BASE64"; "FROM_BASE64"; "SHA1"; "CRC32"; "BIT_XOR"; "BIT_AND";
+        "BIT_OR"; "UUID_TO_BIN"; "BIN_TO_UUID"; "REGEXP_INSTR";
+        "REGEXP_SUBSTR"; "REGEXP_LIKE"; "MID"; "UCASE"; "LCASE"; "SOUNDEX";
+        "EXPORT_SET"; "MAKE_SET"; "CHAR_FN"; "SUBSTRING_INDEX"; "YEARWEEK";
+        "WEEKDAY"; "PERIOD_ADD"; "ADDTIME"; "SUBTIME"; "TIMEDIFF";
+        "JSON_PRETTY"; "JSON_SEARCH"; "LOG1P"; "CBRT"; "LCM"; "SQUARE";
+        "SINH"; "COSH"; "TANH";
+      ]
+
+let for_dialect = function
+  | "postgresql" -> postgresql
+  | "mysql" -> mysql
+  | "mariadb" -> mariadb
+  | "clickhouse" -> clickhouse
+  | "monetdb" -> monetdb
+  | "duckdb" -> duckdb
+  | "virtuoso" -> virtuoso
+  | other -> invalid_arg ("Inventory.for_dialect: unknown dialect " ^ other)

@@ -1,0 +1,162 @@
+(** Regression-suite-style seed statements per dialect.
+
+    These play the role of the DBMS regression test suites the paper's
+    collector scans: ordinary, passing queries whose function expressions
+    become SOFT's substitution targets (and SQUIRREL's mutation seeds).
+    They deliberately avoid boundary values — a regression suite tests the
+    happy path. *)
+
+let schema =
+  [
+    "CREATE TABLE IF NOT EXISTS items (id INT, name TEXT, price DECIMAL(10,2), added DATE)";
+    "INSERT INTO items VALUES (1, 'apple', 1.50, '2023-01-10'), (2, \
+     'banana', 0.75, '2023-02-14'), (3, 'cherry', 4.20, '2023-03-01')";
+    "CREATE TABLE IF NOT EXISTS logs (ts DATETIME, level TEXT, msg TEXT)";
+    "INSERT INTO logs VALUES ('2023-05-01 10:00:00', 'info', 'started'), \
+     ('2023-05-01 10:05:00', 'warn', 'low disk')";
+  ]
+
+let shared =
+  [
+    "SELECT UPPER(name) FROM items";
+    "SELECT LENGTH(msg) FROM logs";
+    "SELECT CONCAT(name, ': ', price) FROM items";
+    "SELECT SUBSTRING(name, 1, 3) FROM items";
+    "SELECT REPLACE(msg, 'disk', 'memory') FROM logs";
+    "SELECT TRIM('  padded  ')";
+    "SELECT LPAD(name, 10, '.') FROM items";
+    "SELECT REPEAT('ab', 3)";
+    "SELECT ABS(price - 2) FROM items";
+    "SELECT ROUND(price, 1) FROM items";
+    "SELECT SQRT(16)";
+    "SELECT MOD(id, 2) FROM items";
+    "SELECT POWER(2, 8)";
+    "SELECT GREATEST(1, 2, 3)";
+    "SELECT COUNT(*) FROM items";
+    "SELECT SUM(price) FROM items";
+    "SELECT AVG(price) FROM items";
+    "SELECT MIN(added), MAX(added) FROM items";
+    "SELECT level, COUNT(*) FROM logs GROUP BY level";
+    "SELECT YEAR(added), MONTH(added) FROM items";
+    "SELECT DATEDIFF('2023-06-01', added) FROM items";
+    "SELECT DATE_FORMAT(added, '%Y/%m/%d') FROM items";
+    "SELECT LAST_DAY(added) FROM items";
+    "SELECT IFNULL(name, 'unknown') FROM items";
+    "SELECT COALESCE(NULL, name) FROM items";
+    "SELECT NULLIF(id, 2) FROM items";
+    "SELECT IF(price > 1, 'expensive', 'cheap') FROM items";
+    "SELECT CAST(price AS TEXT) FROM items";
+    "SELECT CONVERT(id, CHAR) FROM items";
+    "SELECT HEX(name) FROM items";
+    "SELECT INSTR(msg, 'disk') FROM logs";
+  ]
+
+let json_suite =
+  [
+    "SELECT JSON_VALID('{\"a\": 1}')";
+    "SELECT JSON_LENGTH('[1, 2, 3]')";
+    "SELECT JSON_EXTRACT('{\"a\": [1, 2]}', '$.a[1]')";
+    "SELECT JSON_OBJECT('k', 1)";
+    "SELECT JSON_KEYS('{\"a\": 1, \"b\": 2}')";
+  ]
+
+let array_suite =
+  [
+    "SELECT ARRAY_LENGTH(ARRAY[1, 2, 3])";
+    "SELECT ARRAY_ELEMENT(ARRAY[1, 2, 3], 2)";
+    "SELECT ARRAY_SLICE(ARRAY[1, 2, 3, 4], 2, 2)";
+    "SELECT ARRAY_JOIN(ARRAY['a', 'b'], '-')";
+    "SELECT ARRAY_CONCAT(ARRAY[1], ARRAY[2])";
+  ]
+
+let spatial_suite =
+  [
+    "SELECT ST_ASTEXT(POINT(1, 2))";
+    "SELECT ST_X(POINT(3, 4))";
+    "SELECT ST_NUMPOINTS(ST_GEOMFROMTEXT('LINESTRING(0 0, 1 1)'))";
+    "SELECT BOUNDARY(ST_GEOMFROMTEXT('LINESTRING(0 0, 5 5)'))";
+  ]
+
+let xml_suite =
+  [
+    "SELECT UPDATEXML('<a><c></c></a>', '/a/c[1]', '<b></b>')";
+    "SELECT EXTRACTVALUE('<a><b>x</b></a>', '/a/b')";
+  ]
+
+let inet_suite =
+  [
+    "SELECT INET_ATON('10.0.0.1')";
+    "SELECT INET6_NTOA(INET6_ATON('::1'))";
+    "SELECT IS_IPV4('1.2.3.4')";
+  ]
+
+let for_dialect = function
+  | "postgresql" ->
+    schema @ shared @ json_suite @ array_suite
+    @ [ "SELECT INET_ATON('10.0.0.1')"; "SELECT INET6_NTOA(INET6_ATON('::1'))" ]
+    @ [
+        "SELECT SPLIT_PART('a,b,c', ',', 2)";
+        "SELECT INITCAP('hello world')";
+        "SELECT TRANSLATE('12345', '143', 'ax')";
+        "SELECT JSONB_OBJECT_AGG(name, id) FROM items";
+        "SELECT STRING_AGG(name) FROM items";
+      ]
+  | "mysql" ->
+    schema @ shared @ json_suite @ spatial_suite @ xml_suite @ inet_suite
+    @ [
+        "SELECT ELT(2, 'a', 'b', 'c')";
+        "SELECT FIELD('b', 'a', 'b')";
+        "SELECT FROM_UNIXTIME(1684300000)";
+        "SELECT BENCHMARK(10, 1)";
+        "SELECT SLEEP(0)";
+        "SELECT FROM_BASE64(TO_BASE64('abc'))";
+        "SELECT CRC32(name) FROM items";
+      ]
+  | "mariadb" ->
+    schema @ shared @ json_suite @ spatial_suite @ xml_suite @ inet_suite
+    @ [
+        "SELECT COLUMN_JSON(COLUMN_CREATE('x', 1))";
+        "SELECT NEXTVAL('seq1')";
+        "SELECT FORMAT(1234.5678, 2)";
+        "SELECT REGEXP_REPLACE('a1b2', '[0-9]', '#')";
+        "SELECT FROM_DAYS(738000)";
+        "SELECT BIT_LENGTH('ab')";
+      ]
+  | "clickhouse" ->
+    schema @ shared @ json_suite @ array_suite
+    @ [
+        "SELECT TODECIMALSTRING(3.14159, 2)";
+        "SELECT MAP_KEYS(MAP_FROM_ARRAYS(ARRAY['a'], ARRAY[1]))";
+        "SELECT ELEMENT_AT(MAP_FROM_ARRAYS(ARRAY['a'], ARRAY[1]), 'a')";
+        "SELECT RANGE(5)";
+        "SELECT FROM_DAYS(738000)";
+      ]
+  | "monetdb" ->
+    schema @ shared @ json_suite
+    @ [ "SELECT PI()"; "SELECT VARIANCE(price) FROM items"; "SELECT SLEEP(0)";
+        "SELECT BENCHMARK(10, 1)" ]
+  | "duckdb" ->
+    schema @ shared @ json_suite @ array_suite
+    @ [
+        "SELECT TYPEOF(1.5)";
+        "SELECT MAP_CONTAINS(MAP_FROM_ARRAYS(ARRAY['a'], ARRAY[1]), 'a')";
+        "SELECT DATE_ADD('2023-01-01', INTERVAL 1 DAY)";
+        "SELECT LEFT(name, 2) FROM items";
+        "SELECT RIGHT(name, 2) FROM items";
+        "SELECT REVERSE(name) FROM items";
+      ]
+  | "virtuoso" ->
+    schema @ shared @ spatial_suite @ xml_suite @ inet_suite
+    @ [
+        "SELECT CONTAINS(msg, 'disk') FROM logs";
+        "SELECT TYPEOF(1.5)";
+        "SELECT TYPEOF('abc')";
+        "SELECT PG_TYPEOF('x')";
+        "SELECT CURRENT_SETTING('server_version')";
+        "SELECT SLEEP(0)";
+        "SELECT BENCHMARK(10, 1)";
+        "SELECT CONV('ff', 16, 10)";
+        "SELECT CONCAT_WS(',', 'a', 'b')";
+        "SELECT XML_VALID('<a></a>')";
+      ]
+  | _ -> schema @ shared

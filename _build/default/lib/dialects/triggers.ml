@@ -1,0 +1,67 @@
+(** Trigger-condition constructors for the bug ledger.
+
+    Each helper encodes the boundary condition characteristic of one of the
+    paper's pattern families, phrased so SOFT's generators reach it by
+    construction while random-argument baselines essentially never do. *)
+
+open Sqlfun_fault.Fault
+open Sqlfun_value.Value
+
+(* P1.2 — boundary literals as arguments *)
+
+let star_arg = Any_arg Is_star
+let null_literal i = Arg_at (i, All_of [ Is_null; From_literal ])
+let empty_string i = Arg_at (i, All_of [ Is_empty_string; From_literal ])
+let long_digits i n = Arg_at (i, Precision_ge n)
+let deep_scale i n = Arg_at (i, Scale_ge n)
+let huge_int i n = Arg_at (i, Abs_int_ge n)
+
+(* P1.3 — spliced digit runs inside formatted string literals *)
+
+let digit_run i =
+  Arg_at (i, All_of [ Type_is Ty_str; From_literal; Str_contains "99999" ])
+
+(* P1.4 — duplicated characters inside formatted string literals *)
+
+let char_run i n =
+  (* digit runs belong to P1.3's splices; P1.4 duplicates structural
+     characters, so runs of 9s are excluded here *)
+  Arg_at
+    ( i,
+      All_of
+        [ Type_is Ty_str; From_literal; Has_char_run n;
+          Neg (Str_contains "99999") ] )
+
+(* P2.1 — explicit CAST around the argument *)
+
+let cast_arg i extra = Arg_at (i, All_of (From_cast :: extra))
+let cast_to_type i ty = cast_arg i [ Type_is ty ]
+
+(* P2.2 — implicit cast via UNION (value arrives from a subquery) *)
+
+let union_arg i extra = Arg_at (i, All_of (From_subquery :: extra))
+
+(* P2.3 — arguments swapped across functions: format mismatch *)
+
+let format_mismatch i marker =
+  (* P2.3 relocates *literal* values between functions; format-bearing
+     strings with function provenance are P3.x territory *)
+  Arg_at (i, All_of [ Type_is Ty_str; From_literal; Str_contains marker ])
+
+let type_mismatch i ty = Arg_at (i, Type_is ty)
+
+(* P3.1 — REPEAT-constructed extreme arguments *)
+
+let repeat_blowup i n =
+  Arg_at (i, All_of [ From_named_function "REPEAT"; Str_len_ge n ])
+
+(* P3.2 — the bug is in the wrapping function *)
+
+let wrapped_result i extra = Arg_at (i, All_of (From_function :: extra))
+
+(* P3.3 — an argument replaced by another function's return value *)
+
+let nested_named i f = Arg_at (i, From_named_function f)
+let nested_named_typed i f ty =
+  Arg_at (i, All_of [ From_named_function f; Type_is ty ])
+let nested_any_typed i ty = Arg_at (i, All_of [ From_function; Type_is ty ])

@@ -1,0 +1,1 @@
+lib/engine/engine.ml: Buffer Fn_ctx Interp List Printf Sqlfun_fault Sqlfun_functions Sqlfun_parse Sqlfun_value Storage String Value

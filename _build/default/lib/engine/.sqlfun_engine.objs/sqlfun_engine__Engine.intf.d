@@ -1,0 +1,1 @@
+lib/engine/engine.mli: Cast Fn_ctx Interp Registry Sqlfun_ast Sqlfun_coverage Sqlfun_fault Sqlfun_functions Sqlfun_value Storage Value

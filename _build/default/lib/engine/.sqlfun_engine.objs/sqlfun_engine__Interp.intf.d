@@ -1,0 +1,1 @@
+lib/engine/interp.mli: Ast Fault Fn_ctx Registry Sqlfun_ast Sqlfun_fault Sqlfun_functions Sqlfun_value Storage Value

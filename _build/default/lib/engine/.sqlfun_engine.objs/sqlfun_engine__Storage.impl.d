@@ -1,0 +1,1 @@
+lib/engine/storage.ml: Ast Hashtbl List Printf Sqlfun_ast Sqlfun_value String Value

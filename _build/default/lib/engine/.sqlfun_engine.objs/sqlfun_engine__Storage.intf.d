@@ -1,0 +1,1 @@
+lib/engine/storage.mli: Ast Sqlfun_ast Sqlfun_value Value

@@ -1,0 +1,70 @@
+open Sqlfun_value
+open Sqlfun_ast
+
+type column = {
+  col_name : string;
+  col_type : Ast.type_name;
+  col_not_null : bool;
+  col_default : Ast.expr option;
+}
+
+type table = {
+  tbl_name : string;
+  columns : column list;
+  mutable rows : Value.t list list;
+}
+
+type catalog = { tables : (string, table) Hashtbl.t }
+
+let create_catalog () = { tables = Hashtbl.create 8 }
+
+let norm = String.lowercase_ascii
+
+let table_names c =
+  Hashtbl.fold (fun k _ acc -> k :: acc) c.tables [] |> List.sort String.compare
+
+let find_table c name = Hashtbl.find_opt c.tables (norm name)
+
+let create_table c ~name ~columns ~if_not_exists =
+  let key = norm name in
+  if Hashtbl.mem c.tables key then
+    if if_not_exists then Ok () else Error (Printf.sprintf "table %s already exists" name)
+  else begin
+    let seen = Hashtbl.create 8 in
+    let dup =
+      List.exists
+        (fun col ->
+          let k = norm col.col_name in
+          if Hashtbl.mem seen k then true
+          else begin
+            Hashtbl.add seen k ();
+            false
+          end)
+        columns
+    in
+    if dup then Error "duplicate column name"
+    else if columns = [] then Error "a table needs at least one column"
+    else begin
+      Hashtbl.add c.tables key { tbl_name = name; columns; rows = [] };
+      Ok ()
+    end
+  end
+
+let drop_table c ~name ~if_exists =
+  let key = norm name in
+  if Hashtbl.mem c.tables key then begin
+    Hashtbl.remove c.tables key;
+    Ok ()
+  end
+  else if if_exists then Ok ()
+  else Error (Printf.sprintf "no such table %s" name)
+
+let append_row t row = t.rows <- t.rows @ [ row ]
+
+let column_index t name =
+  let k = norm name in
+  let rec go i = function
+    | [] -> None
+    | col :: rest -> if norm col.col_name = k then Some i else go (i + 1) rest
+  in
+  go 0 t.columns

@@ -1,0 +1,33 @@
+(** In-memory table storage. *)
+
+open Sqlfun_value
+open Sqlfun_ast
+
+type column = {
+  col_name : string;
+  col_type : Ast.type_name;
+  col_not_null : bool;
+  col_default : Ast.expr option;
+}
+
+type table = {
+  tbl_name : string;
+  columns : column list;
+  mutable rows : Value.t list list;  (** in insertion order *)
+}
+
+type catalog
+
+val create_catalog : unit -> catalog
+val table_names : catalog -> string list
+val find_table : catalog -> string -> table option
+
+val create_table :
+  catalog -> name:string -> columns:column list -> if_not_exists:bool ->
+  (unit, string) result
+
+val drop_table : catalog -> name:string -> if_exists:bool -> (unit, string) result
+
+val append_row : table -> Value.t list -> unit
+
+val column_index : table -> string -> int option

@@ -1,0 +1,1 @@
+lib/fault/bug_kind.ml: String

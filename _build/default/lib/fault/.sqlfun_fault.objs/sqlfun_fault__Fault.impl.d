@@ -1,0 +1,1 @@
+lib/fault/fault.ml: Bug_kind Decimal Hashtbl Int64 List Pattern_id Sqlfun_data Sqlfun_num Sqlfun_value String Value

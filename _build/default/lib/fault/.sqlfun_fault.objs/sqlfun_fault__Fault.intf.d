@@ -1,0 +1,1 @@
+lib/fault/fault.mli: Bug_kind Pattern_id Sqlfun_value Value

@@ -1,0 +1,1 @@
+lib/fault/pattern_id.ml:

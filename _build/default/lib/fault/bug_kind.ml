@@ -1,0 +1,45 @@
+(** The memory-error taxonomy of the paper's Table 4. *)
+
+type t =
+  | Npd   (** null pointer dereference *)
+  | Segv  (** segmentation violation *)
+  | Hbof  (** heap buffer overflow *)
+  | Gbof  (** global buffer overflow *)
+  | Uaf   (** use after free *)
+  | Af    (** assertion failure *)
+  | So    (** stack overflow *)
+  | Dbz   (** divide by zero *)
+
+let all = [ Npd; Segv; Hbof; Gbof; Uaf; Af; So; Dbz ]
+
+let to_string = function
+  | Npd -> "NPD"
+  | Segv -> "SEGV"
+  | Hbof -> "HBOF"
+  | Gbof -> "GBOF"
+  | Uaf -> "UAF"
+  | Af -> "AF"
+  | So -> "SO"
+  | Dbz -> "DBZ"
+
+let describe = function
+  | Npd -> "null pointer dereference"
+  | Segv -> "segmentation violation"
+  | Hbof -> "heap buffer overflow"
+  | Gbof -> "global buffer overflow"
+  | Uaf -> "use after free"
+  | Af -> "assertion failure"
+  | So -> "stack overflow"
+  | Dbz -> "divide by zero"
+
+let of_string s =
+  match String.uppercase_ascii s with
+  | "NPD" -> Some Npd
+  | "SEGV" -> Some Segv
+  | "HBOF" -> Some Hbof
+  | "GBOF" -> Some Gbof
+  | "UAF" -> Some Uaf
+  | "AF" -> Some Af
+  | "SO" -> Some So
+  | "DBZ" -> Some Dbz
+  | _ -> None

@@ -1,0 +1,193 @@
+open Sqlfun_value
+open Sqlfun_num
+
+module Prov = struct
+  type t =
+    | Literal
+    | Cast
+    | Func of string
+    | Column
+    | Operator
+    | Star
+    | Subquery
+
+  let to_string = function
+    | Literal -> "literal"
+    | Cast -> "cast"
+    | Func f -> "func:" ^ f
+    | Column -> "column"
+    | Operator -> "operator"
+    | Star -> "star"
+    | Subquery -> "subquery"
+end
+
+type arg = { value : Value.t; prov : Prov.t }
+
+let arg ?(prov = Prov.Operator) value = { value; prov }
+
+type arg_cond =
+  | Is_null
+  | Is_star
+  | Is_empty_string
+  | Str_len_ge of int
+  | Str_contains of string
+  | Precision_ge of int
+  | Scale_ge of int
+  | Abs_int_ge of int64
+  | Int_is of int64
+  | Depth_ge of int
+  | Size_ge of int
+  | Has_char_run of int
+  | Type_is of Value.ty
+  | From_cast
+  | From_function
+  | From_named_function of string
+  | From_literal
+  | From_subquery
+  | Neg of arg_cond
+  | All_of of arg_cond list
+  | One_of of arg_cond list
+
+type cond =
+  | Arg_at of int * arg_cond
+  | Any_arg of arg_cond
+  | Argc_ge of int
+  | Argc_eq of int
+  | And_ of cond list
+  | Or_ of cond list
+
+type status = Confirmed | Fixed
+
+type spec = {
+  site : string;
+  dialect : string;
+  func : string;
+  category : string;
+  kind : Bug_kind.t;
+  pattern : Pattern_id.t;
+  status : status;
+  trigger : cond;
+  note : string;
+}
+
+exception Crash of spec
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  if nn = 0 then true
+  else begin
+    let rec go i =
+      if i + nn > nh then false
+      else if String.sub hay i nn = needle then true
+      else go (i + 1)
+    in
+    go 0
+  end
+
+let string_payload v =
+  match v with
+  | Value.Str s | Value.Blob s -> Some s
+  | Value.Json j -> Some (Sqlfun_data.Json.to_string j)
+  | _ -> None
+
+let rec eval_arg_cond c a =
+  match c with
+  | Is_null -> Value.is_null a.value && a.prov <> Prov.Star
+  | Is_star -> a.prov = Prov.Star
+  | Is_empty_string -> a.value = Value.Str ""
+  | Str_len_ge n ->
+    (match string_payload a.value with
+     | Some s -> String.length s >= n
+     | None -> false)
+  | Str_contains sub ->
+    (match string_payload a.value with
+     | Some s -> contains_substring s sub
+     | None -> false)
+  | Precision_ge n ->
+    (match a.value with
+     | Value.Dec d -> Decimal.precision d >= n
+     | Value.Int i ->
+       String.length (Int64.to_string (Int64.abs i)) >= n
+     | _ -> false)
+  | Scale_ge n ->
+    (match a.value with Value.Dec d -> Decimal.scale d >= n | _ -> false)
+  | Abs_int_ge n ->
+    (match a.value with
+     | Value.Int i -> Int64.abs i >= n || i = Int64.min_int
+     | Value.Dec d ->
+       (match Decimal.to_int64 d with
+        | Some i -> Int64.abs i >= n
+        | None -> true)
+     | _ -> false)
+  | Int_is n -> (match a.value with Value.Int i -> i = n | _ -> false)
+  | Depth_ge n -> Value.depth_of a.value >= n
+  | Size_ge n -> Value.size_of a.value >= n
+  | Has_char_run n ->
+    (match string_payload a.value with
+     | Some s ->
+       let best = ref 0 and run = ref 0 in
+       let prev = ref '\000' in
+       String.iter
+         (fun c ->
+           if c = !prev then incr run else run := 1;
+           prev := c;
+           if !run > !best then best := !run)
+         s;
+       !best >= n
+     | None -> false)
+  | Type_is ty -> Value.type_of a.value = ty
+  | From_cast -> a.prov = Prov.Cast
+  | From_function -> (match a.prov with Prov.Func _ -> true | _ -> false)
+  | From_named_function f ->
+    (match a.prov with Prov.Func g -> g = f | _ -> false)
+  | From_literal -> a.prov = Prov.Literal
+  | From_subquery -> a.prov = Prov.Subquery
+  | Neg c -> not (eval_arg_cond c a)
+  | All_of cs -> List.for_all (fun c -> eval_arg_cond c a) cs
+  | One_of cs -> List.exists (fun c -> eval_arg_cond c a) cs
+
+let rec eval_cond c args =
+  match c with
+  | Arg_at (i, ac) ->
+    (match List.nth_opt args i with
+     | Some a -> eval_arg_cond ac a
+     | None -> false)
+  | Any_arg ac -> List.exists (eval_arg_cond ac) args
+  | Argc_ge n -> List.length args >= n
+  | Argc_eq n -> List.length args = n
+  | And_ cs -> List.for_all (fun c -> eval_cond c args) cs
+  | Or_ cs -> List.exists (fun c -> eval_cond c args) cs
+
+type runtime = {
+  by_func : (string, spec list) Hashtbl.t;
+  all : spec list;
+  mutable armed : bool;
+}
+
+let make specs =
+  let by_func = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      let key = String.uppercase_ascii s.func in
+      let existing =
+        match Hashtbl.find_opt by_func key with Some l -> l | None -> []
+      in
+      Hashtbl.replace by_func key (existing @ [ s ]))
+    specs;
+  { by_func; all = specs; armed = false }
+
+let arm rt = rt.armed <- true
+let disarm rt = rt.armed <- false
+let is_armed rt = rt.armed
+let specs rt = rt.all
+
+let check rt ~func args =
+  if rt.armed then
+    match Hashtbl.find_opt rt.by_func (String.uppercase_ascii func) with
+    | None -> ()
+    | Some specs ->
+      List.iter
+        (fun spec -> if eval_cond spec.trigger args then raise (Crash spec))
+        specs
+
+let status_to_string = function Confirmed -> "Confirmed" | Fixed -> "Fixed"

@@ -1,0 +1,1 @@
+lib/functions/agg_fns.ml: Cast Decimal Fault Float Fn_ctx Func_sig Hashtbl Int64 List Printf Sqlfun_data Sqlfun_fault Sqlfun_num Sqlfun_value Stdlib String Value

@@ -1,0 +1,1 @@
+lib/functions/all_fns.ml: Agg_fns Array_fns Catalog_tail Cond_fns Conv_fns Date_fns Json_fns Math_fns Registry Spatial_fns String_fns System_fns

@@ -1,0 +1,1 @@
+lib/functions/args.ml: Ast Calendar Decimal Fault Fn_ctx Int64 Json List Printf Sqlfun_ast Sqlfun_data Sqlfun_fault Sqlfun_num Sqlfun_value Value Xml_doc

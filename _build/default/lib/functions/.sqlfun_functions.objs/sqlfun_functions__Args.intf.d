@@ -1,0 +1,1 @@
+lib/functions/args.mli: Calendar Fault Fn_ctx Geometry Json Sqlfun_data Sqlfun_fault Sqlfun_num Sqlfun_value Value Xml_doc

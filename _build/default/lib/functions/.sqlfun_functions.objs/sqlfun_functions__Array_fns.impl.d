@@ -1,0 +1,1 @@
+lib/functions/array_fns.ml: Args Fn_ctx Func_sig Int64 List Printf Sqlfun_value String Value

@@ -1,0 +1,1 @@
+lib/functions/catalog_tail.ml: Args Buffer Calendar Char Conv_fns Decimal Float Fn_ctx Func_sig Int64 Json List Printf Seq Sqlfun_data Sqlfun_fault Sqlfun_num Sqlfun_value Stdlib String Value

@@ -1,0 +1,1 @@
+lib/functions/cond_fns.ml: Args Fn_ctx Func_sig Int64 List Printf Sqlfun_num Sqlfun_value Value

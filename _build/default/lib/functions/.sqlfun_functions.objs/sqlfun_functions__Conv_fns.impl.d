@@ -1,0 +1,1 @@
+lib/functions/conv_fns.ml: Args Array Ast Buffer Char Codec Decimal Fn_ctx Func_sig Inet Int64 Printf Sqlfun_ast Sqlfun_data Sqlfun_num Sqlfun_value String Value

@@ -1,0 +1,1 @@
+lib/functions/date_fns.ml: Args Array Buffer Calendar Fn_ctx Func_sig Int64 Printf Sqlfun_ast Sqlfun_data Sqlfun_value String Value

@@ -1,0 +1,1 @@
+lib/functions/fn_ctx.ml: Cast Coverage Hashtbl Printf Sqlfun_coverage Sqlfun_fault Sqlfun_value

@@ -1,0 +1,1 @@
+lib/functions/fn_ctx.mli: Cast Coverage Hashtbl Sqlfun_ast Sqlfun_coverage Sqlfun_fault Sqlfun_value Value

@@ -1,0 +1,1 @@
+lib/functions/func_sig.ml: Fault Fn_ctx List Sqlfun_fault Sqlfun_value String Value

@@ -1,0 +1,1 @@
+lib/functions/json_fns.ml: Args Cast Decimal Float Fn_ctx Func_sig Int64 Json List Printf Sqlfun_data Sqlfun_num Sqlfun_value Value

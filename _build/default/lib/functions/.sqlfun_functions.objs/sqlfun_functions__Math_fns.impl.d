@@ -1,0 +1,1 @@
+lib/functions/math_fns.ml: Args Checked_int Decimal Float Fn_ctx Func_sig Int64 List Printf Sqlfun_num Sqlfun_value String Value

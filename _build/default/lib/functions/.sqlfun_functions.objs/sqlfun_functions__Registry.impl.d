@@ -1,0 +1,1 @@
+lib/functions/registry.ml: Fault Fn_ctx Func_sig Hashtbl List Printf Sqlfun_fault Sqlfun_value String Value

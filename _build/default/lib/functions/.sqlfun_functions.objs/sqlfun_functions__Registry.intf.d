@@ -1,0 +1,1 @@
+lib/functions/registry.mli: Fault Fn_ctx Func_sig Sqlfun_fault Sqlfun_value Value

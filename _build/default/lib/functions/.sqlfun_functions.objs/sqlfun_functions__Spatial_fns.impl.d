@@ -1,0 +1,1 @@
+lib/functions/spatial_fns.ml: Args Float Fn_ctx Func_sig Geometry Int64 List Printf Sqlfun_data Sqlfun_value String Value Xml_doc

@@ -1,0 +1,1 @@
+lib/functions/string_fns.ml: Args Buffer Char Codec Decimal Fn_ctx Fun Func_sig Int64 List Printf Regex Sqlfun_data Sqlfun_fault Sqlfun_num Sqlfun_value Stdlib String Value

@@ -1,0 +1,1 @@
+lib/functions/system_fns.ml: Args Float Fn_ctx Func_sig Hashtbl Int64 Printf Sqlfun_data Sqlfun_value String Value

@@ -1,0 +1,9 @@
+(** The complete built-in function library. Dialects select subsets of
+    this list (see [Sqlfun_dialects]). *)
+
+let specs =
+  String_fns.specs @ Math_fns.specs @ Agg_fns.specs @ Date_fns.specs
+  @ Json_fns.specs @ Array_fns.specs @ Cond_fns.specs @ Conv_fns.specs
+  @ System_fns.specs @ Spatial_fns.specs @ Catalog_tail.specs
+
+let registry () = Registry.of_list specs

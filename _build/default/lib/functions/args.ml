@@ -1,0 +1,142 @@
+open Sqlfun_value
+open Sqlfun_fault
+open Sqlfun_data
+open Sqlfun_num
+open Sqlfun_ast
+
+let err fmt = Printf.ksprintf (fun msg -> raise (Fn_ctx.Sql_error msg)) fmt
+
+let value args i =
+  match List.nth_opt args i with
+  | Some a ->
+    if a.Fault.prov = Fault.Prov.Star then err "improper use of '*' as argument %d" (i + 1)
+    else a.Fault.value
+  | None -> err "missing argument %d" (i + 1)
+
+let value_opt args i =
+  match List.nth_opt args i with
+  | Some a when a.Fault.prov <> Fault.Prov.Star -> Some a.Fault.value
+  | Some _ | None -> None
+
+let reject_containers what v =
+  match v with
+  | Value.Arr _ | Value.Map _ | Value.Row _ ->
+    err "cannot coerce %s to %s" (Value.ty_name (Value.type_of v)) what
+  | _ -> v
+
+let str ctx args i =
+  match Fn_ctx.cast_value ctx (reject_containers "a string" (value args i)) Ast.T_text with
+  | Value.Str s -> s
+  | Value.Null -> err "unexpected NULL argument %d" (i + 1)
+  | v -> Value.to_display v
+
+let int_ ctx args i =
+  match Fn_ctx.cast_value ctx (reject_containers "an integer" (value args i)) Ast.T_bigint with
+  | Value.Int v -> v
+  | Value.Null -> err "unexpected NULL argument %d" (i + 1)
+  | v -> err "argument %d is not an integer (%s)" (i + 1) (Value.ty_name (Value.type_of v))
+
+let int_opt ctx args i =
+  match value_opt args i with
+  | None -> None
+  | Some Value.Null -> None
+  | Some _ -> Some (int_ ctx args i)
+
+let dec ctx args i =
+  match Fn_ctx.cast_value ctx (reject_containers "a number" (value args i)) (Ast.T_decimal None) with
+  | Value.Dec d -> d
+  | Value.Null -> err "unexpected NULL argument %d" (i + 1)
+  | v -> err "argument %d is not a number (%s)" (i + 1) (Value.ty_name (Value.type_of v))
+
+let float_ ctx args i =
+  match Fn_ctx.cast_value ctx (reject_containers "a number" (value args i)) Ast.T_double with
+  | Value.Float f -> f
+  | Value.Null -> err "unexpected NULL argument %d" (i + 1)
+  | v -> err "argument %d is not a number (%s)" (i + 1) (Value.ty_name (Value.type_of v))
+
+let bool_ ctx args i =
+  match Fn_ctx.cast_value ctx (reject_containers "a boolean" (value args i)) Ast.T_bool with
+  | Value.Bool b -> b
+  | Value.Null -> err "unexpected NULL argument %d" (i + 1)
+  | v -> err "argument %d is not a boolean (%s)" (i + 1) (Value.ty_name (Value.type_of v))
+
+let json ctx args i =
+  match Fn_ctx.cast_value ctx (value args i) Ast.T_json with
+  | Value.Json j -> j
+  | Value.Null -> err "unexpected NULL argument %d" (i + 1)
+  | v -> err "argument %d is not JSON (%s)" (i + 1) (Value.ty_name (Value.type_of v))
+
+let json_path ctx args i =
+  let s = str ctx args i in
+  match Json.parse_path s with
+  | Ok p -> p
+  | Error msg -> err "bad JSON path %S: %s" s msg
+
+let date ctx args i =
+  match Fn_ctx.cast_value ctx (reject_containers "a date" (value args i)) Ast.T_date with
+  | Value.Date d -> d
+  | Value.Null -> err "argument %d is not a valid date" (i + 1)
+  | v -> err "argument %d is not a date (%s)" (i + 1) (Value.ty_name (Value.type_of v))
+
+let datetime ctx args i =
+  match Fn_ctx.cast_value ctx (reject_containers "a datetime" (value args i)) Ast.T_datetime with
+  | Value.Datetime dt -> dt
+  | Value.Date d ->
+    (match Calendar.datetime_of_string (Calendar.date_to_string d) with
+     | Some dt -> dt
+     | None -> err "argument %d is not a valid datetime" (i + 1))
+  | Value.Null -> err "argument %d is not a valid datetime" (i + 1)
+  | v -> err "argument %d is not a datetime (%s)" (i + 1) (Value.ty_name (Value.type_of v))
+
+let array _ctx args i =
+  match value args i with
+  | Value.Arr vs -> vs
+  | Value.Json (Json.J_arr elems) ->
+    List.map
+      (fun j ->
+        match j with
+        | Json.J_null -> Value.Null
+        | Json.J_bool b -> Value.Bool b
+        | Json.J_num n ->
+          (match Decimal.of_string n with
+           | Ok d -> Value.Dec d
+           | Error _ -> Value.Str n)
+        | Json.J_str s -> Value.Str s
+        | Json.J_arr _ | Json.J_obj _ -> Value.Json j)
+      elems
+  | v -> err "argument %d is not an array (%s)" (i + 1) (Value.ty_name (Value.type_of v))
+
+let map _ctx args i =
+  match value args i with
+  | Value.Map kvs -> kvs
+  | v -> err "argument %d is not a map (%s)" (i + 1) (Value.ty_name (Value.type_of v))
+
+let geometry ctx args i =
+  match Fn_ctx.cast_value ctx (value args i) Ast.T_geometry with
+  | Value.Geom g -> g
+  | Value.Null -> err "argument %d is not a geometry" (i + 1)
+  | v -> err "argument %d is not a geometry (%s)" (i + 1) (Value.ty_name (Value.type_of v))
+
+let blob _ctx args i =
+  match value args i with
+  | Value.Blob b -> b
+  | Value.Str s -> s
+  | v -> err "argument %d is not binary (%s)" (i + 1) (Value.ty_name (Value.type_of v))
+
+let xml ctx args i =
+  match Fn_ctx.cast_value ctx (value args i) Ast.T_xml with
+  | Value.Xml nodes -> nodes
+  | Value.Null -> err "argument %d is not XML" (i + 1)
+  | v -> err "argument %d is not XML (%s)" (i + 1) (Value.ty_name (Value.type_of v))
+
+let xpath ctx args i =
+  let s = str ctx args i in
+  match Xml_doc.parse_xpath s with
+  | Ok p -> p
+  | Error msg -> err "bad XPath %S: %s" s msg
+
+let small_int ctx args i =
+  let v = int_ ctx args i in
+  if v > Int64.of_int max_int || v < Int64.of_int min_int then
+    err "argument %d out of range" (i + 1)
+  else Int64.to_int v

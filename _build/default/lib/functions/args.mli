@@ -1,0 +1,33 @@
+(** Argument access and coercion helpers shared by every built-in function
+    implementation. Coercions follow the context's casting strictness, so
+    a lenient dialect turns ['12abc'] into [12] where a strict one raises
+    a clean SQL error. *)
+
+open Sqlfun_value
+open Sqlfun_fault
+open Sqlfun_data
+
+val value : Fault.arg list -> int -> Value.t
+(** @raise Fn_ctx.Sql_error when the index is out of range. *)
+
+val value_opt : Fault.arg list -> int -> Value.t option
+
+val str : Fn_ctx.t -> Fault.arg list -> int -> string
+val int_ : Fn_ctx.t -> Fault.arg list -> int -> int64
+val int_opt : Fn_ctx.t -> Fault.arg list -> int -> int64 option
+val dec : Fn_ctx.t -> Fault.arg list -> int -> Sqlfun_num.Decimal.t
+val float_ : Fn_ctx.t -> Fault.arg list -> int -> float
+val bool_ : Fn_ctx.t -> Fault.arg list -> int -> bool
+val json : Fn_ctx.t -> Fault.arg list -> int -> Json.t
+val json_path : Fn_ctx.t -> Fault.arg list -> int -> Json.path_step list
+val date : Fn_ctx.t -> Fault.arg list -> int -> Calendar.date
+val datetime : Fn_ctx.t -> Fault.arg list -> int -> Calendar.datetime
+val array : Fn_ctx.t -> Fault.arg list -> int -> Value.t list
+val map : Fn_ctx.t -> Fault.arg list -> int -> (Value.t * Value.t) list
+val geometry : Fn_ctx.t -> Fault.arg list -> int -> Geometry.t
+val blob : Fn_ctx.t -> Fault.arg list -> int -> string
+val xml : Fn_ctx.t -> Fault.arg list -> int -> Xml_doc.t list
+val xpath : Fn_ctx.t -> Fault.arg list -> int -> Xml_doc.step list
+
+val small_int : Fn_ctx.t -> Fault.arg list -> int -> int
+(** Like {!int_} but also requires the value to fit in [int]. *)

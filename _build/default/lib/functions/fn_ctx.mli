@@ -1,0 +1,63 @@
+(** Per-session evaluation context threaded through every built-in
+    function: coverage recorder, fault runtime, casting configuration, and
+    resource limits. *)
+
+open Sqlfun_value
+open Sqlfun_coverage
+
+exception Sql_error of string
+(** A clean, expected SQL error ("ERROR: invalid argument..."): the
+    behaviour a *correct* implementation shows on a boundary input. *)
+
+exception Resource_limit of string
+(** The query was terminated for exhausting memory/step budgets — the
+    paper's false-positive class (e.g. [REPEAT('a', 9999999999)]). *)
+
+type limits = {
+  max_string_bytes : int;  (** per-value allocation cap *)
+  max_collection : int;    (** max elements in produced arrays/maps *)
+  max_steps : int;         (** evaluator step budget per statement *)
+}
+
+val default_limits : limits
+
+type t = {
+  cov : Coverage.t;
+  fault : Sqlfun_fault.Fault.runtime;
+  cast_cfg : Cast.config;
+  limits : limits;
+  dialect : string;
+  mutable steps : int;
+  sequences : (string, int64) Hashtbl.t;
+      (** session sequence state for NEXTVAL/LASTVAL *)
+  mutable last_insert_id : int64;
+  mutable row_count : int;
+}
+
+val create :
+  ?cov:Coverage.t ->
+  ?fault:Sqlfun_fault.Fault.runtime ->
+  ?cast_cfg:Cast.config ->
+  ?limits:limits ->
+  dialect:string ->
+  unit ->
+  t
+
+val tick : ?cost:int -> t -> unit
+(** Charge steps against the budget; raises {!Resource_limit} when spent. *)
+
+val point : t -> string -> unit
+(** Record a coverage point. *)
+
+val branch : t -> string -> bool -> bool
+(** [branch ctx id b] records [id ^ "/t"] or [id ^ "/f"] and returns [b] —
+    wraps a conditional so both outcomes are distinct coverage points. *)
+
+val alloc_check : t -> int -> unit
+(** Raises {!Resource_limit} when an allocation would exceed the cap. *)
+
+val cast_value : t -> Value.t -> Sqlfun_ast.Ast.type_name -> Value.t
+(** Casting with this context's config, coverage, and error conversion:
+    cast failures raise {!Sql_error}; a blown JSON depth with the budget
+    disabled raises [Stack_overflow] (the simulated crash, reported by the
+    detector as such). *)

@@ -1,0 +1,103 @@
+(** Metadata and implementation hooks for one built-in SQL function.
+
+    The [hints] describe each positional argument's expected format; SOFT's
+    generator uses them the way the paper's tool uses documentation — to
+    know which boundary pool fits which position. [examples] plays the role
+    of the documentation examples the paper's collector scans. *)
+
+open Sqlfun_value
+open Sqlfun_fault
+
+type arg_hint =
+  | H_any
+  | H_num
+  | H_int
+  | H_str
+  | H_bool
+  | H_json
+  | H_json_path
+  | H_date
+  | H_time
+  | H_datetime
+  | H_interval_unit
+  | H_array
+  | H_map
+  | H_xml
+  | H_xpath
+  | H_geo
+  | H_inet
+  | H_regex
+  | H_format
+  | H_locale
+  | H_sep
+
+type scalar_impl = Fn_ctx.t -> Fault.arg list -> Value.t
+
+type agg_instance = {
+  step : Fault.arg list -> unit;
+  final : unit -> Value.t;
+}
+
+type agg_impl = Fn_ctx.t -> distinct:bool -> agg_instance
+
+type kind =
+  | Scalar of scalar_impl
+  | Aggregate of agg_impl
+
+type t = {
+  name : string;  (** uppercase *)
+  category : string;
+  min_args : int;
+  max_args : int option;  (** [None] = variadic *)
+  hints : arg_hint list;  (** by position; the last hint covers varargs *)
+  null_propagates : bool;
+      (** return NULL when any argument is NULL, without calling the
+          implementation (the common SQL convention) *)
+  kind : kind;
+  examples : string list;
+      (** documentation example calls, e.g. ["REPEAT('ab', 3)"] *)
+}
+
+let scalar ?(null_propagates = true) ?(examples = []) ~category ~min_args
+    ~max_args ~hints name impl =
+  {
+    name = String.uppercase_ascii name;
+    category;
+    min_args;
+    max_args;
+    hints;
+    null_propagates;
+    kind = Scalar impl;
+    examples;
+  }
+
+let aggregate ?(examples = []) ~category ~min_args ~max_args ~hints name impl =
+  {
+    name = String.uppercase_ascii name;
+    category;
+    min_args;
+    max_args;
+    hints;
+    null_propagates = false;
+    kind = Aggregate impl;
+    examples;
+  }
+
+let hint_at spec i =
+  let rec nth last = function
+    | [] -> last
+    | [ h ] -> h
+    | h :: rest -> if i = 0 then h else nth h rest
+  in
+  match spec.hints with
+  | [] -> H_any
+  | hints ->
+    (match List.nth_opt hints i with
+     | Some h -> h
+     | None ->
+       (* varargs: repeat the last declared hint *)
+       nth H_any hints)
+
+let arity_ok spec n =
+  n >= spec.min_args
+  && (match spec.max_args with Some mx -> n <= mx | None -> true)

@@ -1,0 +1,41 @@
+(** Lookup and invocation of built-in functions.
+
+    [invoke_scalar] enforces the processing order that makes boundary bugs
+    possible in real systems: the *fault check runs before the generic
+    argument validation*, exactly as a flawed code path fires before the
+    sanity checks a correct implementation would have performed. *)
+
+open Sqlfun_value
+open Sqlfun_fault
+
+type t
+
+val create : unit -> t
+val add : t -> Func_sig.t -> unit
+val of_list : Func_sig.t list -> t
+val find : t -> string -> Func_sig.t option
+val mem : t -> string -> bool
+val names : t -> string list
+(** Sorted. *)
+
+val size : t -> int
+val specs : t -> Func_sig.t list
+val by_category : t -> (string * string list) list
+(** Category -> sorted function names. *)
+
+val restrict : t -> string list -> t
+(** Keep only the named functions (a dialect's inventory). *)
+
+val invoke_scalar : Fn_ctx.t -> t -> string -> Fault.arg list -> Value.t
+(** Full scalar call protocol: coverage, fault check, arity check, star
+    rejection, NULL propagation, then the implementation.
+    @raise Fn_ctx.Sql_error for unknown functions, arity errors, and
+    whatever the implementation rejects.
+    @raise Fault.Crash when an armed injected bug triggers. *)
+
+val make_aggregate :
+  Fn_ctx.t -> t -> string -> distinct:bool -> Func_sig.agg_instance
+(** Instantiate aggregate state. Each [step] re-runs the fault check on
+    that row's arguments. @raise Fn_ctx.Sql_error for non-aggregates. *)
+
+val is_aggregate : t -> string -> bool

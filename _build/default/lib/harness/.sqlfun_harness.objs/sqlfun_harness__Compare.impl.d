@@ -1,0 +1,1 @@
+lib/harness/compare.ml: Baseline Dialect List Option Soft Sqlancer_gen Sqlfun_baselines Sqlfun_coverage Sqlfun_dialects Sqlfun_fault Sqlsmith_gen Squirrel_gen

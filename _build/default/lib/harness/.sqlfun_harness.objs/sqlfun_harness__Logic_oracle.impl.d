@@ -1,0 +1,1 @@
+lib/harness/logic_oracle.ml: Ast Baseline Buffer Dialect Engine Float List Printf Prng Sql_pp Sqlfun_ast Sqlfun_baselines Sqlfun_dialects Sqlfun_engine Sqlfun_value Value

@@ -1,0 +1,1 @@
+lib/harness/logic_oracle.mli: Dialect Sqlfun_ast Sqlfun_dialects Sqlfun_engine

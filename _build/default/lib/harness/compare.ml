@@ -1,0 +1,106 @@
+open Sqlfun_dialects
+open Sqlfun_baselines
+module Coverage = Sqlfun_coverage.Coverage
+
+type tool = Squirrel | Sqlancer | Sqlsmith | Soft_tool
+
+let tool_name = function
+  | Squirrel -> "SQUIRREL"
+  | Sqlancer -> "SQLancer"
+  | Sqlsmith -> "SQLsmith"
+  | Soft_tool -> "SOFT"
+
+let supported tool ~dialect =
+  match tool with
+  | Squirrel -> List.mem dialect [ "postgresql"; "mysql"; "mariadb" ]
+  | Sqlancer -> List.mem dialect [ "postgresql"; "mysql"; "mariadb"; "clickhouse" ]
+  | Sqlsmith -> List.mem dialect [ "postgresql"; "monetdb" ]
+  | Soft_tool -> List.mem dialect Dialect.ids
+
+type run = {
+  tool : tool;
+  dialect : string;
+  statements : int;
+  functions_triggered : int;
+  branches : int;
+  bugs : int;
+  bug_sites : string list;
+}
+
+let run_baseline tool gen ~dialect ~budget =
+  let prof = Dialect.find_exn dialect in
+  let cov = Coverage.create () in
+  let detector = Soft.Detector.create ~cov prof in
+  for _ = 1 to budget do
+    ignore (Soft.Detector.run_stmt detector (gen.Baseline.next ()))
+  done;
+  {
+    tool;
+    dialect;
+    statements = Soft.Detector.executed detector;
+    functions_triggered = Coverage.prefixed_count cov "fn/";
+    branches = Coverage.count cov;
+    bugs = List.length (Soft.Detector.bugs detector);
+    bug_sites =
+      List.map
+        (fun (b : Soft.Detector.found_bug) -> b.Soft.Detector.spec.Sqlfun_fault.Fault.site)
+        (Soft.Detector.bugs detector);
+  }
+
+let run_tool tool ~dialect ~budget =
+  match tool with
+  | Soft_tool ->
+    let prof = Dialect.find_exn dialect in
+    let cov = Coverage.create () in
+    let r = Soft.Soft_runner.fuzz ~budget ~cov prof in
+    {
+      tool;
+      dialect;
+      statements = r.Soft.Soft_runner.cases_executed;
+      functions_triggered = r.Soft.Soft_runner.functions_triggered;
+      branches = r.Soft.Soft_runner.branches_covered;
+      bugs = List.length r.Soft.Soft_runner.bugs;
+      bug_sites =
+        List.map
+          (fun (b : Soft.Detector.found_bug) ->
+            b.Soft.Detector.spec.Sqlfun_fault.Fault.site)
+          r.Soft.Soft_runner.bugs;
+    }
+  | Squirrel -> run_baseline tool (Squirrel_gen.make ~dialect ~seed:42) ~dialect ~budget
+  | Sqlancer -> run_baseline tool (Sqlancer_gen.make ~dialect ~seed:42) ~dialect ~budget
+  | Sqlsmith -> run_baseline tool (Sqlsmith_gen.make ~dialect ~seed:42) ~dialect ~budget
+
+let comparison ~budget =
+  List.concat_map
+    (fun tool ->
+      List.filter_map
+        (fun dialect ->
+          if supported tool ~dialect then Some (run_tool tool ~dialect ~budget)
+          else None)
+        Dialect.ids)
+    [ Squirrel; Sqlancer; Sqlsmith; Soft_tool ]
+
+let pivot metric runs =
+  List.map
+    (fun dialect ->
+      ( dialect,
+        List.map
+          (fun tool ->
+            let cell =
+              List.find_opt (fun r -> r.tool = tool && r.dialect = dialect) runs
+            in
+            (tool, Option.map metric cell))
+          [ Squirrel; Sqlancer; Sqlsmith; Soft_tool ] ))
+    Dialect.ids
+
+let table5 runs = pivot (fun r -> r.functions_triggered) runs
+let table6 runs = pivot (fun r -> r.branches) runs
+
+let bug_counts runs =
+  List.map
+    (fun tool ->
+      ( tool,
+        List.fold_left
+          (fun acc r -> if r.tool = tool then acc + r.bugs else acc)
+          0 runs ))
+    [ Squirrel; Sqlancer; Sqlsmith; Soft_tool ]

@@ -1,0 +1,36 @@
+(** Equal-budget tool comparison (§7.5): SQUIRREL, SQLancer, SQLsmith, and
+    SOFT each execute the same number of statements against the same armed
+    dialect; we count triggered functions (Table 5), covered branches of
+    the SQL-function component (Table 6), and unique bugs (the
+    bugs-in-24-hours comparison). The wall-clock budget of the paper
+    becomes a statements budget, which is what transfers to a simulator. *)
+
+type tool = Squirrel | Sqlancer | Sqlsmith | Soft_tool
+
+val tool_name : tool -> string
+
+val supported : tool -> dialect:string -> bool
+(** The paper's support matrix: SQUIRREL covers PostgreSQL/MySQL/MariaDB;
+    SQLsmith covers PostgreSQL/MonetDB; SQLancer covers
+    PostgreSQL/MySQL/MariaDB/ClickHouse; SOFT covers all seven. *)
+
+type run = {
+  tool : tool;
+  dialect : string;
+  statements : int;
+  functions_triggered : int;
+  branches : int;
+  bugs : int;
+  bug_sites : string list;
+}
+
+val run_tool : tool -> dialect:string -> budget:int -> run
+
+val comparison : budget:int -> run list
+(** Every (tool, supported dialect) pair under the same budget. *)
+
+val table5 : run list -> (string * (tool * int option) list) list
+(** dialect -> per-tool triggered-function counts ([None] = unsupported). *)
+
+val table6 : run list -> (string * (tool * int option) list) list
+val bug_counts : run list -> (tool * int) list

@@ -1,0 +1,223 @@
+open Sqlfun_ast
+open Sqlfun_engine
+open Sqlfun_dialects
+open Sqlfun_baselines
+
+type mismatch = { oracle : string; sql : string; detail : string }
+
+type report = { checks : int; skipped : int; mismatches : mismatch list }
+
+let count_rows engine stmt =
+  match Engine.exec_stmt engine stmt with
+  | Ok (Engine.Rows rs) -> Ok (List.length rs.Sqlfun_engine.Interp.rows)
+  | Ok (Engine.Affected _) -> Error "not a query"
+  | Error e -> Error (Engine.error_to_string e)
+
+let select_all table ~where =
+  Ast.Select_stmt
+    (Ast.query_of_select
+       {
+         Ast.sel_distinct = false;
+         projection = [ Ast.Proj_star ];
+         from = Some (Ast.From_table (table, None));
+         where;
+         group_by = [];
+         having = None;
+       })
+
+let tlp_check engine ~table ~predicate =
+  let base = select_all table ~where:None in
+  match count_rows engine base with
+  | Error e -> Error e
+  | Ok total ->
+    let part where_pred = count_rows engine (select_all table ~where:(Some where_pred)) in
+    (match
+       ( part predicate,
+         part (Ast.Unop (Ast.Not, predicate)),
+         part (Ast.Is_null (predicate, false)) )
+     with
+     | Ok t, Ok f, Ok n ->
+       if t + f + n = total then Ok None
+       else
+         Ok
+           (Some
+              {
+                oracle = "tlp";
+                sql = Sql_pp.stmt base;
+                detail =
+                  Printf.sprintf
+                    "partitions %d + %d + %d <> %d for predicate %s" t f n
+                    total (Sql_pp.expr predicate);
+              })
+     | Error e, _, _ | _, Error e, _ | _, _, Error e ->
+       (* a predicate the engine rejects is not a logic-oracle case *)
+       Error e)
+
+let norec_check engine ~table ~predicate =
+  let optimized = select_all table ~where:(Some predicate) in
+  match count_rows engine optimized with
+  | Error e -> Error e
+  | Ok selected ->
+    (* reference execution: project the predicate over every row and count
+       the rows where it is exactly TRUE *)
+    let projected =
+      Ast.Select_stmt
+        (Ast.query_of_select
+           {
+             Ast.sel_distinct = false;
+             projection = [ Ast.Proj_expr (predicate, None) ];
+             from = Some (Ast.From_table (table, None));
+             where = None;
+             group_by = [];
+             having = None;
+           })
+    in
+    (match Engine.exec_stmt engine projected with
+     | Error e -> Error (Engine.error_to_string e)
+     | Ok (Engine.Affected _) -> Error "not a query"
+     | Ok (Engine.Rows rs) ->
+       let truthy =
+         List.length
+           (List.filter
+              (fun row ->
+                match row with
+                | [ Sqlfun_value.Value.Bool true ] -> true
+                | [ Sqlfun_value.Value.Int i ] -> i <> 0L
+                | _ -> false)
+              rs.Sqlfun_engine.Interp.rows)
+       in
+       if truthy = selected then Ok None
+       else
+         Ok
+           (Some
+              {
+                oracle = "norec";
+                sql = Sql_pp.stmt optimized;
+                detail =
+                  Printf.sprintf "WHERE selected %d rows but the predicate is true on %d"
+                    selected truthy;
+              }))
+
+let one_value engine sql =
+  match Engine.exec_sql engine sql with
+  | Ok (Engine.Rows { rows = [ [ v ] ]; _ }) -> Ok v
+  | Ok _ -> Error "expected a single value"
+  | Error e -> Error (Engine.error_to_string e)
+
+let agg_equiv_check engine ~table ~column =
+  (* Each pair computes the same quantity through two code paths. *)
+  let pairs =
+    [
+      ( Printf.sprintf "SELECT SUM(%s) FROM %s" column table,
+        Printf.sprintf "SELECT ARRAY_SUM(ARRAY_AGG(%s)) FROM %s" column table );
+      ( Printf.sprintf "SELECT COUNT(%s) FROM %s" column table,
+        Printf.sprintf
+          "SELECT ARRAY_LENGTH(ARRAY_AGG(%s)) - ARRAY_SUM(ARRAY_AGG(ISNULL(%s))) FROM %s"
+          column column table );
+      ( Printf.sprintf "SELECT MIN(%s) FROM %s" column table,
+        Printf.sprintf "SELECT ARRAY_MIN(ARRAY_AGG(%s)) FROM %s" column table );
+      ( Printf.sprintf "SELECT MAX(%s) FROM %s" column table,
+        Printf.sprintf "SELECT ARRAY_MAX(ARRAY_AGG(%s)) FROM %s" column table );
+    ]
+  in
+  let numeric_eq a b =
+    let open Sqlfun_value in
+    if Value.equal a b then true
+    else
+      match (Value.is_null a, Value.is_null b) with
+      | true, true -> true
+      | _ ->
+        (match
+           ( float_of_string_opt (Value.to_display a),
+             float_of_string_opt (Value.to_display b) )
+         with
+         | Some x, Some y -> Float.abs (x -. y) < 1e-9 *. (1.0 +. Float.abs x)
+         | _ -> false)
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | (sql_a, sql_b) :: rest ->
+      (match (one_value engine sql_a, one_value engine sql_b) with
+       | Ok va, Ok vb ->
+         if numeric_eq va vb then go acc rest
+         else
+           go
+             ({
+                oracle = "agg-equiv";
+                sql = sql_a;
+                detail =
+                  Printf.sprintf "%s = %s but %s = %s" sql_a
+                    (Sqlfun_value.Value.to_display va)
+                    sql_b
+                    (Sqlfun_value.Value.to_display vb);
+              }
+             :: acc)
+             rest
+       | Error e, _ | _, Error e ->
+         (* MIN over e.g. NULL-only columns can legitimately differ in
+            applicability; treat as inapplicable, not a mismatch *)
+         ignore e;
+         go acc rest)
+  in
+  go [] pairs
+
+(* random predicates over the seeded schema *)
+let tables = [ ("items", [ "id"; "name"; "price"; "added" ]); ("logs", [ "level"; "msg" ]) ]
+
+let random_predicate rng table =
+  let cols = List.assoc table tables in
+  let col () = Ast.Column (None, Prng.pick rng cols) in
+  match Prng.int rng 6 with
+  | 0 -> Ast.Binop (Prng.pick rng [ Ast.Gt; Ast.Lt; Ast.Eq ], col (), Baseline.random_scalar rng)
+  | 1 -> Ast.Is_null (col (), Prng.bool rng)
+  | 2 -> Ast.Binop (Ast.Like, col (), Ast.Str_lit ("%" ^ Prng.word rng ^ "%"))
+  | 3 ->
+    Ast.Binop
+      ( Ast.Gt,
+        Ast.call "LENGTH" [ col () ],
+        Ast.Int_lit (string_of_int (Prng.int rng 10)) )
+  | 4 ->
+    Ast.In_list (col (), [ Baseline.random_scalar rng; Baseline.random_scalar rng ])
+  | _ ->
+    Ast.Binop
+      ( Prng.pick rng [ Ast.And; Ast.Or ],
+        Ast.Binop (Ast.Gt, col (), Baseline.random_scalar rng),
+        Ast.Is_null (col (), false) )
+
+let run ?(seed = 17) ?(budget = 300) profile =
+  let rng = Prng.create seed in
+  let engine = Dialect.make_engine profile in
+  let checks = ref 0 and skipped = ref 0 in
+  let mismatches = ref [] in
+  let record = function
+    | Ok (Some m) -> mismatches := m :: !mismatches
+    | Ok None -> ()
+    | Error _ -> incr skipped
+  in
+  while !checks < budget do
+    let table = Prng.pick rng (List.map fst tables) in
+    let predicate = random_predicate rng table in
+    (match !checks mod 3 with
+     | 0 -> record (tlp_check engine ~table ~predicate)
+     | 1 -> record (norec_check engine ~table ~predicate)
+     | _ ->
+       (match
+          agg_equiv_check engine ~table
+            ~column:(Prng.pick rng (List.assoc table tables))
+        with
+        | Ok ms -> mismatches := ms @ !mismatches
+        | Error _ -> incr skipped));
+    incr checks
+  done;
+  { checks = !checks; skipped = !skipped; mismatches = List.rev !mismatches }
+
+let report_to_string r =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "logic oracles: %d checks, %d inapplicable, %d mismatches\n"
+       r.checks r.skipped (List.length r.mismatches));
+  List.iter
+    (fun m ->
+      Buffer.add_string buf (Printf.sprintf "  [%s] %s\n      %s\n" m.oracle m.sql m.detail))
+    r.mismatches;
+  Buffer.contents buf

@@ -1,0 +1,45 @@
+(** Correctness-bug oracles — the §8 extension the paper sketches
+    ("Correctness Bugs in SQL Functions"): metamorphic identities whose
+    violation exposes logic bugs that never crash.
+
+    Three oracles are implemented:
+    - {b TLP partitioning} (after Rigger & Su): for any predicate [p],
+      [|Q|] must equal [|Q WHERE p| + |Q WHERE NOT p| + |Q WHERE p IS NULL|];
+    - {b NoREC-style re-execution}: the row count selected by [WHERE p]
+      must equal the number of rows for which projecting [p] yields true;
+    - {b aggregate/array equivalence}: [SUM(c)] ≡ [ARRAY_SUM(ARRAY_AGG(c))]
+      and likewise for COUNT/MIN/MAX — two independent implementations of
+      the same computation must agree. *)
+
+open Sqlfun_dialects
+
+type mismatch = {
+  oracle : string;       (** "tlp" | "norec" | "agg-equiv" *)
+  sql : string;          (** the base query *)
+  detail : string;       (** what disagreed *)
+}
+
+type report = {
+  checks : int;
+  skipped : int;   (** predicate errored on the base query: not applicable *)
+  mismatches : mismatch list;
+}
+
+val tlp_check :
+  Sqlfun_engine.Engine.t -> table:string -> predicate:Sqlfun_ast.Ast.expr ->
+  (mismatch option, string) result
+(** [Error] when even the unpartitioned query fails (inapplicable). *)
+
+val norec_check :
+  Sqlfun_engine.Engine.t -> table:string -> predicate:Sqlfun_ast.Ast.expr ->
+  (mismatch option, string) result
+
+val agg_equiv_check :
+  Sqlfun_engine.Engine.t -> table:string -> column:string ->
+  (mismatch list, string) result
+
+val run : ?seed:int -> ?budget:int -> Dialect.profile -> report
+(** Random predicates over the profile's seeded tables, all three oracles,
+    [budget] checks in total (default 300). *)
+
+val report_to_string : report -> string

@@ -1,0 +1,1 @@
+lib/lex/lexer.ml: Buffer Char List Printf String

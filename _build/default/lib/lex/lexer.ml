@@ -1,0 +1,263 @@
+type token =
+  | INT of string
+  | DEC of string
+  | STRING of string
+  | HEXSTR of string
+  | IDENT of string
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | DOT
+  | DOUBLE_COLON
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | CONCAT_OP
+  | AMP
+  | PIPE
+  | CARET
+  | TILDE
+  | SHIFT_L
+  | SHIFT_R
+  | EOF
+
+type located = { tok : token; pos : int }
+type error = { msg : string; at : int }
+
+exception Lex_error of error
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '$'
+let is_digit c = c >= '0' && c <= '9'
+
+let is_hex_digit c =
+  is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let hex_value c =
+  if is_digit c then Char.code c - 48
+  else if c >= 'a' && c <= 'f' then Char.code c - 87
+  else Char.code c - 55
+
+(* Scan a quoted string starting after the opening quote. Supports ''
+   doubling and backslash escapes. Returns (decoded, index after close). *)
+let scan_string src start =
+  let n = String.length src in
+  let buf = Buffer.create 16 in
+  let rec go i =
+    if i >= n then raise (Lex_error { msg = "unterminated string"; at = start })
+    else
+      match src.[i] with
+      | '\'' ->
+        if i + 1 < n && src.[i + 1] = '\'' then begin
+          Buffer.add_char buf '\'';
+          go (i + 2)
+        end
+        else (Buffer.contents buf, i + 1)
+      | '\\' when i + 1 < n ->
+        let c =
+          match src.[i + 1] with
+          | 'n' -> '\n'
+          | 't' -> '\t'
+          | 'r' -> '\r'
+          | '0' -> '\000'
+          | c -> c
+        in
+        Buffer.add_char buf c;
+        go (i + 2)
+      | c ->
+        Buffer.add_char buf c;
+        go (i + 1)
+  in
+  go start
+
+let scan_hex_string src start =
+  let n = String.length src in
+  let buf = Buffer.create 16 in
+  let rec go i pending =
+    if i >= n then
+      raise (Lex_error { msg = "unterminated hex string"; at = start })
+    else
+      match src.[i] with
+      | '\'' ->
+        (match pending with
+         | Some _ ->
+           raise (Lex_error { msg = "odd hex string length"; at = start })
+         | None -> (Buffer.contents buf, i + 1))
+      | c when is_hex_digit c ->
+        (match pending with
+         | None -> go (i + 1) (Some (hex_value c))
+         | Some hi ->
+           Buffer.add_char buf (Char.chr ((hi * 16) + hex_value c));
+           go (i + 1) None)
+      | _ -> raise (Lex_error { msg = "bad hex digit"; at = i })
+  in
+  go start None
+
+(* Scan a number starting at [i]; the leading character is a digit or a dot
+   followed by a digit. *)
+let scan_number src i =
+  let n = String.length src in
+  let j = ref i in
+  let seen_dot = ref false and seen_exp = ref false in
+  let continue = ref true in
+  while !continue && !j < n do
+    (match src.[!j] with
+     | c when is_digit c -> incr j
+     | '.' when (not !seen_dot) && not !seen_exp ->
+       seen_dot := true;
+       incr j
+     | ('e' | 'E')
+       when (not !seen_exp)
+            && !j + 1 < n
+            && (is_digit src.[!j + 1]
+                || ((src.[!j + 1] = '+' || src.[!j + 1] = '-')
+                    && !j + 2 < n
+                    && is_digit src.[!j + 2])) ->
+       seen_exp := true;
+       incr j;
+       if src.[!j] = '+' || src.[!j] = '-' then incr j
+     | _ -> continue := false);
+    ()
+  done;
+  let text = String.sub src i (!j - i) in
+  let tok = if !seen_dot || !seen_exp then DEC text else INT text in
+  (tok, !j)
+
+let tokenize src =
+  let n = String.length src in
+  let out = ref [] in
+  let emit tok pos = out := { tok; pos } :: !out in
+  let rec go i =
+    if i >= n then emit EOF i
+    else
+      match src.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1)
+      | '-' when i + 1 < n && src.[i + 1] = '-' ->
+        let rec eol j = if j < n && src.[j] <> '\n' then eol (j + 1) else j in
+        go (eol (i + 2))
+      | '/' when i + 1 < n && src.[i + 1] = '*' ->
+        let rec close j =
+          if j + 1 >= n then
+            raise (Lex_error { msg = "unterminated comment"; at = i })
+          else if src.[j] = '*' && src.[j + 1] = '/' then j + 2
+          else close (j + 1)
+        in
+        go (close (i + 2))
+      | '\'' ->
+        let s, j = scan_string src (i + 1) in
+        emit (STRING s) i;
+        go j
+      | ('x' | 'X') when i + 1 < n && src.[i + 1] = '\'' ->
+        let s, j = scan_hex_string src (i + 2) in
+        emit (HEXSTR s) i;
+        go j
+      | c when is_digit c ->
+        let tok, j = scan_number src i in
+        emit tok i;
+        go j
+      | '.' when i + 1 < n && is_digit src.[i + 1] ->
+        let tok, j = scan_number src i in
+        emit tok i;
+        go j
+      | c when is_ident_start c ->
+        let rec stop j = if j < n && is_ident_char src.[j] then stop (j + 1) else j in
+        let j = stop (i + 1) in
+        emit (IDENT (String.sub src i (j - i))) i;
+        go j
+      | '(' -> emit LPAREN i; go (i + 1)
+      | ')' -> emit RPAREN i; go (i + 1)
+      | '[' -> emit LBRACKET i; go (i + 1)
+      | ']' -> emit RBRACKET i; go (i + 1)
+      | ',' -> emit COMMA i; go (i + 1)
+      | ';' -> emit SEMI i; go (i + 1)
+      | '.' -> emit DOT i; go (i + 1)
+      | ':' when i + 1 < n && src.[i + 1] = ':' ->
+        emit DOUBLE_COLON i;
+        go (i + 2)
+      | '+' -> emit PLUS i; go (i + 1)
+      | '-' -> emit MINUS i; go (i + 1)
+      | '*' -> emit STAR i; go (i + 1)
+      | '/' -> emit SLASH i; go (i + 1)
+      | '%' -> emit PERCENT i; go (i + 1)
+      | '=' -> emit EQ i; go (i + 1)
+      | '!' when i + 1 < n && src.[i + 1] = '=' ->
+        emit NEQ i;
+        go (i + 2)
+      | '<' when i + 1 < n && src.[i + 1] = '>' ->
+        emit NEQ i;
+        go (i + 2)
+      | '<' when i + 1 < n && src.[i + 1] = '=' ->
+        emit LE i;
+        go (i + 2)
+      | '<' when i + 1 < n && src.[i + 1] = '<' ->
+        emit SHIFT_L i;
+        go (i + 2)
+      | '<' -> emit LT i; go (i + 1)
+      | '>' when i + 1 < n && src.[i + 1] = '=' ->
+        emit GE i;
+        go (i + 2)
+      | '>' when i + 1 < n && src.[i + 1] = '>' ->
+        emit SHIFT_R i;
+        go (i + 2)
+      | '>' -> emit GT i; go (i + 1)
+      | '|' when i + 1 < n && src.[i + 1] = '|' ->
+        emit CONCAT_OP i;
+        go (i + 2)
+      | '|' -> emit PIPE i; go (i + 1)
+      | '&' -> emit AMP i; go (i + 1)
+      | '^' -> emit CARET i; go (i + 1)
+      | '~' -> emit TILDE i; go (i + 1)
+      | c ->
+        raise
+          (Lex_error { msg = Printf.sprintf "unexpected character %C" c; at = i })
+  in
+  match go 0 with
+  | () -> Ok (List.rev !out)
+  | exception Lex_error e -> Error e
+
+let token_to_string = function
+  | INT s -> s
+  | DEC s -> s
+  | STRING s -> Printf.sprintf "'%s'" s
+  | HEXSTR _ -> "X'...'"
+  | IDENT s -> s
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | COMMA -> ","
+  | SEMI -> ";"
+  | DOT -> "."
+  | DOUBLE_COLON -> "::"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | EQ -> "="
+  | NEQ -> "<>"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | CONCAT_OP -> "||"
+  | AMP -> "&"
+  | PIPE -> "|"
+  | CARET -> "^"
+  | TILDE -> "~"
+  | SHIFT_L -> "<<"
+  | SHIFT_R -> ">>"
+  | EOF -> "<eof>"

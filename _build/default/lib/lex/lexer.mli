@@ -1,0 +1,48 @@
+(** Hand-written SQL lexer.
+
+    Numeric literals are tokenized as raw digit strings of unbounded
+    length — the boundary literals the paper studies must survive lexing
+    byte-for-byte. *)
+
+type token =
+  | INT of string       (** integer literal digits *)
+  | DEC of string       (** literal with a fraction and/or exponent *)
+  | STRING of string    (** decoded contents of ['...'] *)
+  | HEXSTR of string    (** decoded bytes of [x'...'] *)
+  | IDENT of string     (** identifier or keyword, original spelling *)
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | DOT
+  | DOUBLE_COLON        (** [::] cast operator *)
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | CONCAT_OP           (** [||] *)
+  | AMP
+  | PIPE
+  | CARET
+  | TILDE
+  | SHIFT_L
+  | SHIFT_R
+  | EOF
+
+type located = { tok : token; pos : int }
+
+type error = { msg : string; at : int }
+
+val tokenize : string -> (located list, error) result
+(** The result always ends with an [EOF] token. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,1 @@
+lib/num/checked_int.ml: Float Int64

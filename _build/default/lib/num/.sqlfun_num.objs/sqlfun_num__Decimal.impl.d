@@ -1,0 +1,1 @@
+lib/num/decimal.ml: Array Buffer Bytes Char Format Int64 Printf String

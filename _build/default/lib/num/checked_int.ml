@@ -1,0 +1,51 @@
+let add a b =
+  let r = Int64.add a b in
+  (* Overflow iff operands share a sign that the result lost. *)
+  if (a >= 0L && b >= 0L && r < 0L) || (a < 0L && b < 0L && r >= 0L) then None
+  else Some r
+
+let neg a = if a = Int64.min_int then None else Some (Int64.neg a)
+
+let sub a b =
+  match neg b with
+  | Some nb -> add a nb
+  | None -> if a < 0L then add (Int64.add a 1L) Int64.max_int else None
+
+let mul a b =
+  if a = 0L || b = 0L then Some 0L
+  else
+    let r = Int64.mul a b in
+    if Int64.div r b = a && not (a = -1L && b = Int64.min_int) then Some r
+    else None
+
+let div a b =
+  if b = 0L || (a = Int64.min_int && b = -1L) then None else Some (Int64.div a b)
+
+let rem a b =
+  if b = 0L || (a = Int64.min_int && b = -1L) then None else Some (Int64.rem a b)
+
+let abs a = if a < 0L then neg a else Some a
+
+let pow base e =
+  if e < 0L then None
+  else begin
+    let rec go acc base e =
+      match acc with
+      | None -> None
+      | Some acc_v ->
+        if e = 0L then Some acc_v
+        else
+          let acc = if Int64.rem e 2L = 1L then mul acc_v base else Some acc_v in
+          if e = 1L then acc
+          else
+            (match mul base base with
+             | Some sq -> go acc sq (Int64.div e 2L)
+             | None -> if e <= 1L then acc else None)
+    in
+    go (Some 1L) base e
+  end
+
+let of_float f =
+  if Float.is_nan f then None
+  else if f >= 9.2233720368547758e18 || f <= -9.2233720368547758e18 then None
+  else Some (Int64.of_float f)

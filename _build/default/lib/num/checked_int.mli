@@ -1,0 +1,23 @@
+(** Overflow-checked [int64] arithmetic.
+
+    Real DBMS integer code paths either saturate, wrap, or raise on
+    overflow — and several studied bugs (e.g. CVE-2016-0773) hinge on the
+    difference. These helpers make the overflow case explicit so every
+    function implementation chooses a policy deliberately. *)
+
+val add : int64 -> int64 -> int64 option
+val sub : int64 -> int64 -> int64 option
+val mul : int64 -> int64 -> int64 option
+
+val div : int64 -> int64 -> int64 option
+(** [None] on division by zero or [min_int / -1]. *)
+
+val rem : int64 -> int64 -> int64 option
+val neg : int64 -> int64 option
+val abs : int64 -> int64 option
+
+val pow : int64 -> int64 -> int64 option
+(** [None] on overflow or negative exponent. *)
+
+val of_float : float -> int64 option
+(** [None] for NaN and out-of-range floats. *)

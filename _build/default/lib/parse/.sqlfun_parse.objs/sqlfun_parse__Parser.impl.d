@@ -1,0 +1,1 @@
+lib/parse/parser.ml: Array Ast Lexer List Printf Sqlfun_ast Sqlfun_lex String

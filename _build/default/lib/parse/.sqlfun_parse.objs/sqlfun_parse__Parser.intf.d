@@ -1,0 +1,1 @@
+lib/parse/parser.mli: Sqlfun_ast

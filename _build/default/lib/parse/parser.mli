@@ -1,0 +1,14 @@
+(** Recursive-descent parser for the shared SQL fragment.
+
+    Produces the {!Sqlfun_ast.Ast} representation; used both by the engines
+    (to execute queries) and by the study module (to parse bug PoCs and
+    count function expressions as in Table 2). *)
+
+val parse_stmt : string -> (Sqlfun_ast.Ast.stmt, string) result
+(** Parse a single statement (an optional trailing [;] is accepted). *)
+
+val parse_script : string -> (Sqlfun_ast.Ast.stmt list, string) result
+(** Parse a [;]-separated script. *)
+
+val parse_expr_string : string -> (Sqlfun_ast.Ast.expr, string) result
+(** Parse a standalone expression — handy in tests and generators. *)

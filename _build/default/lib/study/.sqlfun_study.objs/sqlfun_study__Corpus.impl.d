@@ -1,0 +1,1 @@
+lib/study/corpus.ml: Array Hashtbl List Printf String

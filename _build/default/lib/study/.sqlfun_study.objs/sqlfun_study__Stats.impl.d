@@ -1,0 +1,1 @@
+lib/study/stats.ml: Corpus Fun Hashtbl Lazy List Sqlfun_ast Sqlfun_parse

@@ -1,0 +1,147 @@
+let entries () = Lazy.force Corpus.all
+
+let total () = List.length (entries ())
+
+let count_by f l =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun x ->
+      let k = f x in
+      Hashtbl.replace tbl k
+        (1 + match Hashtbl.find_opt tbl k with Some n -> n | None -> 0))
+    l;
+  tbl
+
+let by_dbms () =
+  let tbl = count_by (fun e -> e.Corpus.dbms) (entries ()) in
+  List.map
+    (fun d -> (d, match Hashtbl.find_opt tbl d with Some n -> n | None -> 0))
+    [ "postgresql"; "mysql"; "mariadb" ]
+
+let stage_distribution () =
+  let with_stage =
+    List.filter_map (fun e -> e.Corpus.stage) (entries ())
+  in
+  let tbl = count_by Fun.id with_stage in
+  ( List.map
+      (fun s -> (s, match Hashtbl.find_opt tbl s with Some n -> n | None -> 0))
+      [ Corpus.Execution; Corpus.Optimization; Corpus.Parsing ],
+    List.length with_stage )
+
+let all_occurrences () =
+  List.concat_map (fun e -> e.Corpus.occurrences) (entries ())
+
+let occurrences_by_type () =
+  let occs = all_occurrences () in
+  let occ_tbl = count_by (fun o -> o.Corpus.fn_type) occs in
+  let uniq_tbl = Hashtbl.create 16 in
+  List.iter
+    (fun o ->
+      let names =
+        match Hashtbl.find_opt uniq_tbl o.Corpus.fn_type with
+        | Some set -> set
+        | None ->
+          let set = Hashtbl.create 8 in
+          Hashtbl.add uniq_tbl o.Corpus.fn_type set;
+          set
+      in
+      Hashtbl.replace names o.Corpus.fn_name ())
+    occs;
+  Hashtbl.fold
+    (fun ty occ acc ->
+      let uniq =
+        match Hashtbl.find_opt uniq_tbl ty with
+        | Some set -> Hashtbl.length set
+        | None -> 0
+      in
+      (ty, occ, uniq) :: acc)
+    occ_tbl []
+  |> List.sort (fun (_, a, _) (_, b, _) -> compare b a)
+
+let total_occurrences () = List.length (all_occurrences ())
+
+let size_distribution () =
+  let tbl = count_by (fun e -> List.length e.Corpus.occurrences) (entries ()) in
+  List.map
+    (fun n -> (n, match Hashtbl.find_opt tbl n with Some c -> c | None -> 0))
+    [ 1; 2; 3; 4; 5 ]
+
+let percent n total = 100.0 *. float_of_int n /. float_of_int total
+
+let at_most_two_share () =
+  let n =
+    List.length
+      (List.filter (fun e -> List.length e.Corpus.occurrences <= 2) (entries ()))
+  in
+  (n, percent n (total ()))
+
+let prereq_distribution () =
+  let tbl = count_by (fun e -> e.Corpus.prereq) (entries ()) in
+  List.map
+    (fun p -> (p, match Hashtbl.find_opt tbl p with Some n -> n | None -> 0))
+    [ Corpus.Table_with_data; Corpus.No_table; Corpus.Empty_table ]
+
+let root_cause_distribution () =
+  let tbl = count_by (fun e -> e.Corpus.root_cause) (entries ()) in
+  List.map
+    (fun c -> (c, match Hashtbl.find_opt tbl c with Some n -> n | None -> 0))
+    [
+      Corpus.Boundary_literal Corpus.Extreme_numeric;
+      Corpus.Boundary_literal Corpus.Empty_or_null;
+      Corpus.Boundary_literal Corpus.Crafted_string;
+      Corpus.Boundary_casting;
+      Corpus.Boundary_nested;
+      Corpus.Config_cause;
+      Corpus.Table_definition;
+      Corpus.Syntax_structure;
+    ]
+
+let is_boundary = function
+  | Corpus.Boundary_literal _ | Corpus.Boundary_casting | Corpus.Boundary_nested ->
+    true
+  | Corpus.Config_cause | Corpus.Table_definition | Corpus.Syntax_structure ->
+    false
+
+let boundary_share () =
+  let n =
+    List.length (List.filter (fun e -> is_boundary e.Corpus.root_cause) (entries ()))
+  in
+  (n, percent n (total ()))
+
+let family_counts () =
+  let count p = List.length (List.filter (fun e -> p e.Corpus.root_cause) (entries ())) in
+  let literal = count (function Corpus.Boundary_literal _ -> true | _ -> false) in
+  let casting = count (function Corpus.Boundary_casting -> true | _ -> false) in
+  let nested = count (function Corpus.Boundary_nested -> true | _ -> false) in
+  let t = total () in
+  [
+    ("boundary literal values", literal, percent literal t);
+    ("boundary type castings", casting, percent casting t);
+    ("boundary nested-function results", nested, percent nested t);
+  ]
+
+let literal_subcauses () =
+  let count sub =
+    List.length
+      (List.filter
+         (fun e -> e.Corpus.root_cause = Corpus.Boundary_literal sub)
+         (entries ()))
+  in
+  let t = total () in
+  List.map
+    (fun sub -> (sub, count sub, percent (count sub) t))
+    [ Corpus.Extreme_numeric; Corpus.Empty_or_null; Corpus.Crafted_string ]
+
+let parsed_poc_sizes () =
+  List.filter_map
+    (fun e ->
+      match e.Corpus.poc with
+      | None -> None
+      | Some sql ->
+        let parsed =
+          match Sqlfun_parse.Parser.parse_stmt sql with
+          | Ok stmt -> Sqlfun_ast.Ast_util.count_function_exprs stmt
+          | Error _ -> -1
+        in
+        Some (e.Corpus.id, List.length e.Corpus.occurrences, parsed))
+    (entries ())

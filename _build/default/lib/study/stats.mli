@@ -1,0 +1,42 @@
+(** Aggregations over the studied-bug corpus — the numbers behind §4/§5:
+    Table 1, Findings 1–4, Figure 1, Table 2, and the root-cause shares. *)
+
+val total : unit -> int
+
+val by_dbms : unit -> (string * int) list
+(** Table 1: [postgresql; mysql; mariadb] order. *)
+
+val stage_distribution : unit -> (Corpus.stage * int) list * int
+(** Finding 1: counts over the bugs with identifiable backtraces, plus the
+    number of such bugs. *)
+
+val occurrences_by_type : unit -> (string * int * int) list
+(** Figure 1: (function type, occurrence count, unique function names),
+    sorted by occurrence count descending. *)
+
+val total_occurrences : unit -> int
+(** 508 in the paper. *)
+
+val size_distribution : unit -> (int * int) list
+(** Table 2: function-expressions-per-PoC buckets 1,2,3,4,5+(as 5). *)
+
+val at_most_two_share : unit -> int * float
+(** Finding 3: count and percentage of bugs with <= 2 function exprs. *)
+
+val prereq_distribution : unit -> (Corpus.prereq * int) list
+(** Finding 4. *)
+
+val root_cause_distribution : unit -> (Corpus.root_cause * int) list
+
+val boundary_share : unit -> int * float
+(** §5 headline: boundary-caused bugs and their percentage (87.4%). *)
+
+val family_counts : unit -> (string * int * float) list
+(** §5: literal / casting / nested counts with percentages. *)
+
+val literal_subcauses : unit -> (Corpus.literal_subcause * int * float) list
+(** §6's 10.0% / 6.6% / 12.9% split. *)
+
+val parsed_poc_sizes : unit -> (string * int * int) list
+(** For every curated entry with a PoC: (id, recorded size, size computed
+    by parsing the PoC with the repository's own parser). *)

@@ -1,0 +1,1 @@
+lib/value/cast.ml: Ast Calendar Checked_int Decimal Float Geometry Inet Int64 Json List Printf Sql_pp Sqlfun_ast Sqlfun_coverage Sqlfun_data Sqlfun_num String Value Xml_doc

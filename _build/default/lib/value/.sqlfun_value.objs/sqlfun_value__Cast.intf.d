@@ -1,0 +1,1 @@
+lib/value/cast.mli: Sqlfun_ast Sqlfun_coverage Value

@@ -1,0 +1,1 @@
+lib/value/value.ml: Buffer Calendar Char Decimal Float Format Geometry Inet Int64 Json List Printf Sqlfun_data Sqlfun_num Stdlib String Xml_doc

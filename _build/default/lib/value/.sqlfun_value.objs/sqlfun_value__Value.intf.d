@@ -1,0 +1,1 @@
+lib/value/value.mli: Calendar Decimal Format Geometry Inet Json Sqlfun_data Sqlfun_num Xml_doc

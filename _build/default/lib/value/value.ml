@@ -1,0 +1,229 @@
+open Sqlfun_num
+open Sqlfun_data
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int64
+  | Dec of Decimal.t
+  | Float of float
+  | Str of string
+  | Blob of string
+  | Date of Calendar.date
+  | Time of Calendar.time
+  | Datetime of Calendar.datetime
+  | Interval of Calendar.interval
+  | Json of Json.t
+  | Arr of t list
+  | Map of (t * t) list
+  | Row of t list
+  | Inet of Inet.t
+  | Uuid of string
+  | Geom of Geometry.t
+  | Xml of Xml_doc.t list
+
+type ty =
+  | Ty_null
+  | Ty_bool
+  | Ty_int
+  | Ty_dec
+  | Ty_float
+  | Ty_str
+  | Ty_blob
+  | Ty_date
+  | Ty_time
+  | Ty_datetime
+  | Ty_interval
+  | Ty_json
+  | Ty_array
+  | Ty_map
+  | Ty_row
+  | Ty_inet
+  | Ty_uuid
+  | Ty_geometry
+  | Ty_xml
+
+let type_of = function
+  | Null -> Ty_null
+  | Bool _ -> Ty_bool
+  | Int _ -> Ty_int
+  | Dec _ -> Ty_dec
+  | Float _ -> Ty_float
+  | Str _ -> Ty_str
+  | Blob _ -> Ty_blob
+  | Date _ -> Ty_date
+  | Time _ -> Ty_time
+  | Datetime _ -> Ty_datetime
+  | Interval _ -> Ty_interval
+  | Json _ -> Ty_json
+  | Arr _ -> Ty_array
+  | Map _ -> Ty_map
+  | Row _ -> Ty_row
+  | Inet _ -> Ty_inet
+  | Uuid _ -> Ty_uuid
+  | Geom _ -> Ty_geometry
+  | Xml _ -> Ty_xml
+
+let ty_name = function
+  | Ty_null -> "NULL"
+  | Ty_bool -> "BOOLEAN"
+  | Ty_int -> "BIGINT"
+  | Ty_dec -> "DECIMAL"
+  | Ty_float -> "DOUBLE"
+  | Ty_str -> "TEXT"
+  | Ty_blob -> "BLOB"
+  | Ty_date -> "DATE"
+  | Ty_time -> "TIME"
+  | Ty_datetime -> "DATETIME"
+  | Ty_interval -> "INTERVAL"
+  | Ty_json -> "JSON"
+  | Ty_array -> "ARRAY"
+  | Ty_map -> "MAP"
+  | Ty_row -> "ROW"
+  | Ty_inet -> "INET"
+  | Ty_uuid -> "UUID"
+  | Ty_geometry -> "GEOMETRY"
+  | Ty_xml -> "XML"
+
+let is_null = function Null -> true | _ -> false
+
+let float_display f =
+  if Float.is_nan f then "NaN"
+  else if f = Float.infinity then "Infinity"
+  else if f = Float.neg_infinity then "-Infinity"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.12g" f
+
+let blob_display b =
+  let buf = Buffer.create (2 + (2 * String.length b)) in
+  Buffer.add_string buf "0x";
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02X" (Char.code c))) b;
+  Buffer.contents buf
+
+let rec to_display = function
+  | Null -> "NULL"
+  | Bool true -> "TRUE"
+  | Bool false -> "FALSE"
+  | Int i -> Int64.to_string i
+  | Dec d -> Decimal.to_string d
+  | Float f -> float_display f
+  | Str s -> s
+  | Blob b -> blob_display b
+  | Date d -> Calendar.date_to_string d
+  | Time t -> Calendar.time_to_string t
+  | Datetime dt -> Calendar.datetime_to_string dt
+  | Interval { amount; unit_ } ->
+    Printf.sprintf "INTERVAL %Ld %s" amount (Calendar.unit_to_string unit_)
+  | Json j -> Json.to_string j
+  | Arr vs -> "[" ^ String.concat ", " (List.map to_display vs) ^ "]"
+  | Map kvs ->
+    "{"
+    ^ String.concat ", "
+        (List.map (fun (k, v) -> to_display k ^ ": " ^ to_display v) kvs)
+    ^ "}"
+  | Row vs -> "(" ^ String.concat ", " (List.map to_display vs) ^ ")"
+  | Inet a -> Inet.to_string a
+  | Uuid u -> u
+  | Geom g -> Geometry.to_wkt g
+  | Xml nodes -> Xml_doc.to_string nodes
+
+(* Numeric coercion tower: Int < Dec < Float. *)
+let as_dec = function
+  | Int i -> Some (Decimal.of_int64 i)
+  | Dec d -> Some d
+  | Bool b -> Some (if b then Decimal.one else Decimal.zero)
+  | Null | Float _ | Str _ | Blob _ | Date _ | Time _ | Datetime _
+  | Interval _ | Json _ | Arr _ | Map _ | Row _ | Inet _ | Uuid _ | Geom _
+  | Xml _ ->
+    None
+
+let as_float = function
+  | Int i -> Some (Int64.to_float i)
+  | Dec d -> Some (Decimal.to_float d)
+  | Float f -> Some f
+  | Bool b -> Some (if b then 1.0 else 0.0)
+  | Null | Str _ | Blob _ | Date _ | Time _ | Datetime _ | Interval _
+  | Json _ | Arr _ | Map _ | Row _ | Inet _ | Uuid _ | Geom _ | Xml _ ->
+    None
+
+let rec compare_values a b =
+  match (a, b) with
+  | Null, _ | _, Null -> None
+  | Bool x, Bool y -> Some (compare x y)
+  | Int x, Int y -> Some (Int64.compare x y)
+  | Str x, Str y -> Some (String.compare x y)
+  | Blob x, Blob y -> Some (String.compare x y)
+  | Date x, Date y -> Some (Calendar.compare_date x y)
+  | Time x, Time y ->
+    Some
+      (compare
+         ((x.Calendar.hour * 3600) + (x.Calendar.minute * 60) + x.Calendar.second)
+         ((y.Calendar.hour * 3600) + (y.Calendar.minute * 60) + y.Calendar.second))
+  | Datetime x, Datetime y -> Some (Calendar.compare_datetime x y)
+  | Uuid x, Uuid y -> Some (String.compare x y)
+  | Inet x, Inet y -> Some (String.compare (Inet.to_bytes x) (Inet.to_bytes y))
+  | (Float _, _ | _, Float _)
+    when as_float a <> None && as_float b <> None ->
+    (match (as_float a, as_float b) with
+     | Some x, Some y ->
+       if Float.is_nan x || Float.is_nan y then None else Some (Float.compare x y)
+     | _, _ -> None)
+  | (Int _ | Dec _ | Bool _), (Int _ | Dec _ | Bool _) ->
+    (match (as_dec a, as_dec b) with
+     | Some x, Some y -> Some (Decimal.compare x y)
+     | _, _ -> None)
+  | Arr xs, Arr ys -> compare_lists xs ys
+  | Str x, Date _ ->
+    (match Calendar.date_of_string x with
+     | Some d -> compare_values (Date d) b
+     | None -> None)
+  | Date _, Str y ->
+    (match Calendar.date_of_string y with
+     | Some d -> compare_values a (Date d)
+     | None -> None)
+  | _, _ -> None
+
+and compare_lists xs ys =
+  match (xs, ys) with
+  | [], [] -> Some 0
+  | [], _ :: _ -> Some (-1)
+  | _ :: _, [] -> Some 1
+  | x :: xs', y :: ys' ->
+    (match compare_values x y with
+     | Some 0 -> compare_lists xs' ys'
+     | (Some _ | None) as r -> r)
+
+let equal a b = match compare_values a b with Some 0 -> true | Some _ | None -> false
+
+let rec size_of = function
+  | Null | Bool _ -> 1
+  | Int _ -> 8
+  | Float _ -> 8
+  | Dec d -> Decimal.precision d + 4
+  | Str s | Blob s | Uuid s -> String.length s
+  | Date _ -> 4
+  | Time _ -> 4
+  | Datetime _ -> 8
+  | Interval _ -> 12
+  | Json j -> String.length (Json.to_string j)
+  | Arr vs | Row vs -> List.fold_left (fun acc v -> acc + size_of v) 8 vs
+  | Map kvs ->
+    List.fold_left (fun acc (k, v) -> acc + size_of k + size_of v) 8 kvs
+  | Inet _ -> 16
+  | Geom g -> 16 * Geometry.num_points g
+  | Xml nodes -> String.length (Xml_doc.to_string nodes)
+
+let rec depth_of = function
+  | Null | Bool _ | Int _ | Dec _ | Float _ | Str _ | Blob _ | Date _
+  | Time _ | Datetime _ | Interval _ | Inet _ | Uuid _ | Geom _ ->
+    1
+  | Json j -> Json.depth j
+  | Xml nodes ->
+    1 + List.fold_left (fun m n -> Stdlib.max m (Xml_doc.node_depth n)) 0 nodes
+  | Arr [] | Row [] | Map [] -> 1
+  | Arr vs | Row vs ->
+    1 + List.fold_left (fun m v -> Stdlib.max m (depth_of v)) 0 vs
+  | Map kvs ->
+    1 + List.fold_left (fun m (_, v) -> Stdlib.max m (depth_of v)) 0 kvs
+
+let pp fmt v = Format.pp_print_string fmt (to_display v)

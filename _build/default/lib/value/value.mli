@@ -1,0 +1,72 @@
+(** The runtime value universe shared by every simulated dialect. *)
+
+open Sqlfun_num
+open Sqlfun_data
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int64
+  | Dec of Decimal.t
+  | Float of float
+  | Str of string
+  | Blob of string
+  | Date of Calendar.date
+  | Time of Calendar.time
+  | Datetime of Calendar.datetime
+  | Interval of Calendar.interval
+  | Json of Json.t
+  | Arr of t list
+  | Map of (t * t) list
+  | Row of t list
+  | Inet of Inet.t
+  | Uuid of string
+  | Geom of Geometry.t
+  | Xml of Xml_doc.t list
+
+(** Runtime type tags (the names DBMS error messages use). *)
+type ty =
+  | Ty_null
+  | Ty_bool
+  | Ty_int
+  | Ty_dec
+  | Ty_float
+  | Ty_str
+  | Ty_blob
+  | Ty_date
+  | Ty_time
+  | Ty_datetime
+  | Ty_interval
+  | Ty_json
+  | Ty_array
+  | Ty_map
+  | Ty_row
+  | Ty_inet
+  | Ty_uuid
+  | Ty_geometry
+  | Ty_xml
+
+val type_of : t -> ty
+val ty_name : ty -> string
+
+val is_null : t -> bool
+
+val to_display : t -> string
+(** Result-set rendering (what a client would print). *)
+
+val compare_values : t -> t -> int option
+(** SQL comparison with numeric coercion across [Int]/[Dec]/[Float];
+    [None] when the two values are not comparable (e.g. [Row] against
+    anything, geometry, maps) — exactly the gap MDEV-14596 fell into. *)
+
+val equal : t -> t -> bool
+(** Structural equality after numeric coercion; [false] when incomparable. *)
+
+val size_of : t -> int
+(** Rough heap footprint in bytes, used by the evaluator's resource
+    accounting (the paper's REPEAT false-positive class). *)
+
+val depth_of : t -> int
+(** Structural nesting depth across arrays/rows/maps/JSON/XML. *)
+
+val pp : Format.formatter -> t -> unit

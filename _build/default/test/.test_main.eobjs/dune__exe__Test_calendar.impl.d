@@ -1,0 +1,1 @@
+test/test_calendar.ml: Alcotest Calendar QCheck QCheck_alcotest Sqlfun_data

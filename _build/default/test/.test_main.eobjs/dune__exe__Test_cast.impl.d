@@ -1,0 +1,1 @@
+test/test_cast.ml: Alcotest Ast Calendar Cast Decimal Int64 Json List Printexc Printf QCheck QCheck_alcotest Sql_pp Sqlfun_ast Sqlfun_data Sqlfun_num Sqlfun_value String Value

@@ -1,0 +1,1 @@
+test/test_decimal.ml: Alcotest Checked_int Decimal Float Int64 List QCheck QCheck_alcotest Sqlfun_num String

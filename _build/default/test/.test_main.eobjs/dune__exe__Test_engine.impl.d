@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest All_fns Cast Engine Fn_ctx Interp List Sqlfun_engine Sqlfun_functions Sqlfun_value String Value

@@ -1,0 +1,1 @@
+test/test_explain.ml: Alcotest All_fns Cast Engine List Sqlfun_ast Sqlfun_engine Sqlfun_functions Sqlfun_parse Sqlfun_value String Value

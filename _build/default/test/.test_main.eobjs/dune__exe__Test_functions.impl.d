@@ -1,0 +1,1 @@
+test/test_functions.ml: Alcotest All_fns Cast Engine Lazy List Sqlfun_engine Sqlfun_functions Sqlfun_value String Value

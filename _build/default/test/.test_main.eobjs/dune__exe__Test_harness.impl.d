@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Compare Dialect List Logic_oracle QCheck QCheck_alcotest Soft Sqlfun_ast Sqlfun_baselines Sqlfun_dialects Sqlfun_engine Sqlfun_harness String Tables

@@ -1,0 +1,1 @@
+test/test_inet_geo_xml.ml: Alcotest Geometry Inet List Sqlfun_data String Xml_doc

@@ -1,0 +1,1 @@
+test/test_joins.ml: Alcotest All_fns Cast Engine Interp List Sqlfun_ast Sqlfun_engine Sqlfun_functions Sqlfun_parse Sqlfun_value String Value

@@ -1,0 +1,1 @@
+test/test_json.ml: Alcotest Json List Sqlfun_data String

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Ast Ast_util List Parser Printf QCheck QCheck_alcotest Sql_pp Sqlfun_ast Sqlfun_parse String

@@ -1,0 +1,1 @@
+test/test_soft.ml: Alcotest Ast Ast_util Dialect Fault List Pattern_id Soft Sql_pp Sqlfun_ast Sqlfun_baselines Sqlfun_dialects Sqlfun_engine Sqlfun_fault Sqlfun_harness Sqlfun_parse String

@@ -1,0 +1,1 @@
+test/test_study.ml: Alcotest Corpus Float Lazy List Printf Sqlfun_study Stats String

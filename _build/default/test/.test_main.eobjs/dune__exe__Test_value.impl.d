@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Calendar Decimal Float Int64 Json List QCheck QCheck_alcotest Sqlfun_data Sqlfun_num Sqlfun_value Value

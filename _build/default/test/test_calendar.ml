@@ -1,0 +1,139 @@
+open Sqlfun_data
+
+let date s =
+  match Calendar.date_of_string s with
+  | Some d -> d
+  | None -> Alcotest.failf "bad date %S" s
+
+let dt s =
+  match Calendar.datetime_of_string s with
+  | Some d -> d
+  | None -> Alcotest.failf "bad datetime %S" s
+
+let test_leap_years () =
+  Alcotest.(check bool) "2024" true (Calendar.is_leap_year 2024);
+  Alcotest.(check bool) "1900" false (Calendar.is_leap_year 1900);
+  Alcotest.(check bool) "2000" true (Calendar.is_leap_year 2000);
+  Alcotest.(check bool) "2023" false (Calendar.is_leap_year 2023)
+
+let test_days_in_month () =
+  Alcotest.(check int) "feb leap" 29 (Calendar.days_in_month ~year:2024 ~month:2);
+  Alcotest.(check int) "feb" 28 (Calendar.days_in_month ~year:2023 ~month:2);
+  Alcotest.(check int) "apr" 30 (Calendar.days_in_month ~year:2023 ~month:4);
+  Alcotest.(check int) "bad month" 0 (Calendar.days_in_month ~year:2023 ~month:13)
+
+let test_parse_validity () =
+  Alcotest.(check bool) "feb 30 invalid" true
+    (Calendar.date_of_string "2023-02-30" = None);
+  Alcotest.(check bool) "month 0" true (Calendar.date_of_string "2023-00-10" = None);
+  Alcotest.(check bool) "leap ok" true
+    (Calendar.date_of_string "2024-02-29" <> None);
+  Alcotest.(check bool) "leap bad" true
+    (Calendar.date_of_string "2023-02-29" = None);
+  Alcotest.(check bool) "slash separators" true
+    (Calendar.date_of_string "2023/05/17" <> None);
+  Alcotest.(check bool) "garbage" true (Calendar.date_of_string "yesterday" = None);
+  Alcotest.(check bool) "year 0" true (Calendar.date_of_string "0000-01-01" = None)
+
+let test_to_string () =
+  Alcotest.(check string) "date" "2023-05-07" (Calendar.date_to_string (date "2023-5-7"));
+  Alcotest.(check string) "datetime" "2023-05-07 09:30:00"
+    (Calendar.datetime_to_string (dt "2023-05-07 9:30"))
+
+let test_julian_roundtrip () =
+  let d = date "2023-05-17" in
+  (match Calendar.of_julian_day (Calendar.to_julian_day d) with
+   | Some d2 -> Alcotest.(check string) "roundtrip" "2023-05-17" (Calendar.date_to_string d2)
+   | None -> Alcotest.fail "julian roundtrip");
+  Alcotest.(check int) "known JDN of 2000-01-01" 2451545
+    (Calendar.to_julian_day (date "2000-01-01"))
+
+let test_add_days () =
+  let d = date "2023-12-31" in
+  (match Calendar.add_days d 1 with
+   | Some d2 -> Alcotest.(check string) "year rollover" "2024-01-01" (Calendar.date_to_string d2)
+   | None -> Alcotest.fail "add_days");
+  (match Calendar.add_days (date "2024-03-01") (-1) with
+   | Some d2 -> Alcotest.(check string) "leap back" "2024-02-29" (Calendar.date_to_string d2)
+   | None -> Alcotest.fail "add_days back");
+  match Calendar.add_days (date "9999-12-31") 1 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "out of range must be None"
+
+let test_diff_and_dow () =
+  Alcotest.(check int) "diff" 365
+    (Calendar.diff_days (date "2024-01-01") (date "2023-01-01"));
+  Alcotest.(check int) "sunday" 0 (Calendar.day_of_week (date "2023-01-01"));
+  Alcotest.(check int) "monday" 1 (Calendar.day_of_week (date "2023-01-02"));
+  Alcotest.(check int) "doy" 32 (Calendar.day_of_year (date "2023-02-01"))
+
+let test_last_day () =
+  Alcotest.(check string) "last day feb" "2024-02-29"
+    (Calendar.date_to_string (Calendar.last_day (date "2024-02-15")))
+
+let test_add_interval () =
+  let add s amount unit_ =
+    match Calendar.add_interval (dt s) { Calendar.amount; unit_ } with
+    | Some r -> Calendar.datetime_to_string r
+    | None -> "overflow"
+  in
+  Alcotest.(check string) "add month clamps" "2023-02-28 00:00:00"
+    (add "2023-01-31" 1L Calendar.Month);
+  Alcotest.(check string) "add year" "2025-03-01 00:00:00"
+    (add "2024-03-01" 1L Calendar.Year);
+  Alcotest.(check string) "add hours crosses day" "2023-01-02 01:00:00"
+    (add "2023-01-01 23:00:00" 2L Calendar.Hour);
+  Alcotest.(check string) "negative seconds" "2022-12-31 23:59:59"
+    (add "2023-01-01 00:00:00" (-1L) Calendar.Second);
+  Alcotest.(check string) "interval overflow" "overflow"
+    (add "2023-01-01" 99999999L Calendar.Year)
+
+let test_units () =
+  Alcotest.(check bool) "unit parse" true
+    (Calendar.unit_of_string "days" = Some Calendar.Day);
+  Alcotest.(check bool) "unit bad" true (Calendar.unit_of_string "fortnight" = None);
+  Alcotest.(check string) "unit print" "MONTH" (Calendar.unit_to_string Calendar.Month)
+
+let test_compare () =
+  Alcotest.(check bool) "date lt" true
+    (Calendar.compare_date (date "2023-01-01") (date "2023-01-02") < 0);
+  Alcotest.(check bool) "datetime time part" true
+    (Calendar.compare_datetime (dt "2023-01-01 01:00:00") (dt "2023-01-01 02:00:00") < 0)
+
+(* property: add_days n then -n is identity within range *)
+let prop_add_days_inverse =
+  QCheck.Test.make ~name:"calendar add_days inverse" ~count:300
+    QCheck.(pair (int_range 1700000 2500000) (int_range (-10000) 10000))
+    (fun (jd, n) ->
+      match Calendar.of_julian_day jd with
+      | None -> QCheck.assume_fail ()
+      | Some d ->
+        (match Calendar.add_days d n with
+         | None -> true (* left the supported range; nothing to check *)
+         | Some d2 -> Calendar.diff_days d2 d = n))
+
+let prop_julian_roundtrip =
+  QCheck.Test.make ~name:"calendar julian roundtrip" ~count:300
+    QCheck.(int_range 1721426 5373484) (* year 1 .. 9999 *)
+    (fun jd ->
+      match Calendar.of_julian_day jd with
+      | None -> false
+      | Some d -> Calendar.to_julian_day d = jd)
+
+let suite =
+  ( "calendar",
+    [
+      Alcotest.test_case "leap years" `Quick test_leap_years;
+      Alcotest.test_case "days in month" `Quick test_days_in_month;
+      Alcotest.test_case "parse validity" `Quick test_parse_validity;
+      Alcotest.test_case "to_string" `Quick test_to_string;
+      Alcotest.test_case "julian roundtrip" `Quick test_julian_roundtrip;
+      Alcotest.test_case "add days" `Quick test_add_days;
+      Alcotest.test_case "diff and day-of-week" `Quick test_diff_and_dow;
+      Alcotest.test_case "last day" `Quick test_last_day;
+      Alcotest.test_case "add interval" `Quick test_add_interval;
+      Alcotest.test_case "units" `Quick test_units;
+      Alcotest.test_case "compare" `Quick test_compare;
+      QCheck_alcotest.to_alcotest prop_add_days_inverse;
+      QCheck_alcotest.to_alcotest prop_julian_roundtrip;
+    ] )

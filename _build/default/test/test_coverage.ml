@@ -1,0 +1,92 @@
+module Coverage = Sqlfun_coverage.Coverage
+
+let test_basic () =
+  let c = Coverage.create () in
+  Alcotest.(check int) "empty" 0 (Coverage.count c);
+  Coverage.hit c "a";
+  Coverage.hit c "a";
+  Coverage.hit c "b";
+  Alcotest.(check int) "distinct" 2 (Coverage.count c);
+  Alcotest.(check int) "hits" 3 (Coverage.total_hits c);
+  Alcotest.(check bool) "mem" true (Coverage.mem c "a");
+  Alcotest.(check bool) "not mem" false (Coverage.mem c "z");
+  Alcotest.(check (list (pair string int))) "points sorted"
+    [ ("a", 2); ("b", 1) ]
+    (Coverage.points c)
+
+let test_reset () =
+  let c = Coverage.create () in
+  Coverage.hit c "x";
+  Coverage.reset c;
+  Alcotest.(check int) "reset count" 0 (Coverage.count c);
+  Alcotest.(check int) "reset hits" 0 (Coverage.total_hits c)
+
+let test_merge_diff () =
+  let a = Coverage.create () and b = Coverage.create () in
+  Coverage.hit a "p";
+  Coverage.hit a "q";
+  Coverage.hit b "q";
+  Coverage.hit b "r";
+  Alcotest.(check (list string)) "diff a-b" [ "p" ] (Coverage.diff a b);
+  Alcotest.(check (list string)) "diff b-a" [ "r" ] (Coverage.diff b a);
+  Coverage.merge_into ~dst:a b;
+  Alcotest.(check int) "merged distinct" 3 (Coverage.count a);
+  Alcotest.(check int) "merged hits" 4 (Coverage.total_hits a)
+
+let test_prefixed () =
+  let c = Coverage.create () in
+  Coverage.hit c "fn/UPPER";
+  Coverage.hit c "fn/LOWER";
+  Coverage.hit c "cast/INT->TEXT/ok";
+  Alcotest.(check int) "fn prefix" 2 (Coverage.prefixed_count c "fn/");
+  Alcotest.(check int) "cast prefix" 1 (Coverage.prefixed_count c "cast/");
+  Alcotest.(check int) "no prefix" 0 (Coverage.prefixed_count c "zzz/")
+
+(* monotonicity: executing more statements never reduces coverage *)
+let prop_monotonic =
+  QCheck.Test.make ~name:"coverage is monotonic under execution" ~count:30
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let prof = Sqlfun_dialects.Dialect.find_exn "monetdb" in
+      let cov = Coverage.create () in
+      let engine = Sqlfun_dialects.Dialect.make_engine ~cov prof in
+      let gen = Sqlfun_baselines.Sqlsmith_gen.make ~dialect:"monetdb" ~seed in
+      let ok = ref true in
+      let last = ref 0 in
+      for _ = 1 to 20 do
+        (match
+           Sqlfun_engine.Engine.exec_stmt engine (gen.Sqlfun_baselines.Baseline.next ())
+         with
+        | Ok _ | Error _ -> ());
+        let now = Coverage.count cov in
+        if now < !last then ok := false;
+        last := now
+      done;
+      !ok)
+
+let test_engine_coverage_flows () =
+  (* executing a function-rich statement leaves fn/ and cast/ points *)
+  let prof = Sqlfun_dialects.Dialect.find_exn "mysql" in
+  let cov = Coverage.create () in
+  let engine = Sqlfun_dialects.Dialect.make_engine ~cov prof in
+  (match
+     Sqlfun_engine.Engine.exec_sql engine
+       "SELECT UPPER(CAST(1.5 AS TEXT)), LENGTH('abc')"
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "exec failed: %s" (Sqlfun_engine.Engine.error_to_string e));
+  Alcotest.(check bool) "UPPER triggered" true (Coverage.mem cov "fn/UPPER");
+  Alcotest.(check bool) "LENGTH triggered" true (Coverage.mem cov "fn/LENGTH");
+  Alcotest.(check bool) "cast point recorded" true
+    (Coverage.prefixed_count cov "cast/" > 0)
+
+let suite =
+  ( "coverage",
+    [
+      Alcotest.test_case "basic" `Quick test_basic;
+      Alcotest.test_case "reset" `Quick test_reset;
+      Alcotest.test_case "merge and diff" `Quick test_merge_diff;
+      Alcotest.test_case "prefixed counts" `Quick test_prefixed;
+      Alcotest.test_case "engine coverage flows" `Quick test_engine_coverage_flows;
+      QCheck_alcotest.to_alcotest prop_monotonic;
+    ] )

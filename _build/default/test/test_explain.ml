@@ -1,0 +1,93 @@
+(** EXPLAIN: logical-plan rendering for every statement form. *)
+
+open Sqlfun_engine
+open Sqlfun_functions
+open Sqlfun_value
+
+let engine () =
+  let e =
+    Engine.create ~registry:(All_fns.registry ())
+      ~cast_cfg:{ Cast.strictness = Cast.Strict; json_max_depth = Some 512 }
+      ~dialect:"explain-test" ()
+  in
+  (match
+     Engine.exec_script e
+       "CREATE TABLE t (a INT, b TEXT); INSERT INTO t VALUES (1, 'x');\n\
+        CREATE TABLE u (c INT)"
+   with
+  | Ok _ -> ()
+  | Error err -> Alcotest.failf "setup: %s" (Engine.error_to_string err));
+  e
+
+let plan e sql =
+  match Engine.exec_sql e sql with
+  | Ok (Engine.Rows { columns = [ "plan" ]; rows }) ->
+    List.map
+      (fun r -> match r with [ Value.Str s ] -> s | _ -> "?")
+      rows
+  | Ok _ -> Alcotest.failf "expected a plan for %S" sql
+  | Error err -> Alcotest.failf "%S failed: %s" sql (Engine.error_to_string err)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let has_line plan needle = List.exists (fun l -> contains l needle) plan
+
+let test_explain_select () =
+  let e = engine () in
+  let p = plan e "EXPLAIN SELECT UPPER(b) FROM t WHERE a > 0 ORDER BY a LIMIT 3" in
+  Alcotest.(check bool) "project" true (has_line p "Project UPPER(b)");
+  Alcotest.(check bool) "filter" true (has_line p "Filter (a > 0)");
+  Alcotest.(check bool) "scan" true (has_line p "Scan t");
+  Alcotest.(check bool) "sort" true (has_line p "Sort a");
+  Alcotest.(check bool) "limit" true (has_line p "Limit 3")
+
+let test_explain_join_group () =
+  let e = engine () in
+  let p =
+    plan e
+      "EXPLAIN SELECT b, COUNT(*) FROM t JOIN u ON a = c GROUP BY b HAVING \
+       COUNT(*) > 1"
+  in
+  Alcotest.(check bool) "join" true (has_line p "Join (inner) on (a = c)");
+  Alcotest.(check bool) "both scans" true (has_line p "Scan t" && has_line p "Scan u");
+  Alcotest.(check bool) "aggregate" true (has_line p "Aggregate by b");
+  Alcotest.(check bool) "having" true (has_line p "Having")
+
+let test_explain_union_subquery () =
+  let e = engine () in
+  let p = plan e "EXPLAIN SELECT 1 UNION SELECT a FROM (SELECT a FROM t) sub" in
+  Alcotest.(check bool) "union" true (has_line p "Union distinct");
+  Alcotest.(check bool) "subquery" true (has_line p "Subquery AS sub")
+
+let test_explain_dml () =
+  let e = engine () in
+  Alcotest.(check bool) "insert plan" true
+    (has_line (plan e "EXPLAIN INSERT INTO t VALUES (2, 'y')") "Insert 1 row(s) into t");
+  Alcotest.(check bool) "create plan" true
+    (has_line (plan e "EXPLAIN CREATE TABLE v (x INT)") "CreateTable v (1 columns)");
+  Alcotest.(check bool) "drop plan" true
+    (has_line (plan e "EXPLAIN DROP TABLE u") "DropTable u");
+  (* EXPLAIN must not execute: u still exists *)
+  match Engine.exec_sql e "SELECT COUNT(*) FROM u" with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "EXPLAIN DROP must not drop"
+
+let test_explain_roundtrip () =
+  match Sqlfun_parse.Parser.parse_stmt "EXPLAIN SELECT 1" with
+  | Ok s ->
+    Alcotest.(check string) "prints back" "EXPLAIN SELECT 1"
+      (Sqlfun_ast.Sql_pp.stmt s)
+  | Error msg -> Alcotest.failf "parse: %s" msg
+
+let suite =
+  ( "explain",
+    [
+      Alcotest.test_case "select plan" `Quick test_explain_select;
+      Alcotest.test_case "join/group plan" `Quick test_explain_join_group;
+      Alcotest.test_case "union/subquery plan" `Quick test_explain_union_subquery;
+      Alcotest.test_case "dml plans" `Quick test_explain_dml;
+      Alcotest.test_case "roundtrip" `Quick test_explain_roundtrip;
+    ] )

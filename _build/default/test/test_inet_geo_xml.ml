@@ -1,0 +1,184 @@
+open Sqlfun_data
+
+(* ----- inet ----- *)
+
+let inet_ok s =
+  match Inet.of_string s with
+  | Some a -> a
+  | None -> Alcotest.failf "inet parse failed for %S" s
+
+let test_inet_v4 () =
+  Alcotest.(check string) "v4 roundtrip" "255.255.255.255"
+    (Inet.to_string (inet_ok "255.255.255.255"));
+  Alcotest.(check int) "v4 bytes" 4 (String.length (Inet.to_bytes (inet_ok "1.2.3.4")));
+  Alcotest.(check bool) "octet range" true (Inet.of_string "1.2.3.256" = None);
+  Alcotest.(check bool) "too few" true (Inet.of_string "1.2.3" = None);
+  Alcotest.(check bool) "empty" true (Inet.of_string "" = None)
+
+let test_inet_v6 () =
+  Alcotest.(check string) "v6 compress" "::1" (Inet.to_string (inet_ok "0:0:0:0:0:0:0:1"));
+  Alcotest.(check string) "v6 full" "2001:db8::8a2e:370:7334"
+    (Inet.to_string (inet_ok "2001:0db8:0000:0000:0000:8a2e:0370:7334"));
+  Alcotest.(check int) "v6 bytes" 16 (String.length (Inet.to_bytes (inet_ok "::")));
+  Alcotest.(check string) "embedded v4" "::ffff:102:304"
+    (Inet.to_string (inet_ok "::ffff:1.2.3.4"));
+  Alcotest.(check bool) "bad group" true (Inet.of_string "1:2:3:4:5:6:7:8:9" = None)
+
+let test_inet_bytes_roundtrip () =
+  List.iter
+    (fun s ->
+      let a = inet_ok s in
+      match Inet.of_bytes (Inet.to_bytes a) with
+      | Some b -> Alcotest.(check string) ("bytes roundtrip " ^ s) (Inet.to_string a) (Inet.to_string b)
+      | None -> Alcotest.fail "of_bytes failed")
+    [ "10.0.0.1"; "::"; "fe80::1"; "255.255.255.255" ];
+  Alcotest.(check bool) "bad length" true (Inet.of_bytes "abc" = None)
+
+(* ----- geometry ----- *)
+
+let geo_wkt s =
+  match Geometry.of_wkt s with
+  | Ok g -> g
+  | Error msg -> Alcotest.failf "wkt parse failed for %S: %s" s msg
+
+let test_wkt_roundtrip () =
+  List.iter
+    (fun s ->
+      let g = geo_wkt s in
+      Alcotest.(check string) ("wkt " ^ s) s (Geometry.to_wkt g))
+    [
+      "POINT(1 2)";
+      "LINESTRING(0 0, 1 1, 2 0)";
+      "POLYGON((0 0, 4 0, 4 4, 0 4, 0 0))";
+      "MULTIPOINT(0 0, 2 0)";
+      "GEOMETRYCOLLECTION(POINT(1 1), LINESTRING(0 0, 1 1))";
+    ]
+
+let test_wkt_errors () =
+  let err s =
+    match Geometry.of_wkt s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected wkt failure for %S" s
+  in
+  err "TRIANGLE(0 0)";
+  err "POINT(1)";
+  err "POINT(1 2) extra"
+
+let test_wkb_roundtrip () =
+  List.iter
+    (fun s ->
+      let g = geo_wkt s in
+      match Geometry.of_wkb (Geometry.to_wkb g) with
+      | Ok g2 -> Alcotest.(check string) ("wkb " ^ s) (Geometry.to_wkt g) (Geometry.to_wkt g2)
+      | Error msg -> Alcotest.failf "wkb decode failed: %s" msg)
+    [ "POINT(1 2)"; "LINESTRING(0 0, 1 1)"; "POLYGON((0 0, 1 0, 1 1, 0 0))" ]
+
+let test_wkb_rejects_garbage () =
+  (* the INET6_ATON('255.255.255.255') byte string is not valid WKB *)
+  (match Geometry.of_wkb (Inet.to_bytes (inet_ok "255.255.255.255")) with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "4 raw bytes must not decode");
+  (match Geometry.of_wkb "" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "empty must not decode");
+  (* truncated point *)
+  let p = Geometry.to_wkb (geo_wkt "POINT(1 2)") in
+  match Geometry.of_wkb (String.sub p 0 (String.length p - 3)) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated must not decode"
+
+let test_boundary () =
+  (match Geometry.boundary (geo_wkt "POINT(1 1)") with
+   | None -> ()
+   | Some _ -> Alcotest.fail "point boundary");
+  (match Geometry.boundary (geo_wkt "LINESTRING(0 0, 5 5)") with
+   | Some (Geometry.Multipoint [ _; _ ]) -> ()
+   | _ -> Alcotest.fail "linestring boundary");
+  (match Geometry.boundary (geo_wkt "LINESTRING(0 0, 1 1, 0 0)") with
+   | Some (Geometry.Multipoint []) -> ()
+   | _ -> Alcotest.fail "closed linestring boundary");
+  match Geometry.boundary (geo_wkt "POLYGON((0 0, 1 0, 1 1, 0 0))") with
+  | Some (Geometry.Collection [ Geometry.Linestring _ ]) -> ()
+  | _ -> Alcotest.fail "polygon boundary"
+
+let test_num_points () =
+  Alcotest.(check int) "polygon points" 4
+    (Geometry.num_points (geo_wkt "POLYGON((0 0, 1 0, 1 1, 0 0))"));
+  Alcotest.(check int) "collection" 3
+    (Geometry.num_points (geo_wkt "GEOMETRYCOLLECTION(POINT(1 1), LINESTRING(0 0, 1 1))"))
+
+(* ----- xml ----- *)
+
+let xml_ok s =
+  match Xml_doc.parse s with
+  | Ok nodes -> nodes
+  | Error msg -> Alcotest.failf "xml parse failed for %S: %s" s msg
+
+let xpath s =
+  match Xml_doc.parse_xpath s with
+  | Ok p -> p
+  | Error msg -> Alcotest.failf "xpath failed: %s" msg
+
+let test_xml_parse () =
+  let nodes = xml_ok "<a><c>hi</c><c/></a>" in
+  Alcotest.(check string) "roundtrip" "<a><c>hi</c><c></c></a>" (Xml_doc.to_string nodes);
+  (match Xml_doc.parse "<a><b></a>" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "mismatched tags");
+  (match Xml_doc.parse "<a attr=\"x>y\">t</a>" with
+   | Ok _ -> ()
+   | Error msg -> Alcotest.failf "attributes tolerated: %s" msg);
+  match Xml_doc.parse "<a>" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unclosed"
+
+let test_xml_update () =
+  (* the paper's UpdateXML example *)
+  let doc = xml_ok "<a><c></c></a>" in
+  let replacement = xml_ok "<c><b></b></c>" in
+  let updated = Xml_doc.update doc (xpath "/a/c[1]") replacement in
+  Alcotest.(check string) "updated" "<a><c><b></b></c></a>" (Xml_doc.to_string updated)
+
+let test_xml_extract () =
+  let doc = xml_ok "<a><c>one</c><c>two</c></a>" in
+  (match Xml_doc.extract doc (xpath "/a/c[2]") with
+   | [ node ] -> Alcotest.(check string) "second c" "two" (Xml_doc.text_content node)
+   | _ -> Alcotest.fail "extract index");
+  Alcotest.(check int) "all c" 2 (List.length (Xml_doc.extract doc (xpath "/a/c")));
+  Alcotest.(check int) "missing" 0 (List.length (Xml_doc.extract doc (xpath "/a/z")))
+
+let test_xml_depth () =
+  let deep = xml_ok "<a><b><c><d></d></c></b></a>" in
+  match deep with
+  | [ node ] -> Alcotest.(check int) "depth" 4 (Xml_doc.node_depth node)
+  | _ -> Alcotest.fail "single root"
+
+let test_xpath_errors () =
+  let err s =
+    match Xml_doc.parse_xpath s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected xpath failure for %S" s
+  in
+  err "a/b";
+  err "/a[0]";
+  err "/a[";
+  err "//"
+
+let suite =
+  ( "inet-geometry-xml",
+    [
+      Alcotest.test_case "inet v4" `Quick test_inet_v4;
+      Alcotest.test_case "inet v6" `Quick test_inet_v6;
+      Alcotest.test_case "inet bytes roundtrip" `Quick test_inet_bytes_roundtrip;
+      Alcotest.test_case "wkt roundtrip" `Quick test_wkt_roundtrip;
+      Alcotest.test_case "wkt errors" `Quick test_wkt_errors;
+      Alcotest.test_case "wkb roundtrip" `Quick test_wkb_roundtrip;
+      Alcotest.test_case "wkb rejects garbage" `Quick test_wkb_rejects_garbage;
+      Alcotest.test_case "boundary" `Quick test_boundary;
+      Alcotest.test_case "num points" `Quick test_num_points;
+      Alcotest.test_case "xml parse" `Quick test_xml_parse;
+      Alcotest.test_case "xml update" `Quick test_xml_update;
+      Alcotest.test_case "xml extract" `Quick test_xml_extract;
+      Alcotest.test_case "xml depth" `Quick test_xml_depth;
+      Alcotest.test_case "xpath errors" `Quick test_xpath_errors;
+    ] )

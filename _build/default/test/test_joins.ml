@@ -1,0 +1,146 @@
+(** JOIN support: parsing, execution (inner / left outer / cross), alias
+    qualification, and interactions with WHERE/aggregates. *)
+
+open Sqlfun_engine
+open Sqlfun_functions
+open Sqlfun_value
+
+let make_engine () =
+  let e =
+    Engine.create ~registry:(All_fns.registry ())
+      ~cast_cfg:{ Cast.strictness = Cast.Strict; json_max_depth = Some 512 }
+      ~dialect:"join-test" ()
+  in
+  let setup =
+    "CREATE TABLE dept (id INT, dname TEXT);\n\
+     INSERT INTO dept VALUES (1, 'eng'), (2, 'ops'), (3, 'empty');\n\
+     CREATE TABLE emp (eid INT, dept_id INT, ename TEXT);\n\
+     INSERT INTO emp VALUES (10, 1, 'ada'), (11, 1, 'bob'), (12, 2, 'cyd'), \
+     (13, NULL, 'drifter');"
+  in
+  (match Engine.exec_script e setup with
+   | Ok _ -> ()
+   | Error err -> Alcotest.failf "setup failed: %s" (Engine.error_to_string err));
+  e
+
+let rows e sql =
+  match Engine.exec_sql e sql with
+  | Ok (Engine.Rows rs) ->
+    List.map (fun r -> String.concat "|" (List.map Value.to_display r)) rs.Interp.rows
+  | Ok (Engine.Affected _) -> Alcotest.failf "expected rows for %S" sql
+  | Error err -> Alcotest.failf "%S failed: %s" sql (Engine.error_to_string err)
+
+let check_rows e sql expected =
+  Alcotest.(check (list string)) sql expected (rows e sql)
+
+let test_parse_joins () =
+  let p sql =
+    match Sqlfun_parse.Parser.parse_stmt sql with
+    | Ok s -> Sqlfun_ast.Sql_pp.stmt s
+    | Error msg -> Alcotest.failf "parse failed for %S: %s" sql msg
+  in
+  Alcotest.(check string) "inner join prints"
+    "SELECT * FROM a JOIN b ON (a.x = b.y)"
+    (p "SELECT * FROM a JOIN b ON a.x = b.y");
+  Alcotest.(check string) "inner keyword normalizes"
+    "SELECT * FROM a JOIN b ON (a.x = b.y)"
+    (p "SELECT * FROM a INNER JOIN b ON a.x = b.y");
+  Alcotest.(check string) "left outer join"
+    "SELECT * FROM a LEFT JOIN b ON (a.x = b.y)"
+    (p "SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.y");
+  Alcotest.(check string) "cross join"
+    "SELECT * FROM a CROSS JOIN b" (p "SELECT * FROM a CROSS JOIN b");
+  Alcotest.(check string) "comma is cross join"
+    "SELECT * FROM a CROSS JOIN b" (p "SELECT * FROM a, b");
+  Alcotest.(check string) "chained joins"
+    "SELECT * FROM a JOIN b ON (a.x = b.y) LEFT JOIN c ON (b.y = c.z)"
+    (p "SELECT * FROM a JOIN b ON a.x = b.y LEFT JOIN c ON b.y = c.z");
+  (* LEFT the function still parses *)
+  Alcotest.(check string) "LEFT as function" "SELECT LEFT('abc', 2)"
+    (p "SELECT LEFT('abc', 2)")
+
+let test_inner_join () =
+  let e = make_engine () in
+  check_rows e
+    "SELECT ename, dname FROM emp JOIN dept ON dept_id = id ORDER BY ename"
+    [ "ada|eng"; "bob|eng"; "cyd|ops" ]
+
+let test_left_join () =
+  let e = make_engine () in
+  check_rows e
+    "SELECT ename, dname FROM emp LEFT JOIN dept ON dept_id = id ORDER BY ename"
+    [ "ada|eng"; "bob|eng"; "cyd|ops"; "drifter|NULL" ]
+
+let test_cross_join () =
+  let e = make_engine () in
+  (match rows e "SELECT dname, ename FROM dept CROSS JOIN emp" with
+   | l -> Alcotest.(check int) "3x4 rows" 12 (List.length l));
+  match rows e "SELECT dname, ename FROM dept, emp" with
+  | l -> Alcotest.(check int) "comma join rows" 12 (List.length l)
+
+let test_alias_qualification () =
+  let e = make_engine () in
+  check_rows e
+    "SELECT e.ename, d.dname FROM emp AS e JOIN dept AS d ON e.dept_id = d.id \
+     WHERE d.dname = 'ops'"
+    [ "cyd|ops" ];
+  check_rows e
+    "SELECT dept.dname FROM dept WHERE dept.id = 2"
+    [ "ops" ];
+  (* unknown qualifier errors *)
+  match Engine.exec_sql e "SELECT z.ename FROM emp AS e" with
+  | Error (Engine.Sql_failed _) -> ()
+  | _ -> Alcotest.fail "unknown qualifier should fail"
+
+let test_join_with_aggregates () =
+  let e = make_engine () in
+  check_rows e
+    "SELECT dname, COUNT(*) FROM dept JOIN emp ON id = dept_id GROUP BY dname \
+     ORDER BY dname"
+    [ "eng|2"; "ops|1" ];
+  check_rows e
+    "SELECT COUNT(*) FROM dept LEFT JOIN emp ON id = dept_id"
+    [ "4" ]
+
+let test_join_star_projection () =
+  let e = make_engine () in
+  match Engine.exec_sql e "SELECT * FROM dept JOIN emp ON id = dept_id LIMIT 1" with
+  | Ok (Engine.Rows rs) ->
+    Alcotest.(check (list string))
+      "joined star header"
+      [ "id"; "dname"; "eid"; "dept_id"; "ename" ]
+      rs.Interp.columns;
+    (match rs.Interp.rows with
+     | [ row ] -> Alcotest.(check int) "joined width" 5 (List.length row)
+     | _ -> Alcotest.fail "one row")
+  | _ -> Alcotest.fail "join star failed"
+
+let test_join_on_function () =
+  (* function expressions inside ON conditions evaluate per pair *)
+  let e = make_engine () in
+  check_rows e
+    "SELECT ename FROM emp JOIN dept ON LENGTH(dname) = 3 AND dept_id = id \
+     ORDER BY ename"
+    [ "ada"; "bob"; "cyd" ]
+
+let test_empty_sides () =
+  let e = make_engine () in
+  ignore (Engine.exec_sql e "CREATE TABLE nobody (x INT)");
+  check_rows e "SELECT * FROM nobody JOIN dept ON x = id" [];
+  check_rows e
+    "SELECT dname FROM dept LEFT JOIN nobody ON id = x WHERE id = 1"
+    [ "eng" ]
+
+let suite =
+  ( "joins",
+    [
+      Alcotest.test_case "parse joins" `Quick test_parse_joins;
+      Alcotest.test_case "inner join" `Quick test_inner_join;
+      Alcotest.test_case "left join" `Quick test_left_join;
+      Alcotest.test_case "cross join" `Quick test_cross_join;
+      Alcotest.test_case "alias qualification" `Quick test_alias_qualification;
+      Alcotest.test_case "join with aggregates" `Quick test_join_with_aggregates;
+      Alcotest.test_case "star projection" `Quick test_join_star_projection;
+      Alcotest.test_case "ON with functions" `Quick test_join_on_function;
+      Alcotest.test_case "empty sides" `Quick test_empty_sides;
+    ] )

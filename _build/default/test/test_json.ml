@@ -1,0 +1,113 @@
+open Sqlfun_data
+
+let parse_ok ?max_depth s =
+  match Json.parse ?max_depth s with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "json parse failed for %S: %s" s (Json.error_to_string e)
+
+let parse_err ?max_depth s =
+  match Json.parse ?max_depth s with
+  | Ok _ -> Alcotest.failf "expected json failure for %S" s
+  | Error e -> e
+
+let test_scalars () =
+  (match parse_ok "null" with Json.J_null -> () | _ -> Alcotest.fail "null");
+  (match parse_ok "true" with Json.J_bool true -> () | _ -> Alcotest.fail "true");
+  (match parse_ok "-1.5e3" with
+   | Json.J_num "-1.5e3" -> ()
+   | _ -> Alcotest.fail "number verbatim");
+  match parse_ok "\"a\\nb\"" with
+  | Json.J_str "a\nb" -> ()
+  | _ -> Alcotest.fail "escapes"
+
+let test_structures () =
+  (match parse_ok "[1, 2, 3]" with
+   | Json.J_arr [ _; _; _ ] -> ()
+   | _ -> Alcotest.fail "array");
+  (match parse_ok "{\"key\": 0}" with
+   | Json.J_obj [ ("key", Json.J_num "0") ] -> ()
+   | _ -> Alcotest.fail "object");
+  (match parse_ok "[]" with Json.J_arr [] -> () | _ -> Alcotest.fail "empty array");
+  match parse_ok "{}" with Json.J_obj [] -> () | _ -> Alcotest.fail "empty object"
+
+let test_unicode_escape () =
+  match parse_ok "\"\\u0041\\u00e9\\u20ac\"" with
+  | Json.J_str s -> Alcotest.(check string) "utf8" "A\xc3\xa9\xe2\x82\xac" s
+  | _ -> Alcotest.fail "unicode"
+
+let test_errors () =
+  ignore (parse_err "");
+  ignore (parse_err "[1,");
+  ignore (parse_err "{\"a\" 1}");
+  ignore (parse_err "tru");
+  ignore (parse_err "[1] x");
+  ignore (parse_err "'single'")
+
+let test_depth_budget () =
+  (* CVE-2015-5289's shape: many open brackets *)
+  let deep = String.concat "" (List.init 600 (fun _ -> "[")) in
+  (match parse_err deep with
+   | Json.Depth_exceeded 512 -> ()
+   | Json.Depth_exceeded d -> Alcotest.failf "wrong budget %d" d
+   | Json.Syntax _ -> Alcotest.fail "should be depth error, not syntax");
+  (* within a generous budget, the same input is a clean syntax error *)
+  match parse_err ~max_depth:10_000 deep with
+  | Json.Syntax _ -> ()
+  | Json.Depth_exceeded _ -> Alcotest.fail "budget should not trip at 10k"
+
+let test_depth_measure () =
+  Alcotest.(check int) "scalar" 1 (Json.depth (parse_ok "1"));
+  Alcotest.(check int) "flat array" 2 (Json.depth (parse_ok "[1]"));
+  Alcotest.(check int) "nested" 4 (Json.depth (parse_ok "[[{\"a\":1}]]"))
+
+let test_length_and_typ () =
+  Alcotest.(check int) "array len" 3 (Json.length (parse_ok "[1,2,3]"));
+  Alcotest.(check int) "obj len" 2 (Json.length (parse_ok "{\"a\":1,\"b\":2}"));
+  Alcotest.(check int) "scalar len" 1 (Json.length (parse_ok "5"));
+  Alcotest.(check string) "typ" "object" (Json.typ (parse_ok "{}"))
+
+let test_paths () =
+  let v = parse_ok "{\"a\": [10, {\"b\": \"x\"}]}" in
+  let path s =
+    match Json.parse_path s with
+    | Ok p -> p
+    | Error msg -> Alcotest.failf "path parse failed: %s" msg
+  in
+  (match Json.extract v (path "$.a[1].b") with
+   | Some (Json.J_str "x") -> ()
+   | _ -> Alcotest.fail "extract");
+  (match Json.extract v (path "$.a[5]") with
+   | None -> ()
+   | Some _ -> Alcotest.fail "out of range");
+  (match Json.extract v (path "$") with
+   | Some _ -> ()
+   | None -> Alcotest.fail "root");
+  match Json.parse_path "a.b" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "path must start with $"
+
+let test_roundtrip () =
+  let inputs =
+    [ "null"; "[1,2,[3]]"; "{\"a\":{\"b\":[true,false,null]}}"; "\"q\\\"q\"" ]
+  in
+  List.iter
+    (fun s ->
+      let v = parse_ok s in
+      let printed = Json.to_string v in
+      let v2 = parse_ok printed in
+      Alcotest.(check string) ("roundtrip " ^ s) printed (Json.to_string v2))
+    inputs
+
+let suite =
+  ( "json",
+    [
+      Alcotest.test_case "scalars" `Quick test_scalars;
+      Alcotest.test_case "structures" `Quick test_structures;
+      Alcotest.test_case "unicode escapes" `Quick test_unicode_escape;
+      Alcotest.test_case "errors" `Quick test_errors;
+      Alcotest.test_case "depth budget" `Quick test_depth_budget;
+      Alcotest.test_case "depth measure" `Quick test_depth_measure;
+      Alcotest.test_case "length and typ" `Quick test_length_and_typ;
+      Alcotest.test_case "paths" `Quick test_paths;
+      Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    ] )

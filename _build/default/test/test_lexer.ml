@@ -1,0 +1,85 @@
+open Sqlfun_lex
+
+let toks sql =
+  match Lexer.tokenize sql with
+  | Ok ts -> List.map (fun { Lexer.tok; _ } -> tok) ts
+  | Error { msg; at } -> Alcotest.failf "lex failed for %S at %d: %s" sql at msg
+
+let lex_err sql =
+  match Lexer.tokenize sql with
+  | Ok _ -> Alcotest.failf "expected lex failure for %S" sql
+  | Error _ -> ()
+
+let test_numbers () =
+  (match toks "42 1.5 .5 1e3 1.5E-2" with
+   | [ INT "42"; DEC "1.5"; DEC ".5"; DEC "1e3"; DEC "1.5E-2"; EOF ] -> ()
+   | _ -> Alcotest.fail "number tokens");
+  (* an unbounded literal is one token, unchanged *)
+  let big = String.make 200 '9' in
+  match toks big with
+  | [ INT s; EOF ] -> Alcotest.(check string) "big int" big s
+  | _ -> Alcotest.fail "big int token"
+
+let test_strings () =
+  (match toks "'abc'" with
+   | [ STRING "abc"; EOF ] -> ()
+   | _ -> Alcotest.fail "basic string");
+  (match toks "'it''s'" with
+   | [ STRING "it's"; EOF ] -> ()
+   | _ -> Alcotest.fail "doubled quote");
+  (match toks "'a\\nb'" with
+   | [ STRING "a\nb"; EOF ] -> ()
+   | _ -> Alcotest.fail "backslash escape");
+  (match toks "''" with
+   | [ STRING ""; EOF ] -> ()
+   | _ -> Alcotest.fail "empty string");
+  lex_err "'unterminated"
+
+let test_hex_strings () =
+  (match toks "X'41'" with
+   | [ HEXSTR "A"; EOF ] -> ()
+   | _ -> Alcotest.fail "hex upper");
+  (match toks "x'6162'" with
+   | [ HEXSTR "ab"; EOF ] -> ()
+   | _ -> Alcotest.fail "hex lower");
+  lex_err "X'4'";
+  lex_err "X'4G'"
+
+let test_operators () =
+  match toks "a::b || c <> d <= e >> f" with
+  | [ IDENT "a"; DOUBLE_COLON; IDENT "b"; CONCAT_OP; IDENT "c"; NEQ; IDENT "d";
+      LE; IDENT "e"; SHIFT_R; IDENT "f"; EOF ] ->
+    ()
+  | _ -> Alcotest.fail "operator tokens"
+
+let test_comments () =
+  (match toks "1 -- comment\n2" with
+   | [ INT "1"; INT "2"; EOF ] -> ()
+   | _ -> Alcotest.fail "line comment");
+  (match toks "1 /* multi\nline */ 2" with
+   | [ INT "1"; INT "2"; EOF ] -> ()
+   | _ -> Alcotest.fail "block comment");
+  lex_err "/* unterminated"
+
+let test_identifiers () =
+  match toks "SELECT _foo x$1" with
+  | [ IDENT "SELECT"; IDENT "_foo"; IDENT "x$1"; EOF ] -> ()
+  | _ -> Alcotest.fail "identifiers"
+
+let test_positions () =
+  match Lexer.tokenize "ab  cd" with
+  | Ok [ { pos = 0; _ }; { pos = 4; _ }; { pos = 6; _ } ] -> ()
+  | Ok _ -> Alcotest.fail "positions"
+  | Error _ -> Alcotest.fail "lex failed"
+
+let suite =
+  ( "lexer",
+    [
+      Alcotest.test_case "numbers" `Quick test_numbers;
+      Alcotest.test_case "strings" `Quick test_strings;
+      Alcotest.test_case "hex strings" `Quick test_hex_strings;
+      Alcotest.test_case "operators" `Quick test_operators;
+      Alcotest.test_case "comments" `Quick test_comments;
+      Alcotest.test_case "identifiers" `Quick test_identifiers;
+      Alcotest.test_case "positions" `Quick test_positions;
+    ] )

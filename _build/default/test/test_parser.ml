@@ -1,0 +1,325 @@
+open Sqlfun_ast
+open Sqlfun_parse
+
+let parse_ok sql =
+  match Parser.parse_stmt sql with
+  | Ok s -> s
+  | Error msg -> Alcotest.failf "parse failed for %S: %s" sql msg
+
+let parse_expr_ok sql =
+  match Parser.parse_expr_string sql with
+  | Ok e -> e
+  | Error msg -> Alcotest.failf "expr parse failed for %S: %s" sql msg
+
+let parse_err sql =
+  match Parser.parse_stmt sql with
+  | Ok _ -> Alcotest.failf "expected parse failure for %S" sql
+  | Error _ -> ()
+
+let roundtrip sql =
+  let s = parse_ok sql in
+  let printed = Sql_pp.stmt s in
+  match Parser.parse_stmt printed with
+  | Ok s2 ->
+    Alcotest.(check string)
+      (Printf.sprintf "stable print for %s" sql)
+      printed (Sql_pp.stmt s2)
+  | Error msg -> Alcotest.failf "reparse failed for %S: %s" printed msg
+
+let test_literals () =
+  (match parse_expr_ok "42" with
+   | Ast.Int_lit "42" -> ()
+   | _ -> Alcotest.fail "int literal");
+  (match parse_expr_ok "-42" with
+   | Ast.Int_lit "-42" -> ()
+   | _ -> Alcotest.fail "negative literal folds sign");
+  (match parse_expr_ok "1.5e3" with
+   | Ast.Dec_lit "1.5e3" -> ()
+   | _ -> Alcotest.fail "dec literal keeps source text");
+  (match parse_expr_ok "'it''s'" with
+   | Ast.Str_lit "it's" -> ()
+   | _ -> Alcotest.fail "quoted quote");
+  (match parse_expr_ok "X'414243'" with
+   | Ast.Hex_lit "ABC" -> ()
+   | _ -> Alcotest.fail "hex literal");
+  (match parse_expr_ok "NULL" with
+   | Ast.Null -> ()
+   | _ -> Alcotest.fail "null");
+  match parse_expr_ok "TRUE" with
+  | Ast.Bool_lit true -> ()
+  | _ -> Alcotest.fail "true"
+
+let test_huge_literal_survives () =
+  let digits = "1." ^ String.make 80 '9' in
+  match parse_expr_ok digits with
+  | Ast.Dec_lit s -> Alcotest.(check string) "digits preserved" digits s
+  | _ -> Alcotest.fail "expected decimal literal"
+
+let test_calls () =
+  (match parse_expr_ok "REPEAT('[', 1000)" with
+   | Ast.Call { fname = "REPEAT"; args = [ Ast.Str_lit "["; Ast.Int_lit "1000" ]; distinct = false } ->
+     ()
+   | _ -> Alcotest.fail "repeat call");
+  (match parse_expr_ok "COUNT(*)" with
+   | Ast.Call { fname = "COUNT"; args = [ Ast.Star ]; _ } -> ()
+   | _ -> Alcotest.fail "count star");
+  (match parse_expr_ok "JSONB_OBJECT_AGG(DISTINCT 'a', 'abc')" with
+   | Ast.Call { fname = "JSONB_OBJECT_AGG"; distinct = true; args = [ _; _ ] } -> ()
+   | _ -> Alcotest.fail "distinct agg");
+  match parse_expr_ok "F()" with
+  | Ast.Call { args = []; _ } -> ()
+  | _ -> Alcotest.fail "empty args"
+
+let test_nested_calls () =
+  match parse_expr_ok "ST_ASTEXT(BOUNDARY(INET6_ATON('255.255.255.255')))" with
+  | Ast.Call { fname = "ST_ASTEXT"; args = [ Ast.Call { fname = "BOUNDARY"; args = [ Ast.Call { fname = "INET6_ATON"; _ } ]; _ } ]; _ } ->
+    ()
+  | _ -> Alcotest.fail "nested call chain"
+
+let test_casts () =
+  (match parse_expr_ok "CAST(NULL AS UNSIGNED)" with
+   | Ast.Cast (Ast.Null, Ast.T_unsigned) -> ()
+   | _ -> Alcotest.fail "cast null");
+  (match parse_expr_ok "'110'::DECIMAL256(45)" with
+   | Ast.Cast (Ast.Str_lit "110", Ast.T_named ("DECIMAL256", [ 45 ])) -> ()
+   | _ -> Alcotest.fail "postfix cast with dialect type");
+  (match parse_expr_ok "REPEAT('[', 1000)::JSON" with
+   | Ast.Cast (Ast.Call { fname = "REPEAT"; _ }, Ast.T_json) -> ()
+   | _ -> Alcotest.fail "cast of call");
+  match parse_expr_ok "CAST(1 AS DECIMAL(10,2))" with
+  | Ast.Cast (_, Ast.T_decimal (Some (10, 2))) -> ()
+  | _ -> Alcotest.fail "decimal precision"
+
+let test_operators_precedence () =
+  (match parse_expr_ok "1 + 2 * 3" with
+   | Ast.Binop (Ast.Add, Ast.Int_lit "1", Ast.Binop (Ast.Mul, _, _)) -> ()
+   | _ -> Alcotest.fail "mul binds tighter");
+  (match parse_expr_ok "1 = 2 OR 3 < 4 AND TRUE" with
+   | Ast.Binop (Ast.Or, _, Ast.Binop (Ast.And, _, _)) -> ()
+   | _ -> Alcotest.fail "or/and precedence");
+  (match parse_expr_ok "'a' || 'b' || 'c'" with
+   | Ast.Binop (Ast.Concat, Ast.Binop (Ast.Concat, _, _), _) -> ()
+   | _ -> Alcotest.fail "concat left assoc");
+  match parse_expr_ok "1 < 2 + 3" with
+  | Ast.Binop (Ast.Lt, _, Ast.Binop (Ast.Add, _, _)) -> ()
+  | _ -> Alcotest.fail "comparison looser than add"
+
+let test_rows_arrays () =
+  (match parse_expr_ok "ROW(1, 1)" with
+   | Ast.Row [ _; _ ] -> ()
+   | _ -> Alcotest.fail "row");
+  (match parse_expr_ok "ARRAY[1, 2, 3]" with
+   | Ast.Array_lit [ _; _; _ ] -> ()
+   | _ -> Alcotest.fail "array");
+  match parse_expr_ok "ARRAY[]" with
+  | Ast.Array_lit [] -> ()
+  | _ -> Alcotest.fail "empty array"
+
+let test_case_expr () =
+  (match parse_expr_ok "CASE WHEN 1 = 1 THEN 'y' ELSE 'n' END" with
+   | Ast.Case { operand = None; branches = [ _ ]; else_ = Some _ } -> ()
+   | _ -> Alcotest.fail "searched case");
+  match parse_expr_ok "CASE x WHEN 1 THEN 'a' WHEN 2 THEN 'b' END" with
+  | Ast.Case { operand = Some _; branches = [ _; _ ]; else_ = None } -> ()
+  | _ -> Alcotest.fail "simple case"
+
+let test_select_shape () =
+  (match parse_ok "SELECT 1" with
+   | Ast.Select_stmt { body = Ast.Body_select { projection = [ Ast.Proj_expr _ ]; _ }; _ } ->
+     ()
+   | _ -> Alcotest.fail "select 1");
+  (match parse_ok "SELECT * FROM t" with
+   | Ast.Select_stmt
+       { body = Ast.Body_select { projection = [ Ast.Proj_star ]; from = Some (Ast.From_table ("t", None)); _ }; _ } ->
+     ()
+   | _ -> Alcotest.fail "select star");
+  (match parse_ok "SELECT a, b AS x FROM t WHERE a > 1 GROUP BY a HAVING COUNT(*) > 0" with
+   | Ast.Select_stmt { body = Ast.Body_select s; _ } ->
+     Alcotest.(check int) "two projections" 2 (List.length s.Ast.projection);
+     Alcotest.(check bool) "has where" true (s.Ast.where <> None);
+     Alcotest.(check int) "group by" 1 (List.length s.Ast.group_by);
+     Alcotest.(check bool) "has having" true (s.Ast.having <> None)
+   | _ -> Alcotest.fail "full select");
+  match parse_ok "SELECT 1 UNION SELECT 2 ORDER BY 1 LIMIT 5" with
+  | Ast.Select_stmt { body = Ast.Body_union { all = false; _ }; order_by = [ _ ]; limit = Some 5 } ->
+    ()
+  | _ -> Alcotest.fail "union with order/limit"
+
+let test_subqueries () =
+  (match parse_ok "SELECT * FROM (SELECT IFNULL(CONVERT(NULL, UNSIGNED), NULL)) sq" with
+   | Ast.Select_stmt { body = Ast.Body_select { from = Some (Ast.From_subquery (_, "sq")); _ }; _ } ->
+     ()
+   | _ -> Alcotest.fail "derived table (MDEV-11030 PoC shape)");
+  match parse_expr_ok "(SELECT 1)" with
+  | Ast.Subquery _ -> ()
+  | _ -> Alcotest.fail "scalar subquery"
+
+let test_ddl_dml () =
+  (match parse_ok "CREATE TABLE t (a INT NOT NULL, b VARCHAR(10) DEFAULT 'x', c DECIMAL(30,5))" with
+   | Ast.Create_table { tbl_name = "t"; columns = [ a; b; _ ]; if_not_exists = false } ->
+     Alcotest.(check bool) "a not null" true a.Ast.col_not_null;
+     Alcotest.(check bool) "b default" true (b.Ast.col_default <> None)
+   | _ -> Alcotest.fail "create table");
+  (match parse_ok "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')" with
+   | Ast.Insert { ins_table = "t"; ins_columns = [ "a"; "b" ]; rows = [ _; _ ] } -> ()
+   | _ -> Alcotest.fail "insert");
+  match parse_ok "DROP TABLE IF EXISTS t" with
+  | Ast.Drop_table { drop_name = "t"; if_exists = true } -> ()
+  | _ -> Alcotest.fail "drop"
+
+let test_paper_pocs_parse () =
+  (* Every PoC quoted in the paper must go through our parser. *)
+  let pocs =
+    [
+      "SELECT TODECIMALSTRING(CAST('110' AS DECIMAL256(45)), *)";
+      "SELECT FORMAT('0', 50, 'de_DE')";
+      "SELECT COLUMN_JSON(COLUMN_CREATE('x', 123456789012345678901234567890123456789012346789))";
+      "SELECT * FROM (SELECT IFNULL(CONVERT(NULL, UNSIGNED), NULL)) sq";
+      "SELECT REPEAT('[', 1000)::JSON";
+      "SELECT INTERVAL(ROW(1,1), ROW(1,2))";
+      "SELECT AVG(1.29999999999999999999999999999999999999999999999999999999999999999999999999999999999)";
+      "SELECT CONTAINS('x', 'x', *)";
+      "SELECT JSONB_OBJECT_AGG(DISTINCT 'a', 'abc')";
+      "SELECT REPEAT('[{\"a\":', 100000) UNION (SELECT ARRAY[])";
+      "SELECT JSON_LENGTH(REPEAT('[1,', 100), '$[2][1]')";
+      "SELECT ST_ASTEXT(BOUNDARY(INET6_ATON('255.255.255.255')))";
+      "SELECT UPDATEXML('<a><c></c></a>', '/a/c[1]', '<c><b></b></c>')";
+    ]
+  in
+  List.iter (fun sql -> ignore (parse_ok sql)) pocs
+
+let test_parse_errors () =
+  parse_err "";
+  parse_err "SELECT";
+  parse_err "SELECT 1 FROM";
+  parse_err "SELECT (1";
+  parse_err "CREATE TABLE t";
+  parse_err "INSERT INTO t VALUES";
+  parse_err "SELECT 1 2"
+
+let test_script () =
+  match
+    Parser.parse_script
+      "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT a FROM t;"
+  with
+  | Ok [ Ast.Create_table _; Ast.Insert _; Ast.Select_stmt _ ] -> ()
+  | Ok other -> Alcotest.failf "expected 3 statements, got %d" (List.length other)
+  | Error msg -> Alcotest.failf "script parse failed: %s" msg
+
+let test_roundtrips () =
+  List.iter roundtrip
+    [
+      "SELECT 1";
+      "SELECT REPEAT('[', 1000)";
+      "SELECT JSON_LENGTH(REPEAT('[1,', 100), '$[2][1]')";
+      "SELECT * FROM t WHERE a > 1 GROUP BY a HAVING COUNT(*) > 0";
+      "SELECT CAST('1' AS DECIMAL(10,2))";
+      "SELECT CASE WHEN a = 1 THEN 'x' ELSE 'y' END FROM t";
+      "SELECT 1 UNION ALL SELECT 2";
+      "CREATE TABLE t (a INT NOT NULL, b TEXT)";
+      "INSERT INTO t VALUES (1, 'x')";
+      "SELECT AVG(DISTINCT a) FROM t ORDER BY 1 DESC LIMIT 3";
+      "SELECT INTERVAL(ROW(1, 1), ROW(1, 2))";
+      "SELECT CONTAINS('x', 'x', *)";
+      "SELECT (a IS NOT NULL) FROM t";
+      "SELECT (1 BETWEEN 0 AND 2)";
+      "SELECT (a IN (1, 2, 3)) FROM t";
+    ]
+
+(* Utilities over the AST *)
+
+let test_function_calls_counting () =
+  let s = parse_ok "SELECT JSON_LENGTH(REPEAT('[1,', 100), '$[2][1]')" in
+  Alcotest.(check int) "two calls" 2 (Ast_util.count_function_exprs s);
+  let names = List.map (fun c -> c.Ast.fname) (Ast_util.function_calls s) in
+  Alcotest.(check (list string)) "pre-order" [ "JSON_LENGTH"; "REPEAT" ] names;
+  let s2 = parse_ok "SELECT 1 + 2" in
+  Alcotest.(check int) "no calls" 0 (Ast_util.count_function_exprs s2)
+
+let test_call_depth () =
+  let e = parse_expr_ok "F(G(H(1)), K(2))" in
+  Alcotest.(check int) "depth 3" 3 (Ast_util.call_depth e);
+  Alcotest.(check int) "literal depth" 0 (Ast_util.call_depth (Ast.Int_lit "1"))
+
+let test_replace_nth_call () =
+  let s = parse_ok "SELECT F(G(1), H(2))" in
+  (match Ast_util.replace_nth_call s 1 (Ast.Str_lit "sub") with
+   | Some s' ->
+     Alcotest.(check string) "replaced G" "SELECT F('sub', H(2))" (Sql_pp.stmt s')
+   | None -> Alcotest.fail "replace failed");
+  (match Ast_util.replace_nth_call s 0 Ast.Null with
+   | Some s' -> Alcotest.(check string) "replaced F" "SELECT NULL" (Sql_pp.stmt s')
+   | None -> Alcotest.fail "replace failed");
+  match Ast_util.replace_nth_call s 5 Ast.Null with
+  | None -> ()
+  | Some _ -> Alcotest.fail "out of range should be None"
+
+let test_referenced_tables () =
+  let s = parse_ok "SELECT * FROM t WHERE a IN (SELECT b FROM u)" in
+  Alcotest.(check (list string)) "tables" [ "t"; "u" ] (Ast_util.referenced_tables s)
+
+(* property: generated ASTs survive print -> parse -> print *)
+
+let gen_expr =
+  let open QCheck.Gen in
+  let lit =
+    oneof
+      [
+        return Ast.Null;
+        map (fun b -> Ast.Bool_lit b) bool;
+        map (fun i -> Ast.int_lit i) (int_range (-1000) 1000);
+        map (fun s -> Ast.Str_lit s) (string_size ~gen:(char_range 'a' 'z') (int_range 0 8));
+        map (fun l -> Ast.Dec_lit (string_of_int (abs l) ^ ".5")) (int_range 0 99);
+      ]
+  in
+  let rec go depth =
+    if depth = 0 then lit
+    else
+      frequency
+        [
+          (3, lit);
+          ( 2,
+            map2
+              (fun name args -> Ast.call name args)
+              (oneofl [ "F"; "G"; "REPEAT"; "UPPER"; "CONCAT" ])
+              (list_size (int_range 0 3) (go (depth - 1))) );
+          ( 1,
+            map2 (fun a b -> Ast.Binop (Ast.Add, a, b)) (go (depth - 1)) (go (depth - 1)) );
+          (1, map (fun e -> Ast.Cast (e, Ast.T_text)) (go (depth - 1)));
+          (1, map (fun es -> Ast.Row es) (list_size (int_range 1 3) (go (depth - 1))));
+        ]
+  in
+  go 3
+
+let prop_print_parse_roundtrip =
+  QCheck.Test.make ~name:"print/parse round trip for generated exprs" ~count:300
+    (QCheck.make ~print:Sql_pp.expr gen_expr) (fun e ->
+      let sql = Sql_pp.expr e in
+      match Parser.parse_expr_string sql with
+      | Ok e2 -> Sql_pp.expr e2 = sql
+      | Error _ -> false)
+
+let suite =
+  ( "parser",
+    [
+      Alcotest.test_case "literals" `Quick test_literals;
+      Alcotest.test_case "huge literal survives" `Quick test_huge_literal_survives;
+      Alcotest.test_case "calls" `Quick test_calls;
+      Alcotest.test_case "nested calls" `Quick test_nested_calls;
+      Alcotest.test_case "casts" `Quick test_casts;
+      Alcotest.test_case "operator precedence" `Quick test_operators_precedence;
+      Alcotest.test_case "rows and arrays" `Quick test_rows_arrays;
+      Alcotest.test_case "case expressions" `Quick test_case_expr;
+      Alcotest.test_case "select shapes" `Quick test_select_shape;
+      Alcotest.test_case "subqueries" `Quick test_subqueries;
+      Alcotest.test_case "ddl and dml" `Quick test_ddl_dml;
+      Alcotest.test_case "paper PoCs parse" `Quick test_paper_pocs_parse;
+      Alcotest.test_case "parse errors" `Quick test_parse_errors;
+      Alcotest.test_case "scripts" `Quick test_script;
+      Alcotest.test_case "roundtrips" `Quick test_roundtrips;
+      Alcotest.test_case "function call counting" `Quick test_function_calls_counting;
+      Alcotest.test_case "call depth" `Quick test_call_depth;
+      Alcotest.test_case "replace nth call" `Quick test_replace_nth_call;
+      Alcotest.test_case "referenced tables" `Quick test_referenced_tables;
+      QCheck_alcotest.to_alcotest prop_print_parse_roundtrip;
+    ] )

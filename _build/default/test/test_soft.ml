@@ -1,0 +1,321 @@
+open Sqlfun_ast
+open Sqlfun_fault
+open Sqlfun_dialects
+
+let registry_of dialect = Dialect.registry (Dialect.find_exn dialect)
+
+let seeds_for dialect =
+  let prof = Dialect.find_exn dialect in
+  Soft.Collector.collect ~registry:(registry_of dialect) ~suite:prof.Dialect.seeds
+
+(* ----- boundary pool ----- *)
+
+let test_pool_composition () =
+  let pool = Soft.Boundary_pool.all () in
+  Alcotest.(check bool) "has NULL" true (List.mem Ast.Null pool);
+  Alcotest.(check bool) "has empty string" true (List.mem (Ast.Str_lit "") pool);
+  Alcotest.(check bool) "has star" true (List.mem Ast.Star pool);
+  (* digit lengths are enumerated rather than one extreme *)
+  Alcotest.(check bool) "has 5-digit nines" true
+    (List.mem (Ast.Int_lit "99999") pool);
+  Alcotest.(check bool) "has 35-digit nines" true
+    (List.mem (Ast.Int_lit (String.make 35 '9')) pool);
+  Alcotest.(check bool) "has negative decimals" true
+    (List.mem (Ast.Dec_lit ("-0." ^ String.make 10 '9')) pool);
+  (* pool literals stay below P1.3's splice range so trigger ranges are
+     disjoint *)
+  List.iter
+    (fun e ->
+      match e with
+      | Ast.Int_lit s | Ast.Dec_lit s ->
+        Alcotest.(check bool) "literal under 40 digits" true (String.length s < 40)
+      | _ -> ())
+    pool
+
+(* ----- collector ----- *)
+
+let test_collector () =
+  let seeds = seeds_for "mariadb" in
+  Alcotest.(check bool) "collects many seeds" true (List.length seeds > 100);
+  let docs, suite =
+    List.partition (fun s -> s.Soft.Collector.source = Soft.Collector.Docs) seeds
+  in
+  Alcotest.(check bool) "docs seeds" true (List.length docs > 80);
+  Alcotest.(check bool) "suite seeds" true (List.length suite > 20);
+  (* every seed contains at least one known function call *)
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "seed has a call" true
+        (Ast_util.count_function_exprs s.Soft.Collector.stmt >= 1))
+    seeds;
+  (* prerequisites keep only DDL/DML *)
+  let prof = Dialect.find_exn "mariadb" in
+  let prereqs = Soft.Collector.prerequisites prof.Dialect.seeds in
+  Alcotest.(check int) "4 prerequisites" 4 (List.length prereqs)
+
+let test_donors_distinct () =
+  let seeds = seeds_for "mysql" in
+  let donors = Soft.Collector.donors seeds in
+  let printed = List.map (fun c -> Sql_pp.expr (Ast.Call c)) donors in
+  Alcotest.(check int) "donors unique" (List.length printed)
+    (List.length (List.sort_uniq String.compare printed))
+
+(* ----- patterns ----- *)
+
+let gen dialect pattern =
+  Soft.Patterns.generate ~registry:(registry_of dialect) ~seeds:(seeds_for dialect)
+    pattern
+  |> List.of_seq
+
+let test_p1_2_substitutes_pool () =
+  let cases = gen "mariadb" Pattern_id.P1_2 in
+  Alcotest.(check bool) "many cases" true (List.length cases > 1000);
+  (* some case must be SELECT with a star argument in a function *)
+  Alcotest.(check bool) "has star substitution" true
+    (List.exists
+       (fun (c : Soft.Patterns.case) ->
+         Ast_util.fold_stmt_exprs
+           (fun acc e ->
+             acc
+             || match e with
+                | Ast.Call { args; _ } -> List.mem Ast.Star args
+                | _ -> false)
+           false c.Soft.Patterns.stmt)
+       cases)
+
+let test_p1_3_splices_digits () =
+  let cases = gen "mariadb" Pattern_id.P1_3 in
+  Alcotest.(check bool) "nonempty" true (cases <> []);
+  List.iter
+    (fun (c : Soft.Patterns.case) ->
+      Alcotest.(check bool) "mentions digit run" true
+        (Ast_util.fold_stmt_exprs
+           (fun acc e ->
+             acc
+             ||
+             match e with
+             | Ast.Str_lit s ->
+               let contains hay needle =
+                 let nh = String.length hay and nn = String.length needle in
+                 let rec go i =
+                   i + nn <= nh
+                   && (String.sub hay i nn = needle || go (i + 1))
+                 in
+                 go 0
+               in
+               contains s "99999"
+             | Ast.Int_lit s | Ast.Dec_lit s -> String.length s >= 6
+             | _ -> false)
+           false c.Soft.Patterns.stmt))
+    (List.filteri (fun i _ -> i < 20) cases)
+
+let test_p2_1_casts () =
+  let cases = gen "mariadb" Pattern_id.P2_1 in
+  Alcotest.(check bool) "every case contains a cast" true
+    (List.for_all
+       (fun (c : Soft.Patterns.case) ->
+         Ast_util.fold_stmt_exprs
+           (fun acc e -> acc || match e with Ast.Cast _ -> true | _ -> false)
+           false c.Soft.Patterns.stmt)
+       cases)
+
+let test_p2_2_unions () =
+  let cases = gen "mariadb" Pattern_id.P2_2 in
+  Alcotest.(check bool) "every case contains a subquery union" true
+    (List.for_all
+       (fun (c : Soft.Patterns.case) ->
+         Ast_util.fold_stmt_exprs
+           (fun acc e ->
+             acc
+             ||
+             match e with
+             | Ast.Subquery { body = Ast.Body_union _; _ } -> true
+             | _ -> false)
+           false c.Soft.Patterns.stmt)
+       cases)
+
+let test_p2_3_literal_donors () =
+  (* donor arglists must be literal-only (nested calls are P3.3) *)
+  let cases = gen "monetdb" Pattern_id.P2_3 in
+  Alcotest.(check bool) "nonempty" true (cases <> [])
+
+let test_p3_1_repeats () =
+  let cases = gen "mariadb" Pattern_id.P3_1 in
+  Alcotest.(check bool) "every case calls REPEAT" true
+    (List.for_all
+       (fun (c : Soft.Patterns.case) ->
+         List.exists
+           (fun (call : Ast.call) -> call.Ast.fname = "REPEAT")
+           (Ast_util.function_calls c.Soft.Patterns.stmt))
+       cases);
+  (* the huge count that produces the paper's false positives is present *)
+  Alcotest.(check bool) "has the 9999999999 count" true
+    (List.exists
+       (fun (c : Soft.Patterns.case) ->
+         Ast_util.fold_stmt_exprs
+           (fun acc e -> acc || e = Ast.Int_lit "9999999999")
+           false c.Soft.Patterns.stmt)
+       cases)
+
+let test_p3_nesting_cap () =
+  (* statements with > 2 function exprs are not expanded (Finding 3) *)
+  List.iter
+    (fun pattern ->
+      let cases = gen "mariadb" pattern in
+      List.iter
+        (fun (c : Soft.Patterns.case) ->
+          match Sqlfun_parse.Parser.parse_stmt c.Soft.Patterns.origin with
+          | Ok origin_stmt ->
+            Alcotest.(check bool) "origin had <= 2 calls" true
+              (Ast_util.count_function_exprs origin_stmt <= 2)
+          | Error _ -> ())
+        (List.filteri (fun i _ -> i < 50) cases))
+    [ Pattern_id.P3_2; Pattern_id.P3_3 ]
+
+let test_all_generated_statements_parse () =
+  (* print -> parse round trip for generated cases, sampled per pattern *)
+  List.iter
+    (fun pattern ->
+      let cases = gen "mysql" pattern in
+      List.iteri
+        (fun i (c : Soft.Patterns.case) ->
+          if i mod 97 = 0 then begin
+            let sql = Sql_pp.stmt c.Soft.Patterns.stmt in
+            match Sqlfun_parse.Parser.parse_stmt sql with
+            | Ok _ -> ()
+            | Error msg -> Alcotest.failf "unparseable case %S: %s" sql msg
+          end)
+        cases)
+    Pattern_id.all
+
+(* ----- detector ----- *)
+
+let test_detector_finds_planted_bug () =
+  let prof = Dialect.find_exn "clickhouse" in
+  let detector = Soft.Detector.create prof in
+  (match
+     Soft.Detector.run_sql detector "SELECT TODECIMALSTRING(CAST('110' AS DECIMAL256(45)), *)"
+   with
+   | Soft.Detector.New_bug spec ->
+     Alcotest.(check string) "site" "clickhouse/todecimalstring/star-precision"
+       spec.Fault.site
+   | _ -> Alcotest.fail "expected a crash");
+  (* duplicate site reported as Dup_bug, engine restarted in between *)
+  (match
+     Soft.Detector.run_sql detector "SELECT TODECIMALSTRING(3.14, *)"
+   with
+   | Soft.Detector.Dup_bug _ -> ()
+   | _ -> Alcotest.fail "expected dup");
+  Alcotest.(check int) "one unique bug" 1 (List.length (Soft.Detector.bugs detector));
+  (* the engine is alive after the restarts *)
+  match Soft.Detector.run_sql detector "SELECT 1" with
+  | Soft.Detector.Passed -> ()
+  | _ -> Alcotest.fail "engine should be alive"
+
+let test_detector_classifies () =
+  let prof = Dialect.find_exn "postgresql" in
+  let detector = Soft.Detector.create prof in
+  (match Soft.Detector.run_sql detector "SELECT LENGTH('x')" with
+   | Soft.Detector.Passed -> ()
+   | _ -> Alcotest.fail "passed");
+  (match Soft.Detector.run_sql detector "SELECT NO_SUCH_FUNC(1)" with
+   | Soft.Detector.Clean_error _ -> ()
+   | _ -> Alcotest.fail "clean error");
+  (match Soft.Detector.run_sql detector "SELECT REPEAT('a', 9999999999)" with
+   | Soft.Detector.False_positive _ -> ()
+   | _ -> Alcotest.fail "resource FP");
+  Alcotest.(check int) "fp count" 1 (Soft.Detector.false_positives detector);
+  Alcotest.(check int) "3 executed" 3 (Soft.Detector.executed detector)
+
+let test_budgeted_run () =
+  let prof = Dialect.find_exn "monetdb" in
+  let r = Soft.Soft_runner.fuzz ~budget:2_000 prof in
+  Alcotest.(check bool) "respects budget roughly" true
+    (r.Soft.Soft_runner.cases_executed <= 2_200);
+  Alcotest.(check bool) "triggered many functions" true
+    (r.Soft.Soft_runner.functions_triggered > 40)
+
+let test_soft_beats_baselines_on_mariadb () =
+  (* the core claim, in miniature: under the same budget SOFT finds
+     injected bugs and the baselines find none *)
+  let budget = 40_000 in
+  let soft_run = Sqlfun_harness.Compare.run_tool Sqlfun_harness.Compare.Soft_tool ~dialect:"mariadb" ~budget in
+  let squirrel = Sqlfun_harness.Compare.run_tool Sqlfun_harness.Compare.Squirrel ~dialect:"mariadb" ~budget in
+  let sqlancer = Sqlfun_harness.Compare.run_tool Sqlfun_harness.Compare.Sqlancer ~dialect:"mariadb" ~budget in
+  Alcotest.(check bool) "SOFT finds bugs" true (soft_run.Sqlfun_harness.Compare.bugs > 0);
+  Alcotest.(check int) "SQUIRREL finds none" 0 squirrel.Sqlfun_harness.Compare.bugs;
+  Alcotest.(check int) "SQLancer finds none" 0 sqlancer.Sqlfun_harness.Compare.bugs
+
+(* ----- baselines ----- *)
+
+let test_baselines_generate_valid_statements () =
+  List.iter
+    (fun (make : dialect:string -> seed:int -> Sqlfun_baselines.Baseline.t) ->
+      let gen = make ~dialect:"mysql" ~seed:1 in
+      let prof = Dialect.find_exn "mysql" in
+      let engine = Dialect.make_engine prof in
+      let ok = ref 0 in
+      for _ = 1 to 300 do
+        let stmt = gen.Sqlfun_baselines.Baseline.next () in
+        match Sqlfun_engine.Engine.exec_stmt engine stmt with
+        | Ok _ -> incr ok
+        | Error _ -> ()
+      done;
+      Alcotest.(check bool)
+        (gen.Sqlfun_baselines.Baseline.name ^ " mostly executes")
+        true (!ok > 150))
+    [
+      Sqlfun_baselines.Sqlsmith_gen.make;
+      Sqlfun_baselines.Sqlancer_gen.make;
+      Sqlfun_baselines.Squirrel_gen.make;
+    ]
+
+let test_baselines_deterministic () =
+  let a = Sqlfun_baselines.Sqlsmith_gen.make ~dialect:"mysql" ~seed:5 in
+  let b = Sqlfun_baselines.Sqlsmith_gen.make ~dialect:"mysql" ~seed:5 in
+  for _ = 1 to 50 do
+    Alcotest.(check string) "same stream"
+      (Sql_pp.stmt (a.Sqlfun_baselines.Baseline.next ()))
+      (Sql_pp.stmt (b.Sqlfun_baselines.Baseline.next ()))
+  done
+
+let test_sqlancer_only_modeled_functions () =
+  let gen = Sqlfun_baselines.Sqlancer_gen.make ~dialect:"postgresql" ~seed:3 in
+  for _ = 1 to 200 do
+    let stmt = gen.Sqlfun_baselines.Baseline.next () in
+    List.iter
+      (fun (c : Ast.call) ->
+        Alcotest.(check bool)
+          (c.Ast.fname ^ " is modeled")
+          true
+          (List.mem c.Ast.fname Sqlfun_baselines.Sqlancer_gen.modeled))
+      (Ast_util.function_calls stmt)
+  done
+
+let suite =
+  ( "soft",
+    [
+      Alcotest.test_case "boundary pool composition" `Quick test_pool_composition;
+      Alcotest.test_case "collector" `Quick test_collector;
+      Alcotest.test_case "donors distinct" `Quick test_donors_distinct;
+      Alcotest.test_case "P1.2 substitutes pool" `Quick test_p1_2_substitutes_pool;
+      Alcotest.test_case "P1.3 splices digits" `Quick test_p1_3_splices_digits;
+      Alcotest.test_case "P2.1 casts" `Quick test_p2_1_casts;
+      Alcotest.test_case "P2.2 unions" `Quick test_p2_2_unions;
+      Alcotest.test_case "P2.3 literal donors" `Quick test_p2_3_literal_donors;
+      Alcotest.test_case "P3.1 repeats" `Quick test_p3_1_repeats;
+      Alcotest.test_case "P3 nesting cap (Finding 3)" `Quick test_p3_nesting_cap;
+      Alcotest.test_case "generated statements parse" `Slow
+        test_all_generated_statements_parse;
+      Alcotest.test_case "detector finds planted bug" `Quick
+        test_detector_finds_planted_bug;
+      Alcotest.test_case "detector classifies" `Quick test_detector_classifies;
+      Alcotest.test_case "budgeted run" `Quick test_budgeted_run;
+      Alcotest.test_case "SOFT beats baselines (mariadb)" `Slow
+        test_soft_beats_baselines_on_mariadb;
+      Alcotest.test_case "baselines generate valid statements" `Quick
+        test_baselines_generate_valid_statements;
+      Alcotest.test_case "baselines deterministic" `Quick test_baselines_deterministic;
+      Alcotest.test_case "sqlancer modeled set" `Quick
+        test_sqlancer_only_modeled_functions;
+    ] )

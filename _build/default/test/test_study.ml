@@ -1,0 +1,129 @@
+open Sqlfun_study
+
+let test_total () = Alcotest.(check int) "318 studied bugs" 318 (Stats.total ())
+
+let test_table1 () =
+  Alcotest.(check (list (pair string int)))
+    "Table 1"
+    [ ("postgresql", 39); ("mysql", 10); ("mariadb", 269) ]
+    (Stats.by_dbms ())
+
+let test_finding1 () =
+  let dist, with_stage = Stats.stage_distribution () in
+  Alcotest.(check int) "230 identifiable backtraces" 230 with_stage;
+  let get s = List.assoc s dist in
+  Alcotest.(check int) "execution" 161 (get Corpus.Execution);
+  Alcotest.(check int) "optimization" 45 (get Corpus.Optimization);
+  Alcotest.(check int) "parsing" 24 (get Corpus.Parsing)
+
+let test_figure1 () =
+  Alcotest.(check int) "508 total occurrences" 508 (Stats.total_occurrences ());
+  let by_type = Stats.occurrences_by_type () in
+  let find ty =
+    match List.find_opt (fun (t, _, _) -> t = ty) by_type with
+    | Some (_, occ, uniq) -> (occ, uniq)
+    | None -> (0, 0)
+  in
+  Alcotest.(check (pair int int)) "string 117 occ / 57 unique" (117, 57) (find "string");
+  Alcotest.(check int) "aggregate 91 occ" 91 (fst (find "aggregate"));
+  (* string and aggregate lead the ranking, as in the paper *)
+  (match by_type with
+   | (t1, _, _) :: (t2, _, _) :: _ ->
+     Alcotest.(check string) "top type" "string" t1;
+     Alcotest.(check string) "second type" "aggregate" t2
+   | _ -> Alcotest.fail "expected at least two types");
+  (* Finding 2: the two leading types exceed 40% of all occurrences *)
+  let share = float_of_int (117 + 91) /. 508.0 in
+  Alcotest.(check bool) "over 40%" true (share > 0.40)
+
+let test_table2 () =
+  Alcotest.(check (list (pair int int)))
+    "Table 2"
+    [ (1, 191); (2, 87); (3, 23); (4, 11); (5, 6) ]
+    (Stats.size_distribution ())
+
+let test_finding3 () =
+  let n, pct = Stats.at_most_two_share () in
+  Alcotest.(check int) "278 bugs with <= 2 exprs" 278 n;
+  Alcotest.(check bool) "~87.5%" true (Float.abs (pct -. 87.4) < 0.5)
+
+let test_finding4 () =
+  Alcotest.(check (list (pair string int)))
+    "Finding 4"
+    [ ("table with data", 151); ("no table", 132); ("empty table", 35) ]
+    (List.map
+       (fun (p, n) -> (Corpus.prereq_to_string p, n))
+       (Stats.prereq_distribution ()))
+
+let test_root_causes () =
+  let n, pct = Stats.boundary_share () in
+  Alcotest.(check int) "278 boundary bugs" 278 n;
+  Alcotest.(check bool) "87.4%" true (Float.abs (pct -. 87.4) < 0.1);
+  let fams = Stats.family_counts () in
+  let get name =
+    match List.find_opt (fun (n, _, _) -> n = name) fams with
+    | Some (_, c, p) -> (c, p)
+    | None -> (0, 0.0)
+  in
+  let lit_n, lit_p = get "boundary literal values" in
+  Alcotest.(check int) "94 literal" 94 lit_n;
+  Alcotest.(check bool) "29.5%" true (Float.abs (lit_p -. 29.5) < 0.1);
+  let cast_n, cast_p = get "boundary type castings" in
+  Alcotest.(check int) "74 casting" 74 cast_n;
+  Alcotest.(check bool) "23.3%" true (Float.abs (cast_p -. 23.3) < 0.1);
+  let nest_n, nest_p = get "boundary nested-function results" in
+  Alcotest.(check int) "110 nested" 110 nest_n;
+  Alcotest.(check bool) "34.6%" true (Float.abs (nest_p -. 34.6) < 0.1);
+  (* the other three causes: 8 config, 24 table definition, 8 syntax *)
+  let causes = Stats.root_cause_distribution () in
+  Alcotest.(check int) "config 8" 8 (List.assoc Corpus.Config_cause causes);
+  Alcotest.(check int) "table def 24" 24 (List.assoc Corpus.Table_definition causes);
+  Alcotest.(check int) "syntax 8" 8 (List.assoc Corpus.Syntax_structure causes)
+
+let test_literal_subcauses () =
+  let subs = Stats.literal_subcauses () in
+  let get sub =
+    match List.find_opt (fun (s, _, _) -> s = sub) subs with
+    | Some (_, n, p) -> (n, p)
+    | None -> (0, 0.0)
+  in
+  let n1, p1 = get Corpus.Extreme_numeric in
+  Alcotest.(check int) "32 extreme numerics" 32 n1;
+  Alcotest.(check bool) "10.0%" true (Float.abs (p1 -. 10.0) < 0.1);
+  let n2, p2 = get Corpus.Empty_or_null in
+  Alcotest.(check int) "21 empty/null" 21 n2;
+  Alcotest.(check bool) "6.6%" true (Float.abs (p2 -. 6.6) < 0.1);
+  let n3, p3 = get Corpus.Crafted_string in
+  Alcotest.(check int) "41 crafted strings" 41 n3;
+  Alcotest.(check bool) "12.9%" true (Float.abs (p3 -. 12.9) < 0.1)
+
+let test_curated_pocs_parse () =
+  let sizes = Stats.parsed_poc_sizes () in
+  Alcotest.(check bool) "at least 10 curated PoCs" true (List.length sizes >= 10);
+  List.iter
+    (fun (id, recorded, parsed) ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s: PoC parse agrees with recorded size" id)
+        recorded parsed)
+    sizes
+
+let test_ids_unique () =
+  let ids = List.map (fun e -> e.Corpus.id) (Lazy.force Corpus.all) in
+  Alcotest.(check int) "unique ids" (List.length ids)
+    (List.length (List.sort_uniq String.compare ids))
+
+let suite =
+  ( "study",
+    [
+      Alcotest.test_case "total" `Quick test_total;
+      Alcotest.test_case "Table 1" `Quick test_table1;
+      Alcotest.test_case "Finding 1 (stages)" `Quick test_finding1;
+      Alcotest.test_case "Figure 1 (function types)" `Quick test_figure1;
+      Alcotest.test_case "Table 2 (expr counts)" `Quick test_table2;
+      Alcotest.test_case "Finding 3" `Quick test_finding3;
+      Alcotest.test_case "Finding 4 (prerequisites)" `Quick test_finding4;
+      Alcotest.test_case "root causes (87.4%)" `Quick test_root_causes;
+      Alcotest.test_case "literal subcauses" `Quick test_literal_subcauses;
+      Alcotest.test_case "curated PoCs parse" `Quick test_curated_pocs_parse;
+      Alcotest.test_case "ids unique" `Quick test_ids_unique;
+    ] )

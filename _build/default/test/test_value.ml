@@ -1,0 +1,107 @@
+open Sqlfun_value
+open Sqlfun_num
+open Sqlfun_data
+
+let dec s = Value.Dec (Decimal.of_string_exn s)
+
+let cmp a b = Value.compare_values a b
+
+let test_numeric_coercion () =
+  Alcotest.(check (option int)) "int vs dec" (Some 0) (cmp (Value.Int 2L) (dec "2.0"));
+  Alcotest.(check (option int)) "int vs float" (Some 0)
+    (cmp (Value.Int 2L) (Value.Float 2.0));
+  Alcotest.(check (option int)) "dec vs float" (Some (-1))
+    (cmp (dec "1.5") (Value.Float 2.5));
+  Alcotest.(check (option int)) "bool as number" (Some 0)
+    (cmp (Value.Bool true) (Value.Int 1L));
+  Alcotest.(check (option int)) "nan incomparable" None
+    (cmp (Value.Float Float.nan) (Value.Int 1L))
+
+let test_incomparable () =
+  Alcotest.(check (option int)) "null" None (cmp Value.Null (Value.Int 1L));
+  Alcotest.(check (option int)) "row vs int" None
+    (cmp (Value.Row [ Value.Int 1L ]) (Value.Int 1L));
+  Alcotest.(check (option int)) "str vs int" None
+    (cmp (Value.Str "1") (Value.Int 1L));
+  Alcotest.(check (option int)) "map" None
+    (cmp (Value.Map []) (Value.Map []))
+
+let test_collections () =
+  let arr l = Value.Arr (List.map (fun i -> Value.Int (Int64.of_int i)) l) in
+  Alcotest.(check (option int)) "array eq" (Some 0) (cmp (arr [ 1; 2 ]) (arr [ 1; 2 ]));
+  Alcotest.(check (option int)) "array lt" (Some (-1)) (cmp (arr [ 1 ]) (arr [ 1; 2 ]));
+  Alcotest.(check (option int)) "array elem" (Some 1) (cmp (arr [ 2 ]) (arr [ 1; 9 ]))
+
+let test_date_string_coercion () =
+  match Calendar.date_of_string "2023-05-17" with
+  | None -> Alcotest.fail "date"
+  | Some d ->
+    Alcotest.(check (option int)) "str vs date" (Some 0)
+      (cmp (Value.Str "2023-05-17") (Value.Date d));
+    Alcotest.(check (option int)) "date vs later str" (Some (-1))
+      (cmp (Value.Date d) (Value.Str "2024-01-01"))
+
+let test_display () =
+  Alcotest.(check string) "float int" "2" (Value.to_display (Value.Float 2.0));
+  Alcotest.(check string) "nan" "NaN" (Value.to_display (Value.Float Float.nan));
+  Alcotest.(check string) "inf" "Infinity" (Value.to_display (Value.Float Float.infinity));
+  Alcotest.(check string) "blob hex" "0x4142" (Value.to_display (Value.Blob "AB"));
+  Alcotest.(check string) "row" "(1, x)"
+    (Value.to_display (Value.Row [ Value.Int 1L; Value.Str "x" ]));
+  Alcotest.(check string) "interval" "INTERVAL 3 DAY"
+    (Value.to_display (Value.Interval { Calendar.amount = 3L; unit_ = Calendar.Day }))
+
+let test_depth_and_size () =
+  Alcotest.(check int) "scalar depth" 1 (Value.depth_of (Value.Int 1L));
+  Alcotest.(check int) "nested arr depth" 3
+    (Value.depth_of (Value.Arr [ Value.Arr [ Value.Arr [] ] ]));
+  (match Json.parse "[[1]]" with
+   | Ok j -> Alcotest.(check int) "json depth" 3 (Value.depth_of (Value.Json j))
+   | Error _ -> Alcotest.fail "json");
+  Alcotest.(check bool) "string size" true (Value.size_of (Value.Str "hello") = 5);
+  Alcotest.(check bool) "array size grows" true
+    (Value.size_of (Value.Arr [ Value.Int 1L; Value.Int 2L ])
+     > Value.size_of (Value.Arr [ Value.Int 1L ]))
+
+(* antisymmetry on the comparable fragment *)
+let arb_scalar =
+  let open QCheck.Gen in
+  QCheck.make ~print:Value.to_display
+    (oneof
+       [
+         map (fun i -> Value.Int (Int64.of_int i)) int;
+         map (fun f -> Value.Float f) (float_range (-1e6) 1e6);
+         map
+           (fun n -> Value.Dec (Decimal.of_int n))
+           (int_range (-100000) 100000);
+         map (fun b -> Value.Bool b) bool;
+       ])
+
+let prop_antisym =
+  QCheck.Test.make ~name:"compare_values antisymmetric" ~count:300
+    (QCheck.pair arb_scalar arb_scalar) (fun (a, b) ->
+      match (cmp a b, cmp b a) with
+      | Some x, Some y -> x = -y
+      | None, None -> true
+      | Some _, None | None, Some _ -> false)
+
+let prop_transitive =
+  QCheck.Test.make ~name:"compare_values transitive on numerics" ~count:300
+    (QCheck.triple arb_scalar arb_scalar arb_scalar) (fun (a, b, c) ->
+      match (cmp a b, cmp b c, cmp a c) with
+      | Some x, Some y, Some z when x <= 0 && y <= 0 -> z <= 0
+      | Some _, Some _, Some _ -> true
+      | _ -> true)
+
+let suite =
+  ( "value",
+    [
+      Alcotest.test_case "numeric coercion" `Quick test_numeric_coercion;
+      Alcotest.test_case "incomparable pairs" `Quick test_incomparable;
+      Alcotest.test_case "collections" `Quick test_collections;
+      Alcotest.test_case "date-string coercion" `Quick test_date_string_coercion;
+      Alcotest.test_case "display" `Quick test_display;
+      Alcotest.test_case "depth and size" `Quick test_depth_and_size;
+      QCheck_alcotest.to_alcotest prop_antisym;
+      QCheck_alcotest.to_alcotest prop_transitive;
+    ] )
