@@ -7,6 +7,8 @@
 
 open Sqlfun_dialects
 open Sqlfun_fault
+module Telemetry = Sqlfun_telemetry.Telemetry
+module Json = Sqlfun_telemetry.Json
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -36,10 +38,10 @@ let pattern_tables () =
 
 (* ----- Sections 7.3-7.4: the full SOFT campaign ----- *)
 
-let campaign () =
+let campaign tel =
   section "SOFT campaign against the seven simulated DBMSs (Table 4)";
   let t0 = Unix.gettimeofday () in
-  let results = Soft.Soft_runner.fuzz_all () in
+  let results = Soft.Soft_runner.fuzz_all ~telemetry:tel () in
   Printf.printf "(exhaustive pattern enumeration, %.1f s wall clock)\n\n"
     (Unix.gettimeofday () -. t0);
   print_string (Sqlfun_harness.Tables.table4 results);
@@ -55,7 +57,7 @@ let comparison () =
   section "Tool comparison under an equal statement budget (Tables 5-6)";
   let budget = 20_000 in
   Printf.printf "(budget: %d statements per tool per dialect)\n\n" budget;
-  let runs = Sqlfun_harness.Compare.comparison ~budget in
+  let runs = Sqlfun_harness.Compare.comparison ~budget () in
   print_string (Sqlfun_harness.Tables.table5 runs);
   print_newline ();
   print_string (Sqlfun_harness.Tables.table6 runs);
@@ -96,7 +98,7 @@ let ablations () =
   print_endline "literal-pool depth (P1.2 on mariadb):";
   let bugs_with_pool label pool_filter =
     let registry = Dialect.registry prof in
-    let seeds = Soft.Collector.collect ~registry ~suite:prof.Dialect.seeds in
+    let seeds = Soft.Collector.collect ~registry ~suite:prof.Dialect.seeds () in
     let detector = Soft.Detector.create prof in
     Seq.iter
       (fun (case : Soft.Patterns.case) ->
@@ -126,7 +128,7 @@ let nesting_ablation () =
   (* measure how many generated P3.3 statements the <=2 cap skips *)
   let prof = Dialect.find_exn "mysql" in
   let registry = Dialect.registry prof in
-  let seeds = Soft.Collector.collect ~registry ~suite:prof.Dialect.seeds in
+  let seeds = Soft.Collector.collect ~registry ~suite:prof.Dialect.seeds () in
   let deep, shallow =
     List.partition
       (fun (s : Soft.Collector.seed) ->
@@ -163,7 +165,7 @@ let microbenches () =
   let prof = Dialect.find_exn "mariadb" in
   let engine = Dialect.make_engine prof in
   let registry = Dialect.registry prof in
-  let seeds = Soft.Collector.collect ~registry ~suite:prof.Dialect.seeds in
+  let seeds = Soft.Collector.collect ~registry ~suite:prof.Dialect.seeds () in
   let smith = Sqlfun_baselines.Sqlsmith_gen.make ~dialect:"mariadb" ~seed:7 in
   let detect_engine = Soft.Detector.create prof in
   let tests =
@@ -213,15 +215,50 @@ let microbenches () =
         results)
     tests
 
+(* The perf trajectory artifact: stage wall-times and verdict counters of
+   the exhaustive campaign, diffable across PRs. *)
+let write_telemetry tel results =
+  let path = "BENCH_telemetry.json" in
+  let campaign_json (r : Soft.Soft_runner.result) =
+    Json.Obj
+      [
+        ("dialect", Json.Str r.Soft.Soft_runner.dialect.Dialect.id);
+        ("cases_executed", Json.Int r.Soft.Soft_runner.cases_executed);
+        ("bugs", Json.Int (List.length r.Soft.Soft_runner.bugs));
+        ( "functions_triggered",
+          Json.Int r.Soft.Soft_runner.functions_triggered );
+        ("branches_covered", Json.Int r.Soft.Soft_runner.branches_covered);
+        ( "unique_false_positives",
+          Json.Int r.Soft.Soft_runner.unique_false_positives );
+      ]
+  in
+  let snapshot =
+    Json.Obj
+      [
+        ("schema", Json.Str "soft-telemetry/1");
+        ("kind", Json.Str "bench");
+        ("campaigns", Json.Arr (List.map campaign_json results));
+        ("stages", Telemetry.stages_to_json tel);
+        ("verdicts", Telemetry.verdicts_to_json tel);
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string snapshot);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nstage timings and verdict counters written to %s\n" path
+
 let () =
   study_tables ();
   pattern_tables ();
-  let _results = campaign () in
+  let tel = Telemetry.create () in
+  let results = campaign tel in
   comparison ();
   ablations ();
   nesting_ablation ();
   logic_oracles ();
   (try microbenches ()
    with e -> Printf.printf "(micro-benchmarks skipped: %s)\n" (Printexc.to_string e));
+  write_telemetry tel results;
   print_newline ();
   print_endline "bench: all tables and figures regenerated."

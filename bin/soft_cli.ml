@@ -8,10 +8,13 @@
 
 open Cmdliner
 open Sqlfun_dialects
+module Telemetry = Sqlfun_telemetry.Telemetry
+module Json = Sqlfun_telemetry.Json
 
 let dialect_arg =
   let doc =
-    Printf.sprintf "Target dialect: one of %s." (String.concat ", " Dialect.ids)
+    Printf.sprintf "Target dialect: one of %s (unique prefixes accepted)."
+      (String.concat ", " Dialect.ids)
   in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"DIALECT" ~doc)
 
@@ -19,46 +22,109 @@ let budget_arg default =
   let doc = "Maximum number of generated statements to execute (0 = exhaust)." in
   Arg.(value & opt int default & info [ "budget"; "b" ] ~doc)
 
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Stream telemetry events (spans, verdicts, bugs, FP \
+                 signatures) to $(docv) as JSON lines.")
+
+let json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "json" ] ~docv:"FILE"
+           ~doc:"Write a machine-readable campaign metrics snapshot to \
+                 $(docv).")
+
+(* exact id first, then a unique prefix ("postgres" -> postgresql) *)
 let resolve_dialect id =
   match Dialect.find id with
   | Some p -> Ok p
   | None ->
-    Error (Printf.sprintf "unknown dialect %S (expected one of %s)" id
-             (String.concat ", " Dialect.ids))
+    let plen = String.length id in
+    (match
+       List.filter
+         (fun p ->
+           String.length p.Dialect.id >= plen
+           && String.sub p.Dialect.id 0 plen = id)
+         Dialect.all
+     with
+     | [ p ] -> Ok p
+     | _ :: _ :: _ ->
+       Error (Printf.sprintf "ambiguous dialect %S (matches several of %s)" id
+                (String.concat ", " Dialect.ids))
+     | [] ->
+       Error (Printf.sprintf "unknown dialect %S (expected one of %s)" id
+                (String.concat ", " Dialect.ids)))
+
+(* Builds a telemetry collector whose sink is the --trace file (null sink
+   without the flag), runs [f tel] — which returns a thunk producing the
+   snapshot, forced only when --json asked for one — then writes the
+   artifacts. *)
+let with_telemetry ~trace ~json f =
+  let trace_oc = Option.map open_out trace in
+  let sink =
+    match trace_oc with
+    | Some oc -> Telemetry.jsonl_sink oc
+    | None -> Telemetry.null_sink
+  in
+  let tel = Telemetry.create ~sink () in
+  let finish () = Option.iter close_out trace_oc in
+  match f tel with
+  | make_snapshot ->
+    (match json with
+     | Some path ->
+       let oc = open_out path in
+       output_string oc (Json.to_string (make_snapshot ()));
+       output_char oc '\n';
+       close_out oc;
+       Printf.printf "telemetry snapshot written to %s\n" path
+     | None -> ());
+    finish ();
+    Option.iter
+      (fun file -> Printf.printf "telemetry trace written to %s\n" file)
+      trace
+  | exception exn ->
+    finish ();
+    raise exn
 
 let fuzz_cmd =
-  let run dialect budget verbose report =
+  let run dialect budget verbose report trace json =
     match resolve_dialect dialect with
     | Error msg ->
       prerr_endline msg;
       1
     | Ok prof ->
       let budget = if budget = 0 then None else Some budget in
-      let r = Soft.Soft_runner.fuzz ?budget prof in
-      (match report with
-       | Some path ->
-         let oc = open_out path in
-         output_string oc (Soft.Report.campaign_to_markdown r);
-         close_out oc;
-         Printf.printf "bug report written to %s\n" path
-       | None -> ());
-      Printf.printf "SOFT campaign against %s %s (simulated)\n"
-        prof.Dialect.display prof.Dialect.version;
-      Printf.printf "  seeds collected:      %d\n" r.Soft.Soft_runner.seeds_collected;
-      Printf.printf "  substitution slots:   %d\n" r.Soft.Soft_runner.positions;
-      Printf.printf "  statements executed:  %d\n" r.Soft.Soft_runner.cases_executed;
-      Printf.printf "  passed / clean errors: %d / %d\n" r.Soft.Soft_runner.passed
-        r.Soft.Soft_runner.clean_errors;
-      Printf.printf "  false positives:      %d\n" r.Soft.Soft_runner.false_positives;
-      Printf.printf "  functions triggered:  %d\n" r.Soft.Soft_runner.functions_triggered;
-      Printf.printf "  branches covered:     %d\n" r.Soft.Soft_runner.branches_covered;
-      Printf.printf "  bugs found:           %d\n" (List.length r.Soft.Soft_runner.bugs);
-      List.iter
-        (fun b ->
-          Printf.printf "    %s\n" (Soft.Soft_runner.bug_summary_line b);
-          if verbose then
-            Printf.printf "      note: %s\n" b.Soft.Detector.spec.Sqlfun_fault.Fault.note)
-        r.Soft.Soft_runner.bugs;
+      with_telemetry ~trace ~json (fun tel ->
+          let r = Soft.Soft_runner.fuzz ?budget ~telemetry:tel prof in
+          (match report with
+           | Some path ->
+             let oc = open_out path in
+             output_string oc (Soft.Report.campaign_to_markdown r);
+             close_out oc;
+             Printf.printf "bug report written to %s\n" path
+           | None -> ());
+          Printf.printf "SOFT campaign against %s %s (simulated)\n"
+            prof.Dialect.display prof.Dialect.version;
+          Printf.printf "  seeds collected:      %d\n" r.Soft.Soft_runner.seeds_collected;
+          Printf.printf "  substitution slots:   %d\n" r.Soft.Soft_runner.positions;
+          Printf.printf "  statements executed:  %d\n" r.Soft.Soft_runner.cases_executed;
+          Printf.printf "  passed / clean errors: %d / %d\n" r.Soft.Soft_runner.passed
+            r.Soft.Soft_runner.clean_errors;
+          (* the paper's "7 false positives" counts unique reports, so both
+             units are printed *)
+          Printf.printf "  false positives:      %d (%d unique reports)\n"
+            r.Soft.Soft_runner.false_positives
+            r.Soft.Soft_runner.unique_false_positives;
+          Printf.printf "  functions triggered:  %d\n" r.Soft.Soft_runner.functions_triggered;
+          Printf.printf "  branches covered:     %d\n" r.Soft.Soft_runner.branches_covered;
+          Printf.printf "  bugs found:           %d\n" (List.length r.Soft.Soft_runner.bugs);
+          List.iter
+            (fun b ->
+              Printf.printf "    %s\n" (Soft.Soft_runner.bug_summary_line b);
+              if verbose then
+                Printf.printf "      note: %s\n" b.Soft.Detector.spec.Sqlfun_fault.Fault.note)
+            r.Soft.Soft_runner.bugs;
+          fun () -> Soft.Report.campaign_to_json r);
       0
   in
   let verbose =
@@ -71,7 +137,8 @@ let fuzz_cmd =
   in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Run a SOFT campaign against a simulated dialect")
-    Term.(const run $ dialect_arg $ budget_arg 0 $ verbose $ report)
+    Term.(const run $ dialect_arg $ budget_arg 0 $ verbose $ report
+          $ trace_arg $ json_arg)
 
 let study_cmd =
   let run () =
@@ -94,19 +161,24 @@ let study_cmd =
     Term.(const run $ const ())
 
 let compare_cmd =
-  let run budget =
-    let runs = Sqlfun_harness.Compare.comparison ~budget in
-    print_string (Sqlfun_harness.Tables.table5 runs);
-    print_newline ();
-    print_string (Sqlfun_harness.Tables.table6 runs);
-    print_newline ();
-    print_string (Sqlfun_harness.Tables.bugs_in_budget runs);
+  let run budget trace json =
+    with_telemetry ~trace ~json (fun tel ->
+        let runs =
+          Sqlfun_harness.Compare.comparison ~telemetry:tel ~budget ()
+        in
+        print_string (Sqlfun_harness.Tables.table5 runs);
+        print_newline ();
+        print_string (Sqlfun_harness.Tables.table6 runs);
+        print_newline ();
+        print_string (Sqlfun_harness.Tables.bugs_in_budget runs);
+        fun () ->
+          Sqlfun_harness.Compare.comparison_to_json ~telemetry:tel ~budget runs);
     0
   in
   Cmd.v
     (Cmd.info "compare"
        ~doc:"Equal-budget comparison against SQUIRREL/SQLancer/SQLsmith")
-    Term.(const run $ budget_arg 3000)
+    Term.(const run $ budget_arg 3000 $ trace_arg $ json_arg)
 
 let tables_cmd =
   let run budget =

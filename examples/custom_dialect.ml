@@ -61,7 +61,7 @@ let () =
      generate pattern cases, execute. We drive the pieces directly since
      this dialect is not one of the seven stock profiles. *)
   let seeds =
-    Soft.Collector.collect ~registry ~suite:[ "SELECT SHOUT('release', 2)" ]
+    Soft.Collector.collect ~registry ~suite:[ "SELECT SHOUT('release', 2)" ] ()
   in
   let cases = Soft.Patterns.all_cases ~registry ~seeds in
   let found = ref None in

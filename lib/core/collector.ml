@@ -10,7 +10,13 @@ let known_calls registry stmt =
     (fun (c : Ast.call) -> Registry.mem registry c.Ast.fname)
     (Ast_util.function_calls stmt)
 
-let collect ~registry ~suite =
+let collect ?telemetry ~registry ~suite () =
+  let span f =
+    match telemetry with
+    | None -> f ()
+    | Some t -> Sqlfun_telemetry.Telemetry.with_span t "collect" f
+  in
+  span @@ fun () ->
   let doc_seeds =
     List.concat_map
       (fun spec ->

@@ -17,10 +17,12 @@ type seed = {
 }
 
 val collect :
-  registry:Registry.t -> suite:string list -> seed list
+  ?telemetry:Sqlfun_telemetry.Telemetry.t ->
+  registry:Registry.t -> suite:string list -> unit -> seed list
 (** Docs seeds first, then suite seeds. Statements that fail to parse or
     contain no known function expression are skipped, as are non-SELECT
-    statements (those become prerequisites, not substitution targets). *)
+    statements (those become prerequisites, not substitution targets).
+    With [telemetry], the whole scan is timed as one ["collect"] span. *)
 
 val donors : seed list -> Ast.call list
 (** Every distinct function-call expression found in the seeds — the

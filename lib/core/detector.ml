@@ -2,6 +2,7 @@ open Sqlfun_fault
 open Sqlfun_engine
 open Sqlfun_dialects
 module Coverage = Sqlfun_coverage.Coverage
+module Telemetry = Sqlfun_telemetry.Telemetry
 
 type verdict =
   | Passed
@@ -21,6 +22,7 @@ type found_bug = {
 type t = {
   prof : Dialect.profile;
   cov : Coverage.t;
+  tel : Telemetry.t;
   mutable engine : Engine.t;
   mutable executed : int;
   mutable passed : int;
@@ -32,14 +34,21 @@ type t = {
   mutable found : found_bug list;  (* reversed *)
 }
 
-let fresh_engine cov prof = Dialect.make_engine ~cov ~armed:true prof
+(* Arming a fresh engine is the same work whether it is the initial start
+   or a post-crash restart, so both are timed under the
+   "restart-after-crash" stage. *)
+let fresh_engine tel cov prof =
+  Telemetry.with_span tel ~dialect:prof.Dialect.id "restart-after-crash"
+    (fun () -> Dialect.make_engine ~cov ~armed:true prof)
 
-let create ?cov prof =
+let create ?cov ?telemetry prof =
   let cov = match cov with Some c -> c | None -> Coverage.create () in
+  let tel = match telemetry with Some t -> t | None -> Telemetry.create () in
   {
     prof;
     cov;
-    engine = fresh_engine cov prof;
+    tel;
+    engine = fresh_engine tel cov prof;
     executed = 0;
     passed = 0;
     clean_errors = 0;
@@ -50,54 +59,88 @@ let create ?cov prof =
     found = [];
   }
 
-let restart t = t.engine <- fresh_engine t.cov t.prof
+let restart t = t.engine <- fresh_engine t.tel t.cov t.prof
+
+let verdict_class = function
+  | Passed -> Telemetry.Passed
+  | Clean_error _ -> Telemetry.Clean_error
+  | False_positive _ -> Telemetry.False_positive
+  | New_bug _ -> Telemetry.New_bug
+  | Dup_bug _ -> Telemetry.Dup_bug
+  | Known_crash _ -> Telemetry.Known_crash
 
 (* [poc] is rendered lazily: pretty-printing every generated statement
    would dominate the runtime, and only crashing statements need SQL. *)
 let classify t ?pattern ~poc run =
   t.executed <- t.executed + 1;
-  match run () with
-  | Ok _ ->
-    t.passed <- t.passed + 1;
-    Passed
-  | Error (Engine.Parse_failed msg) | Error (Engine.Sql_failed msg) ->
-    t.clean_errors <- t.clean_errors + 1;
-    Clean_error msg
-  | Error (Engine.Limit_hit msg) ->
-    t.false_positives <- t.false_positives + 1;
-    (* the paper counts unique false-positive *reports*; dedupe on the
-       message with digits normalized out *)
-    let signature =
-      let buf = Buffer.create (String.length msg) in
-      let prev_digit = ref false in
-      String.iter
-        (fun c ->
-          let is_digit = c >= '0' && c <= '9' in
-          if is_digit then begin
-            if not !prev_digit then Buffer.add_char buf '#'
-          end
-          else Buffer.add_char buf c;
-          prev_digit := is_digit)
-        msg;
-      Buffer.contents buf
-    in
-    if not (Hashtbl.mem t.fp_signatures signature) then
-      Hashtbl.add t.fp_signatures signature ();
-    False_positive msg
-  | exception Fault.Crash spec ->
-    restart t;
-    if Hashtbl.mem t.sites spec.Fault.site then Dup_bug spec
-    else begin
-      Hashtbl.add t.sites spec.Fault.site ();
-      t.found <-
-        { spec; found_by = pattern; poc = poc (); case_number = t.executed }
-        :: t.found;
-      New_bug spec
-    end
-  | exception Stack_overflow ->
-    restart t;
-    t.known_crashes <- t.known_crashes + 1;
-    Known_crash "stack exhausted (CVE-2015-5289 class)"
+  let dialect = t.prof.Dialect.id in
+  (* Pattern_id.to_string returns shared literals, so tagging spans and
+     counters with the pattern costs no allocation. *)
+  let pat =
+    match pattern with Some p -> Pattern_id.to_string p | None -> "seed"
+  in
+  (* The execute stage is the engine round-trip; crashes are turned into
+     data so the span closes with the statement's true wall time. *)
+  let outcome =
+    Telemetry.with_span t.tel ~dialect ~pattern:pat "execute" (fun () ->
+        match run () with
+        | r -> `Res r
+        | exception Fault.Crash spec -> `Crashed spec
+        | exception Stack_overflow -> `Blown)
+  in
+  let verdict =
+    Telemetry.with_span t.tel ~dialect ~pattern:pat "detect" @@ fun () ->
+    match outcome with
+    | `Res (Ok _) ->
+      t.passed <- t.passed + 1;
+      Passed
+    | `Res (Error (Engine.Parse_failed msg) | Error (Engine.Sql_failed msg)) ->
+      t.clean_errors <- t.clean_errors + 1;
+      Clean_error msg
+    | `Res (Error (Engine.Limit_hit msg)) ->
+      t.false_positives <- t.false_positives + 1;
+      (* the paper counts unique false-positive *reports*; dedupe on the
+         message with digits normalized out *)
+      let signature =
+        let buf = Buffer.create (String.length msg) in
+        let prev_digit = ref false in
+        String.iter
+          (fun c ->
+            let is_digit = c >= '0' && c <= '9' in
+            if is_digit then begin
+              if not !prev_digit then Buffer.add_char buf '#'
+            end
+            else Buffer.add_char buf c;
+            prev_digit := is_digit)
+          msg;
+        Buffer.contents buf
+      in
+      if not (Hashtbl.mem t.fp_signatures signature) then begin
+        Hashtbl.add t.fp_signatures signature ();
+        Telemetry.fp_event t.tel ~dialect ~signature
+      end;
+      False_positive msg
+    | `Crashed spec ->
+      restart t;
+      if Hashtbl.mem t.sites spec.Fault.site then Dup_bug spec
+      else begin
+        Hashtbl.add t.sites spec.Fault.site ();
+        t.found <-
+          { spec; found_by = pattern; poc = poc (); case_number = t.executed }
+          :: t.found;
+        Telemetry.bug_event t.tel ~dialect ~site:spec.Fault.site
+          ~kind:(Bug_kind.to_string spec.Fault.kind)
+          ~pattern:pat ~case_number:t.executed;
+        New_bug spec
+      end
+    | `Blown ->
+      restart t;
+      t.known_crashes <- t.known_crashes + 1;
+      Known_crash "stack exhausted (CVE-2015-5289 class)"
+  in
+  Telemetry.count_verdict t.tel ~dialect ~pattern:pat ~case_number:t.executed
+    (verdict_class verdict);
+  verdict
 
 let run_sql t ?pattern sql =
   classify t ?pattern
@@ -143,3 +186,4 @@ let known_crashes t = t.known_crashes
 let bugs t = List.rev t.found
 let coverage t = t.cov
 let profile t = t.prof
+let telemetry t = t.tel

@@ -25,8 +25,20 @@ type found_bug = {
 
 type t
 
-val create : ?cov:Sqlfun_coverage.Coverage.t -> Dialect.profile -> t
-(** Builds an armed engine for the profile (restarted after each crash). *)
+val create :
+  ?cov:Sqlfun_coverage.Coverage.t ->
+  ?telemetry:Sqlfun_telemetry.Telemetry.t ->
+  Dialect.profile ->
+  t
+(** Builds an armed engine for the profile (restarted after each crash).
+
+    Without [telemetry] a private null-sink collector is created, so
+    stage timings and verdict counters always accumulate; pass a
+    collector to share aggregates with the rest of a campaign or to
+    stream events. Each executed statement is timed as an ["execute"]
+    span (the engine round-trip) plus a ["detect"] span (verdict
+    bookkeeping); engine arms/restarts are ["restart-after-crash"]
+    spans; every verdict bumps the dialect x pattern x class counter. *)
 
 val run_sql : t -> ?pattern:Pattern_id.t -> string -> verdict
 val run_stmt : t -> ?pattern:Pattern_id.t -> Sqlfun_ast.Ast.stmt -> verdict
@@ -54,3 +66,7 @@ val bugs : t -> found_bug list
 
 val coverage : t -> Sqlfun_coverage.Coverage.t
 val profile : t -> Dialect.profile
+
+val telemetry : t -> Sqlfun_telemetry.Telemetry.t
+(** The collector the detector records into (the one passed to
+    {!create}, or its private one). *)

@@ -331,18 +331,25 @@ let p3_3 ~registry seeds =
                  | Some stmt' -> Some (case Pattern_id.P3_3 origin stmt')
                  | None -> None))
 
-let generate ~registry ~seeds pattern =
-  match pattern with
-  | Pattern_id.P1_1 -> p1_1 ()
-  | Pattern_id.P1_2 -> p1_2 seeds
-  | Pattern_id.P1_3 -> p1_3 seeds
-  | Pattern_id.P1_4 -> p1_4 seeds
-  | Pattern_id.P2_1 -> p2_1 seeds
-  | Pattern_id.P2_2 -> p2_2 seeds
-  | Pattern_id.P2_3 -> p2_3 ~registry seeds
-  | Pattern_id.P3_1 -> p3_1 seeds
-  | Pattern_id.P3_2 -> p3_2 ~registry seeds
-  | Pattern_id.P3_3 -> p3_3 ~registry seeds
+let generate ?telemetry ~registry ~seeds pattern =
+  let cases =
+    match pattern with
+    | Pattern_id.P1_1 -> p1_1 ()
+    | Pattern_id.P1_2 -> p1_2 seeds
+    | Pattern_id.P1_3 -> p1_3 seeds
+    | Pattern_id.P1_4 -> p1_4 seeds
+    | Pattern_id.P2_1 -> p2_1 seeds
+    | Pattern_id.P2_2 -> p2_2 seeds
+    | Pattern_id.P2_3 -> p2_3 ~registry seeds
+    | Pattern_id.P3_1 -> p3_1 seeds
+    | Pattern_id.P3_2 -> p3_2 ~registry seeds
+    | Pattern_id.P3_3 -> p3_3 ~registry seeds
+  in
+  match telemetry with
+  | None -> cases
+  | Some t ->
+    Sqlfun_telemetry.Telemetry.time_seq t ~pattern:(Pattern_id.to_string pattern)
+      ~stage:"generate" cases
 
 let all_cases ~registry ~seeds =
   seq_of_list Pattern_id.all

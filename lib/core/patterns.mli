@@ -19,12 +19,16 @@ type case = {
 }
 
 val generate :
+  ?telemetry:Sqlfun_telemetry.Telemetry.t ->
   registry:Registry.t ->
   seeds:Collector.seed list ->
   Pattern_id.t ->
   case Seq.t
 (** Cases for one pattern. [P1_1] yields the pool itself as bare
-    [SELECT <literal>] probes. *)
+    [SELECT <literal>] probes. With [telemetry], forcing each case out of
+    the lazy sequence is timed as a ["generate"] span tagged with the
+    pattern — generation is interleaved with execution, so this is the
+    only honest way to attribute its cost. *)
 
 val all_cases :
   registry:Registry.t -> seeds:Collector.seed list -> case Seq.t

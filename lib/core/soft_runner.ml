@@ -1,6 +1,7 @@
 open Sqlfun_fault
 open Sqlfun_dialects
 module Coverage = Sqlfun_coverage.Coverage
+module Telemetry = Sqlfun_telemetry.Telemetry
 
 type result = {
   dialect : Dialect.profile;
@@ -16,32 +17,45 @@ type result = {
   bugs : Detector.found_bug list;
   functions_triggered : int;
   branches_covered : int;
+  timings : Telemetry.stage_timing list;
+  coverage : Coverage.t;
+  telemetry : Telemetry.t;
 }
 
-let fuzz ?budget ?cov ?(patterns = Pattern_id.all) prof =
-  let registry = Dialect.registry prof in
-  let seeds = Collector.collect ~registry ~suite:prof.Dialect.seeds in
-  let detector = Detector.create ?cov prof in
-  (* Sanity pass: the regression suite must run on the armed server too —
-     the paper's tool replays the suite it scanned. *)
-  List.iter
-    (fun (seed : Collector.seed) ->
-      ignore (Detector.run_stmt detector seed.Collector.stmt))
-    seeds;
-  (* An explicit budget is split evenly across the requested patterns so a
-     bounded campaign still exercises every pattern family (the paper's
-     full enumeration corresponds to no budget). *)
-  let per_pattern =
-    match budget with
-    | None -> None
-    | Some b -> Some (Stdlib.max 1 (b / Stdlib.max 1 (List.length patterns)))
+let fuzz ?budget ?cov ?telemetry ?(patterns = Pattern_id.all) prof =
+  let tel = match telemetry with Some t -> t | None -> Telemetry.create () in
+  (* the result record is built after the campaign span closes so the
+     "campaign" stage itself shows up in [timings] *)
+  let seeds, detector =
+    Telemetry.with_span tel ~dialect:prof.Dialect.id "campaign" @@ fun () ->
+    let registry = Dialect.registry prof in
+    let seeds =
+      Collector.collect ~telemetry:tel ~registry ~suite:prof.Dialect.seeds ()
+    in
+    let detector = Detector.create ?cov ~telemetry:tel prof in
+    (* Sanity pass: the regression suite must run on the armed server too —
+       the paper's tool replays the suite it scanned. *)
+    Telemetry.with_span tel ~dialect:prof.Dialect.id "seed-replay" (fun () ->
+        List.iter
+          (fun (seed : Collector.seed) ->
+            ignore (Detector.run_stmt detector seed.Collector.stmt))
+          seeds);
+    (* An explicit budget is split evenly across the requested patterns so a
+       bounded campaign still exercises every pattern family (the paper's
+       full enumeration corresponds to no budget). *)
+    let per_pattern =
+      match budget with
+      | None -> None
+      | Some b -> Some (Stdlib.max 1 (b / Stdlib.max 1 (List.length patterns)))
+    in
+    List.iter
+      (fun p ->
+        ignore
+          (Detector.run_cases detector ?budget:per_pattern
+             (Patterns.generate ~telemetry:tel ~registry ~seeds p)))
+      patterns;
+    (seeds, detector)
   in
-  List.iter
-    (fun p ->
-      ignore
-        (Detector.run_cases detector ?budget:per_pattern
-           (Patterns.generate ~registry ~seeds p)))
-    patterns;
   let cov = Detector.coverage detector in
   {
     dialect = prof;
@@ -57,10 +71,13 @@ let fuzz ?budget ?cov ?(patterns = Pattern_id.all) prof =
     bugs = Detector.bugs detector;
     functions_triggered = Coverage.prefixed_count cov "fn/";
     branches_covered = Coverage.count cov;
+    timings = Telemetry.stage_timings tel;
+    coverage = cov;
+    telemetry = tel;
   }
 
-let fuzz_all ?budget () =
-  List.map (fun prof -> fuzz ?budget prof) Dialect.all
+let fuzz_all ?budget ?telemetry () =
+  List.map (fun prof -> fuzz ?budget ?telemetry prof) Dialect.all
 
 let bugs_by_pattern_family result =
   let count family =

@@ -20,21 +20,35 @@ type result = {
   bugs : Detector.found_bug list;
   functions_triggered : int; (** distinct functions reached (Table 5) *)
   branches_covered : int;    (** distinct coverage points (Table 6) *)
+  timings : Sqlfun_telemetry.Telemetry.stage_timing list;
+      (** per-stage wall-time aggregates (campaign, collect, seed-replay,
+          generate, execute, detect, restart-after-crash), sorted by
+          total time *)
+  coverage : Sqlfun_coverage.Coverage.t;
+      (** the campaign's coverage recorder, for snapshot slicing *)
+  telemetry : Sqlfun_telemetry.Telemetry.t;
+      (** the collector the campaign recorded into — holds the
+          dialect x pattern x verdict counters behind {!timings} *)
 }
 
 val fuzz :
   ?budget:int ->
   ?cov:Sqlfun_coverage.Coverage.t ->
+  ?telemetry:Sqlfun_telemetry.Telemetry.t ->
   ?patterns:Pattern_id.t list ->
   Dialect.profile ->
   result
 (** [budget] caps generated-case executions (default: exhaust all
     patterns). [patterns] restricts the pattern set — the ablation knob.
     Seeds are executed first (sanity pass, not counted against the
-    budget). *)
+    budget). [telemetry] plugs in a shared collector/sink; without it a
+    private null-sink collector still populates [timings] — verdicts and
+    bug lists are bit-identical either way. *)
 
-val fuzz_all : ?budget:int -> unit -> result list
-(** One campaign per dialect, paper order. *)
+val fuzz_all :
+  ?budget:int -> ?telemetry:Sqlfun_telemetry.Telemetry.t -> unit -> result list
+(** One campaign per dialect, paper order. A shared [telemetry] yields
+    cross-dialect aggregates (counters stay keyed by dialect). *)
 
 val bugs_by_pattern_family : result -> (Pattern_id.family * int) list
 val bug_summary_line : Detector.found_bug -> string

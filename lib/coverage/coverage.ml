@@ -41,3 +41,13 @@ let prefixed_count t prefix =
       if String.length k >= plen && String.sub k 0 plen = prefix then acc + 1
       else acc)
     t.tbl 0
+
+let to_json t =
+  Sqlfun_telemetry.Json.Obj
+    [
+      ("distinct", Sqlfun_telemetry.Json.Int (count t));
+      ("total_hits", Sqlfun_telemetry.Json.Int (total_hits t));
+      ( "points",
+        Sqlfun_telemetry.Json.Obj
+          (List.map (fun (k, v) -> (k, Sqlfun_telemetry.Json.Int v)) (points t)) );
+    ]

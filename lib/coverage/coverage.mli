@@ -31,3 +31,7 @@ val diff : t -> t -> string list
 val prefixed_count : t -> string -> int
 (** Distinct points whose name starts with the given prefix — used to
     slice coverage per function or per module. *)
+
+val to_json : t -> Sqlfun_telemetry.Json.t
+(** [{"distinct": n, "total_hits": n, "points": {point: hits, ...}}] —
+    the coverage slice embedded in telemetry snapshots. *)

@@ -1,6 +1,8 @@
 open Sqlfun_dialects
 open Sqlfun_baselines
 module Coverage = Sqlfun_coverage.Coverage
+module Telemetry = Sqlfun_telemetry.Telemetry
+module Json = Sqlfun_telemetry.Json
 
 type tool = Squirrel | Sqlancer | Sqlsmith | Soft_tool
 
@@ -27,10 +29,10 @@ type run = {
   bug_sites : string list;
 }
 
-let run_baseline tool gen ~dialect ~budget =
+let run_baseline ?telemetry tool gen ~dialect ~budget =
   let prof = Dialect.find_exn dialect in
   let cov = Coverage.create () in
-  let detector = Soft.Detector.create ~cov prof in
+  let detector = Soft.Detector.create ~cov ?telemetry prof in
   for _ = 1 to budget do
     ignore (Soft.Detector.run_stmt detector (gen.Baseline.next ()))
   done;
@@ -47,12 +49,21 @@ let run_baseline tool gen ~dialect ~budget =
         (Soft.Detector.bugs detector);
   }
 
-let run_tool tool ~dialect ~budget =
+let run_tool ?telemetry tool ~dialect ~budget =
+  (* one "tool-run" span per (tool, dialect) cell, tagged with the tool so
+     equal-budget comparisons can also compare where the time went *)
+  let span f =
+    match telemetry with
+    | None -> f ()
+    | Some t ->
+      Telemetry.with_span t ~dialect ~pattern:(tool_name tool) "tool-run" f
+  in
+  span @@ fun () ->
   match tool with
   | Soft_tool ->
     let prof = Dialect.find_exn dialect in
     let cov = Coverage.create () in
-    let r = Soft.Soft_runner.fuzz ~budget ~cov prof in
+    let r = Soft.Soft_runner.fuzz ~budget ~cov ?telemetry prof in
     {
       tool;
       dialect;
@@ -66,19 +77,47 @@ let run_tool tool ~dialect ~budget =
             b.Soft.Detector.spec.Sqlfun_fault.Fault.site)
           r.Soft.Soft_runner.bugs;
     }
-  | Squirrel -> run_baseline tool (Squirrel_gen.make ~dialect ~seed:42) ~dialect ~budget
-  | Sqlancer -> run_baseline tool (Sqlancer_gen.make ~dialect ~seed:42) ~dialect ~budget
-  | Sqlsmith -> run_baseline tool (Sqlsmith_gen.make ~dialect ~seed:42) ~dialect ~budget
+  | Squirrel ->
+    run_baseline ?telemetry tool (Squirrel_gen.make ~dialect ~seed:42) ~dialect ~budget
+  | Sqlancer ->
+    run_baseline ?telemetry tool (Sqlancer_gen.make ~dialect ~seed:42) ~dialect ~budget
+  | Sqlsmith ->
+    run_baseline ?telemetry tool (Sqlsmith_gen.make ~dialect ~seed:42) ~dialect ~budget
 
-let comparison ~budget =
+let comparison ?telemetry ~budget () =
   List.concat_map
     (fun tool ->
       List.filter_map
         (fun dialect ->
-          if supported tool ~dialect then Some (run_tool tool ~dialect ~budget)
+          if supported tool ~dialect then
+            Some (run_tool ?telemetry tool ~dialect ~budget)
           else None)
         Dialect.ids)
     [ Squirrel; Sqlancer; Sqlsmith; Soft_tool ]
+
+let run_to_json r =
+  Json.Obj
+    [
+      ("tool", Json.Str (tool_name r.tool));
+      ("dialect", Json.Str r.dialect);
+      ("statements", Json.Int r.statements);
+      ("functions_triggered", Json.Int r.functions_triggered);
+      ("branches", Json.Int r.branches);
+      ("bugs", Json.Int r.bugs);
+      ("bug_sites", Json.Arr (List.map (fun s -> Json.Str s) r.bug_sites));
+    ]
+
+let comparison_to_json ?telemetry ~budget runs =
+  Json.Obj
+    (("schema", Json.Str "soft-telemetry/1")
+     :: ("kind", Json.Str "comparison")
+     :: ("budget", Json.Int budget)
+     :: ("runs", Json.Arr (List.map run_to_json runs))
+     ::
+     (match telemetry with
+      | None -> []
+      | Some t -> [ ("stages", Telemetry.stages_to_json t);
+                    ("verdicts", Telemetry.verdicts_to_json t) ]))
 
 let pivot metric runs =
   List.map

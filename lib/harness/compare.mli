@@ -24,10 +24,25 @@ type run = {
   bug_sites : string list;
 }
 
-val run_tool : tool -> dialect:string -> budget:int -> run
+val run_tool :
+  ?telemetry:Sqlfun_telemetry.Telemetry.t ->
+  tool -> dialect:string -> budget:int -> run
+(** With [telemetry], the cell is wrapped in a ["tool-run"] span tagged
+    with the tool name and dialect, and SOFT's own stage spans nest
+    inside it. *)
 
-val comparison : budget:int -> run list
+val comparison :
+  ?telemetry:Sqlfun_telemetry.Telemetry.t -> budget:int -> unit -> run list
 (** Every (tool, supported dialect) pair under the same budget. *)
+
+val run_to_json : run -> Sqlfun_telemetry.Json.t
+
+val comparison_to_json :
+  ?telemetry:Sqlfun_telemetry.Telemetry.t ->
+  budget:int -> run list -> Sqlfun_telemetry.Json.t
+(** Machine-readable comparison snapshot ([--json FILE] on
+    [soft_cli compare]); includes stage timings and verdict counters
+    when a shared [telemetry] collector is supplied. *)
 
 val table5 : run list -> (string * (tool * int option) list) list
 (** dialect -> per-tool triggered-function counts ([None] = unsupported). *)

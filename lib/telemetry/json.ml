@@ -1,0 +1,260 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(* ----- printing ----- *)
+
+let add_escaped buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let rec to_buffer buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+    if Float.is_finite f then begin
+      (* always emit a JSON number (never "inf"/"nan", and keep a decimal
+         point so round-trips stay floats) *)
+      let s = Printf.sprintf "%.12g" f in
+      Buffer.add_string buf s;
+      if String.for_all (fun c -> (c >= '0' && c <= '9') || c = '-') s then
+        Buffer.add_string buf ".0"
+    end
+    else Buffer.add_string buf "null"
+  | Str s -> add_escaped buf s
+  | Arr items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buf ',';
+        to_buffer buf item)
+      items;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        add_escaped buf k;
+        Buffer.add_char buf ':';
+        to_buffer buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string j =
+  let buf = Buffer.create 256 in
+  to_buffer buf j;
+  Buffer.contents buf
+
+(* ----- accessors ----- *)
+
+let member name = function
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let str_member name j =
+  match member name j with Some (Str s) -> Some s | _ -> None
+
+let int_member name j =
+  match member name j with Some (Int i) -> Some i | _ -> None
+
+(* ----- parsing (a strict, allocation-light recursive descent) ----- *)
+
+exception Parse_error of string
+
+type cursor = { src : string; mutable pos : int }
+
+let error c msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg c.pos))
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+let advance c = c.pos <- c.pos + 1
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance c;
+    skip_ws c
+  | _ -> ()
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | _ -> error c (Printf.sprintf "expected %C" ch)
+
+let literal c word value =
+  let n = String.length word in
+  if c.pos + n <= String.length c.src && String.sub c.src c.pos n = word then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else error c (Printf.sprintf "expected %s" word)
+
+let parse_hex4 c =
+  let v = ref 0 in
+  for _ = 1 to 4 do
+    (match peek c with
+     | Some ch when ch >= '0' && ch <= '9' ->
+       v := (!v * 16) + (Char.code ch - Char.code '0')
+     | Some ch when ch >= 'a' && ch <= 'f' ->
+       v := (!v * 16) + (Char.code ch - Char.code 'a' + 10)
+     | Some ch when ch >= 'A' && ch <= 'F' ->
+       v := (!v * 16) + (Char.code ch - Char.code 'A' + 10)
+     | _ -> error c "bad \\u escape");
+    advance c
+  done;
+  !v
+
+let parse_string c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> error c "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' ->
+      advance c;
+      (match peek c with
+       | Some '"' -> Buffer.add_char buf '"'; advance c
+       | Some '\\' -> Buffer.add_char buf '\\'; advance c
+       | Some '/' -> Buffer.add_char buf '/'; advance c
+       | Some 'n' -> Buffer.add_char buf '\n'; advance c
+       | Some 't' -> Buffer.add_char buf '\t'; advance c
+       | Some 'r' -> Buffer.add_char buf '\r'; advance c
+       | Some 'b' -> Buffer.add_char buf '\b'; advance c
+       | Some 'f' -> Buffer.add_char buf '\012'; advance c
+       | Some 'u' ->
+         advance c;
+         let code = parse_hex4 c in
+         (* telemetry payloads are ASCII + raw UTF-8; escapes only encode
+            control characters, so the BMP-only decoding here suffices *)
+         if code < 0x80 then Buffer.add_char buf (Char.chr code)
+         else if code < 0x800 then begin
+           Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+           Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+         end
+         else begin
+           Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+           Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+           Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+         end
+       | _ -> error c "bad escape");
+      go ()
+    | Some ch ->
+      Buffer.add_char buf ch;
+      advance c;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char ch =
+    (ch >= '0' && ch <= '9')
+    || ch = '-' || ch = '+' || ch = '.' || ch = 'e' || ch = 'E'
+  in
+  let rec go () =
+    match peek c with
+    | Some ch when is_num_char ch ->
+      advance c;
+      go ()
+    | _ -> ()
+  in
+  go ();
+  let s = String.sub c.src start (c.pos - start) in
+  if String.contains s '.' || String.contains s 'e' || String.contains s 'E'
+  then
+    match float_of_string_opt s with
+    | Some f -> Float f
+    | None -> error c "bad number"
+  else
+    match int_of_string_opt s with
+    | Some i -> Int i
+    | None ->
+      (match float_of_string_opt s with
+       | Some f -> Float f
+       | None -> error c "bad number")
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | Some 'n' -> literal c "null" Null
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some '"' -> Str (parse_string c)
+  | Some '[' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some ']' then begin
+      advance c;
+      Arr []
+    end
+    else begin
+      let rec items acc =
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          items (v :: acc)
+        | Some ']' ->
+          advance c;
+          List.rev (v :: acc)
+        | _ -> error c "expected ',' or ']'"
+      in
+      Arr (items [])
+    end
+  | Some '{' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some '}' then begin
+      advance c;
+      Obj []
+    end
+    else begin
+      let rec fields acc =
+        skip_ws c;
+        let k = parse_string c in
+        skip_ws c;
+        expect c ':';
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          fields ((k, v) :: acc)
+        | Some '}' ->
+          advance c;
+          List.rev ((k, v) :: acc)
+        | _ -> error c "expected ',' or '}'"
+      in
+      Obj (fields [])
+    end
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | _ -> error c "unexpected input"
+
+let of_string s =
+  let c = { src = s; pos = 0 } in
+  match parse_value c with
+  | v ->
+    skip_ws c;
+    if c.pos <> String.length s then Error "trailing garbage"
+    else Ok v
+  | exception Parse_error msg -> Error msg

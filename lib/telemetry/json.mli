@@ -1,0 +1,31 @@
+(** A minimal JSON representation for telemetry payloads.
+
+    The container ships no JSON library, and the telemetry subsystem only
+    needs enough JSON to serialize events and snapshots (and to parse them
+    back in tests and validators), so this module is deliberately small:
+    strict RFC-8259 subset, UTF-8 passthrough, no streaming. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering — one event per line in JSONL sinks.
+    Non-finite floats serialize as [null] so output is always valid JSON. *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val of_string : string -> (t, string) result
+(** Strict parser for the subset {!to_string} emits (plus whitespace).
+    [\u] escapes outside the BMP are not decoded as surrogate pairs. *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on missing field or non-object. *)
+
+val str_member : string -> t -> string option
+val int_member : string -> t -> int option

@@ -1,0 +1,191 @@
+(** Always-on observability for the SOFT pipeline.
+
+    Three layers, from cheapest to most verbose:
+
+    - {b aggregates} — per-stage wall-time (count/total/max + a log2
+      latency histogram) and verdict counters keyed dialect x pattern x
+      verdict class. Updating either is a hashtable lookup on an existing
+      string key plus in-place mutation: nothing is allocated on the hot
+      path after a key's first sighting, so instrumentation can stay on
+      for every campaign.
+    - {b spans} — scoped timings around pipeline stages. With a null sink
+      they only feed the aggregates; with a real sink each span emits a
+      [span_open]/[span_close] event pair.
+    - {b events} — a structured JSONL stream (spans, per-case verdicts,
+      bug-found, FP-signature) for offline analysis, enabled by passing a
+      sink ([--trace FILE] on the CLI).
+
+    Timestamps come from a monotonic clock (bechamel's CLOCK_MONOTONIC
+    stub), so span durations are immune to wall-clock jumps. *)
+
+val now_ns : unit -> int
+(** Monotonic nanoseconds (arbitrary epoch). *)
+
+(** {1 Verdict classes} *)
+
+(** Mirror of the detector's six verdict outcomes, decoupled so the
+    telemetry layer has no dependency on the core pipeline. *)
+type verdict_class =
+  | Passed
+  | Clean_error
+  | False_positive
+  | New_bug
+  | Dup_bug
+  | Known_crash
+
+val verdict_classes : verdict_class list
+val verdict_class_to_string : verdict_class -> string
+val verdict_class_of_string : string -> verdict_class option
+
+(** {1 Events} *)
+
+(** One telemetry event. [dialect]/[pattern] are [""] when not
+    applicable (e.g. the collect stage has no pattern). *)
+type event =
+  | Span_open of {
+      stage : string;
+      dialect : string;
+      pattern : string;
+      depth : int;  (** span nesting depth at open time *)
+      ts_ns : int;
+    }
+  | Span_close of {
+      stage : string;
+      dialect : string;
+      pattern : string;
+      depth : int;
+      ts_ns : int;
+      dur_ns : int;
+    }
+  | Verdict of {
+      dialect : string;
+      pattern : string;  (** ["seed"] for sanity-pass replays *)
+      verdict : verdict_class;
+      case_number : int;
+      ts_ns : int;
+    }
+  | Bug_found of {
+      dialect : string;
+      site : string;
+      kind : string;
+      pattern : string;
+      case_number : int;
+      ts_ns : int;
+    }
+  | Fp_signature of { dialect : string; signature : string; ts_ns : int }
+
+val event_to_json : event -> Json.t
+val event_of_json : Json.t -> (event, string) result
+(** Inverse of {!event_to_json}; [Error] on unknown kinds. *)
+
+(** {1 Sinks} *)
+
+type sink = Null | Emit of (event -> unit)
+
+val null_sink : sink
+(** Drops every event; aggregates still accumulate. The default. *)
+
+val jsonl_sink : out_channel -> sink
+(** One compact JSON object per line. The caller owns the channel. *)
+
+val memory_sink : unit -> sink * (unit -> event list)
+(** Buffers events in memory; the closure returns them in emission
+    order. For tests. *)
+
+(** {1 Collector handle} *)
+
+type t
+
+val create : ?sink:sink -> unit -> t
+(** A fresh collector (empty aggregates, depth 0). One per campaign, or
+    one shared across campaigns when cross-dialect aggregation is
+    wanted — counters are keyed by dialect either way. *)
+
+val enabled : t -> bool
+(** [true] iff the sink is not {!null_sink}; lets callers skip building
+    event-only payloads. *)
+
+val emit : t -> event -> unit
+(** Sends a hand-built event to the sink (no-op on {!null_sink}). *)
+
+(** {1 Spans and timings} *)
+
+val with_span :
+  t -> ?dialect:string -> ?pattern:string -> string -> (unit -> 'a) -> 'a
+(** [with_span t stage f] times [f] into [stage]'s aggregate and emits an
+    open/close event pair. Exception-safe: the span closes (and the
+    exception is re-raised) when [f] raises — crashes are exactly the
+    events worth timing. Spans nest; depth is tracked per collector. *)
+
+val time_seq :
+  t -> ?dialect:string -> ?pattern:string -> stage:string -> 'a Seq.t -> 'a Seq.t
+(** Wraps a lazy sequence so that forcing each node is timed as one
+    [stage] span — how the interleaved generate stage is measured without
+    forcing the whole sequence up front. *)
+
+val record_stage : t -> stage:string -> int -> unit
+(** Feeds a manually measured duration (ns) into a stage aggregate
+    without emitting events. *)
+
+(** {1 Verdict counters and one-shot events} *)
+
+val count_verdict :
+  t -> dialect:string -> pattern:string -> case_number:int -> verdict_class -> unit
+(** Bumps the dialect x pattern x class counter and, with a live sink,
+    emits a [Verdict] event. *)
+
+val bug_event :
+  t -> dialect:string -> site:string -> kind:string -> pattern:string ->
+  case_number:int -> unit
+
+val fp_event : t -> dialect:string -> signature:string -> unit
+
+(** {1 Aggregate views} *)
+
+type stage_timing = {
+  stage : string;
+  calls : int;
+  total_ns : int;
+  max_ns : int;
+  p50_ns : int;  (** histogram estimate, <= 2x relative error *)
+  p90_ns : int;
+  p99_ns : int;
+}
+
+val stage_timings : t -> stage_timing list
+(** Sorted by total time, descending. *)
+
+type verdict_counts = {
+  dialect : string;
+  pattern : string;
+  by_class : (verdict_class * int) list;  (** every class, zeros included *)
+}
+
+val verdict_rows : t -> verdict_counts list
+(** Sorted by dialect then pattern. *)
+
+(** {1 JSON snapshots} *)
+
+val stage_timing_to_json : stage_timing -> Json.t
+val stages_to_json : t -> Json.t
+val verdict_counts_to_json : verdict_counts -> Json.t
+val verdicts_to_json : t -> Json.t
+
+val snapshot_json : t -> Json.t
+(** [{"stages": ..., "verdicts": ...}] — the generic part of a campaign
+    snapshot; callers add their own run-level fields. *)
+
+(** {1 Histograms}
+
+    Exposed for tests and for callers that aggregate outside stages. *)
+module Histogram : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> int -> unit
+  val total : t -> int
+
+  val percentile : t -> float -> int
+  (** Upper bound of the log2 bucket holding the quantile sample; [0] on
+      an empty histogram. *)
+end

@@ -6,7 +6,7 @@ let registry_of dialect = Dialect.registry (Dialect.find_exn dialect)
 
 let seeds_for dialect =
   let prof = Dialect.find_exn dialect in
-  Soft.Collector.collect ~registry:(registry_of dialect) ~suite:prof.Dialect.seeds
+  Soft.Collector.collect ~registry:(registry_of dialect) ~suite:prof.Dialect.seeds ()
 
 (* ----- boundary pool ----- *)
 

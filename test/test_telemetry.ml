@@ -1,0 +1,343 @@
+(** Tests for the telemetry subsystem: span nesting/aggregation,
+    histogram percentile math, JSONL event round-trips, and the
+    determinism guarantee (verdict counts identical with the sink on or
+    off). *)
+
+open Sqlfun_telemetry
+module Dialect = Sqlfun_dialects.Dialect
+
+(* ----- JSON primitive ----- *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("s", Json.Str "quote \" slash \\ newline \n tab \t done");
+        ("i", Json.Int (-42));
+        ("f", Json.Float 1.5);
+        ("b", Json.Bool true);
+        ("n", Json.Null);
+        ("a", Json.Arr [ Json.Int 1; Json.Str "x"; Json.Arr [] ]);
+        ("o", Json.Obj [ ("nested", Json.Int 7) ]);
+      ]
+  in
+  match Json.of_string (Json.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "round-trips" true (v = v')
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Ok _ -> Alcotest.failf "accepted %S" s
+      | Error _ -> ())
+    [ "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "{} trailing" ]
+
+(* ----- spans: nesting, aggregation, event stream ----- *)
+
+let test_span_nesting_and_aggregation () =
+  let sink, events = Telemetry.memory_sink () in
+  let t = Telemetry.create ~sink () in
+  let answer =
+    Telemetry.with_span t "outer" (fun () ->
+        Telemetry.with_span t ~dialect:"mysql" ~pattern:"P1.1" "inner"
+          (fun () -> ());
+        Telemetry.with_span t ~dialect:"mysql" ~pattern:"P1.2" "inner"
+          (fun () -> ());
+        17)
+  in
+  Alcotest.(check int) "with_span is transparent" 17 answer;
+  let timings = Telemetry.stage_timings t in
+  let find stage =
+    match
+      List.find_opt (fun s -> s.Telemetry.stage = stage) timings
+    with
+    | Some s -> s
+    | None -> Alcotest.failf "stage %s missing" stage
+  in
+  let outer = find "outer" and inner = find "inner" in
+  Alcotest.(check int) "outer called once" 1 outer.Telemetry.calls;
+  Alcotest.(check int) "inner aggregated" 2 inner.Telemetry.calls;
+  Alcotest.(check bool) "outer time covers inner time" true
+    (outer.Telemetry.total_ns >= inner.Telemetry.total_ns);
+  Alcotest.(check bool) "max <= total" true
+    (inner.Telemetry.max_ns <= inner.Telemetry.total_ns);
+  (* event stream: open/close pairs, properly nested depths *)
+  match events () with
+  | [
+   Telemetry.Span_open o1;
+   Telemetry.Span_open o2;
+   Telemetry.Span_close c2;
+   Telemetry.Span_open o3;
+   Telemetry.Span_close c3;
+   Telemetry.Span_close c1;
+  ] ->
+    Alcotest.(check string) "outer first" "outer" o1.stage;
+    Alcotest.(check int) "outer depth 0" 0 o1.depth;
+    Alcotest.(check int) "inner depth 1" 1 o2.depth;
+    Alcotest.(check int) "depth restored" 1 o3.depth;
+    Alcotest.(check string) "pattern attr" "P1.1" o2.pattern;
+    Alcotest.(check string) "second pattern attr" "P1.2" o3.pattern;
+    Alcotest.(check bool) "closes carry durations" true
+      (c1.dur_ns >= 0 && c2.dur_ns >= 0 && c3.dur_ns >= 0);
+    Alcotest.(check bool) "close timestamps ordered" true
+      (c2.ts_ns <= c3.ts_ns && c3.ts_ns <= c1.ts_ns)
+  | evs -> Alcotest.failf "unexpected event shape (%d events)" (List.length evs)
+
+let test_span_closes_on_exception () =
+  let t = Telemetry.create () in
+  (try
+     Telemetry.with_span t "boom" (fun () -> failwith "crash") |> ignore
+   with Failure _ -> ());
+  match Telemetry.stage_timings t with
+  | [ s ] ->
+    Alcotest.(check string) "stage recorded" "boom" s.Telemetry.stage;
+    Alcotest.(check int) "one call" 1 s.Telemetry.calls
+  | l -> Alcotest.failf "expected one stage, got %d" (List.length l)
+
+let test_time_seq () =
+  let t = Telemetry.create () in
+  let seq = Telemetry.time_seq t ~stage:"generate" (List.to_seq [ 1; 2; 3 ]) in
+  Alcotest.(check (list int)) "sequence preserved" [ 1; 2; 3 ]
+    (List.of_seq seq);
+  match Telemetry.stage_timings t with
+  | [ s ] ->
+    (* one span per forced node: three Cons plus the final Nil *)
+    Alcotest.(check int) "one span per forcing" 4 s.Telemetry.calls
+  | l -> Alcotest.failf "expected one stage, got %d" (List.length l)
+
+(* ----- histogram percentile math ----- *)
+
+let test_histogram_percentiles () =
+  let h = Telemetry.Histogram.create () in
+  Alcotest.(check int) "empty -> 0" 0 (Telemetry.Histogram.percentile h 0.5);
+  (* 90 fast samples (10 ns: bucket [8,16)) and 10 slow ones
+     (1000 ns: bucket [512,1024)) *)
+  for _ = 1 to 90 do
+    Telemetry.Histogram.add h 10
+  done;
+  for _ = 1 to 10 do
+    Telemetry.Histogram.add h 1000
+  done;
+  Alcotest.(check int) "total" 100 (Telemetry.Histogram.total h);
+  Alcotest.(check int) "p50 is the fast bucket's upper bound" 16
+    (Telemetry.Histogram.percentile h 0.50);
+  Alcotest.(check int) "p90 still fast" 16
+    (Telemetry.Histogram.percentile h 0.90);
+  Alcotest.(check int) "p99 lands in the slow bucket" 1024
+    (Telemetry.Histogram.percentile h 0.99);
+  Alcotest.(check int) "p100 = p99 bucket here" 1024
+    (Telemetry.Histogram.percentile h 1.0)
+
+let test_histogram_single_value () =
+  let h = Telemetry.Histogram.create () in
+  Telemetry.Histogram.add h 100;
+  (* 100 ns sits in bucket [64,128): every quantile reports 128 *)
+  List.iter
+    (fun q ->
+      Alcotest.(check int)
+        (Printf.sprintf "q=%.2f" q)
+        128
+        (Telemetry.Histogram.percentile h q))
+    [ 0.0; 0.5; 0.99; 1.0 ]
+
+(* ----- JSONL event round-trip ----- *)
+
+let sample_events =
+  [
+    Telemetry.Span_open
+      { stage = "execute"; dialect = "mysql"; pattern = "P1.2"; depth = 2;
+        ts_ns = 123 };
+    Telemetry.Span_close
+      { stage = "execute"; dialect = "mysql"; pattern = "P1.2"; depth = 2;
+        ts_ns = 456; dur_ns = 333 };
+    Telemetry.Span_open
+      { stage = "collect"; dialect = ""; pattern = ""; depth = 0; ts_ns = 1 };
+    Telemetry.Verdict
+      { dialect = "mariadb"; pattern = "seed"; verdict = Telemetry.Clean_error;
+        case_number = 41; ts_ns = 99 };
+    Telemetry.Bug_found
+      { dialect = "duckdb"; site = "json/depth"; kind = "SIGSEGV";
+        pattern = "P3.2"; case_number = 7; ts_ns = 1000 };
+    Telemetry.Fp_signature
+      { dialect = "monetdb"; signature = "limit hit after # steps";
+        ts_ns = 5 };
+  ]
+
+let test_event_jsonl_roundtrip () =
+  (* serialize as JSONL, parse each line back, compare structurally *)
+  let lines =
+    List.map
+      (fun ev -> Json.to_string (Telemetry.event_to_json ev))
+      sample_events
+  in
+  List.iter2
+    (fun ev line ->
+      match Json.of_string line with
+      | Error e -> Alcotest.failf "line unparseable (%s): %s" e line
+      | Ok j ->
+        (match Telemetry.event_of_json j with
+         | Error e -> Alcotest.failf "event undecodable (%s): %s" e line
+         | Ok ev' ->
+           Alcotest.(check bool)
+             (Printf.sprintf "round-trips: %s" line)
+             true (ev = ev')))
+    sample_events lines
+
+let test_verdict_counters () =
+  let t = Telemetry.create () in
+  Telemetry.count_verdict t ~dialect:"mysql" ~pattern:"P1.1" ~case_number:1
+    Telemetry.Passed;
+  Telemetry.count_verdict t ~dialect:"mysql" ~pattern:"P1.1" ~case_number:2
+    Telemetry.Passed;
+  Telemetry.count_verdict t ~dialect:"mysql" ~pattern:"P2.1" ~case_number:3
+    Telemetry.New_bug;
+  Telemetry.count_verdict t ~dialect:"duckdb" ~pattern:"P1.1" ~case_number:4
+    Telemetry.Known_crash;
+  match Telemetry.verdict_rows t with
+  | [ r1; r2; r3 ] ->
+    (* sorted by dialect then pattern *)
+    Alcotest.(check string) "duckdb first" "duckdb" r1.Telemetry.dialect;
+    Alcotest.(check string) "mysql P1.1" "P1.1" r2.Telemetry.pattern;
+    Alcotest.(check int) "two passes" 2
+      (List.assoc Telemetry.Passed r2.Telemetry.by_class);
+    Alcotest.(check int) "zero crashes on mysql P1.1" 0
+      (List.assoc Telemetry.Known_crash r2.Telemetry.by_class);
+    Alcotest.(check int) "one new bug" 1
+      (List.assoc Telemetry.New_bug r3.Telemetry.by_class)
+  | l -> Alcotest.failf "expected 3 rows, got %d" (List.length l)
+
+(* ----- determinism: sink on vs off must not change verdicts ----- *)
+
+let test_fuzz_determinism_with_sink () =
+  let prof = Dialect.find_exn "mariadb" in
+  let off = Soft.Soft_runner.fuzz ~budget:600 prof in
+  let sink, events = Telemetry.memory_sink () in
+  let tel = Telemetry.create ~sink () in
+  let on = Soft.Soft_runner.fuzz ~budget:600 ~telemetry:tel prof in
+  Alcotest.(check int) "cases" off.Soft.Soft_runner.cases_executed
+    on.Soft.Soft_runner.cases_executed;
+  Alcotest.(check int) "passed" off.Soft.Soft_runner.passed
+    on.Soft.Soft_runner.passed;
+  Alcotest.(check int) "clean errors" off.Soft.Soft_runner.clean_errors
+    on.Soft.Soft_runner.clean_errors;
+  Alcotest.(check int) "false positives" off.Soft.Soft_runner.false_positives
+    on.Soft.Soft_runner.false_positives;
+  Alcotest.(check int) "unique false positives"
+    off.Soft.Soft_runner.unique_false_positives
+    on.Soft.Soft_runner.unique_false_positives;
+  Alcotest.(check int) "known crashes" off.Soft.Soft_runner.known_crashes
+    on.Soft.Soft_runner.known_crashes;
+  Alcotest.(check (list string)) "fp signatures"
+    off.Soft.Soft_runner.fp_signatures on.Soft.Soft_runner.fp_signatures;
+  let sites r =
+    List.map
+      (fun (b : Soft.Detector.found_bug) ->
+        b.Soft.Detector.spec.Sqlfun_fault.Fault.site)
+      r.Soft.Soft_runner.bugs
+  in
+  Alcotest.(check (list string)) "bug sites" (sites off) (sites on);
+  Alcotest.(check int) "functions triggered"
+    off.Soft.Soft_runner.functions_triggered
+    on.Soft.Soft_runner.functions_triggered;
+  Alcotest.(check int) "branches covered"
+    off.Soft.Soft_runner.branches_covered on.Soft.Soft_runner.branches_covered;
+  (* the traced run streamed real events: at least one span per stage *)
+  let evs = events () in
+  let has_stage stage =
+    List.exists
+      (function
+        | Telemetry.Span_open { stage = s; _ } -> s = stage
+        | _ -> false)
+      evs
+  in
+  List.iter
+    (fun stage ->
+      Alcotest.(check bool)
+        (Printf.sprintf "trace has a %s span" stage)
+        true (has_stage stage))
+    [ "campaign"; "collect"; "seed-replay"; "generate"; "execute"; "detect";
+      "restart-after-crash" ];
+  (* and the sink-off run still aggregated timings for the hot stages *)
+  List.iter
+    (fun stage ->
+      Alcotest.(check bool)
+        (Printf.sprintf "timings include %s" stage)
+        true
+        (List.exists
+           (fun s -> s.Telemetry.stage = stage)
+           off.Soft.Soft_runner.timings))
+    [ "campaign"; "collect"; "seed-replay"; "generate"; "execute"; "detect" ]
+
+(* ----- snapshot artifacts ----- *)
+
+let test_campaign_snapshot_json () =
+  let prof = Dialect.find_exn "mysql" in
+  let r = Soft.Soft_runner.fuzz ~budget:400 prof in
+  let j = Soft.Report.campaign_to_json r in
+  (* must survive a print/parse cycle and keep the headline numbers *)
+  match Json.of_string (Json.to_string j) with
+  | Error e -> Alcotest.failf "snapshot unparseable: %s" e
+  | Ok j ->
+    Alcotest.(check (option string)) "schema" (Some "soft-telemetry/1")
+      (Json.str_member "schema" j);
+    Alcotest.(check (option string)) "dialect" (Some "mysql")
+      (Json.str_member "dialect" j);
+    let totals = Option.get (Json.member "totals" j) in
+    Alcotest.(check (option int)) "cases"
+      (Some r.Soft.Soft_runner.cases_executed)
+      (Json.int_member "cases_executed" totals);
+    (match Json.member "stages" j with
+     | Some (Json.Arr (_ :: _)) -> ()
+     | _ -> Alcotest.fail "stages missing or empty");
+    (match Json.member "families" j with
+     | Some (Json.Arr rows) ->
+       Alcotest.(check bool) "has family rollup rows" true (rows <> [])
+     | _ -> Alcotest.fail "families missing");
+    (match Json.member "coverage" j with
+     | Some cov ->
+       Alcotest.(check (option int)) "coverage distinct"
+         (Some r.Soft.Soft_runner.branches_covered)
+         (Json.int_member "distinct" cov)
+     | None -> Alcotest.fail "coverage missing")
+
+let test_coverage_to_json () =
+  let cov = Sqlfun_coverage.Coverage.create () in
+  Sqlfun_coverage.Coverage.hit cov "fn/UPPER";
+  Sqlfun_coverage.Coverage.hit cov "fn/UPPER";
+  Sqlfun_coverage.Coverage.hit cov "cast/int";
+  let j = Sqlfun_coverage.Coverage.to_json cov in
+  Alcotest.(check (option int)) "distinct" (Some 2) (Json.int_member "distinct" j);
+  Alcotest.(check (option int)) "total hits" (Some 3)
+    (Json.int_member "total_hits" j);
+  match Json.member "points" j with
+  | Some points ->
+    Alcotest.(check (option int)) "UPPER hits" (Some 2)
+      (Json.int_member "fn/UPPER" points);
+    Alcotest.(check (option int)) "cast hits" (Some 1)
+      (Json.int_member "cast/int" points)
+  | None -> Alcotest.fail "points missing"
+
+let suite =
+  ( "telemetry",
+    [
+      Alcotest.test_case "json round-trip" `Quick test_json_roundtrip;
+      Alcotest.test_case "json rejects garbage" `Quick test_json_rejects_garbage;
+      Alcotest.test_case "span nesting and aggregation" `Quick
+        test_span_nesting_and_aggregation;
+      Alcotest.test_case "span closes on exception" `Quick
+        test_span_closes_on_exception;
+      Alcotest.test_case "time_seq" `Quick test_time_seq;
+      Alcotest.test_case "histogram percentiles" `Quick
+        test_histogram_percentiles;
+      Alcotest.test_case "histogram single value" `Quick
+        test_histogram_single_value;
+      Alcotest.test_case "event jsonl round-trip" `Quick
+        test_event_jsonl_roundtrip;
+      Alcotest.test_case "verdict counters" `Quick test_verdict_counters;
+      Alcotest.test_case "fuzz determinism with sink" `Quick
+        test_fuzz_determinism_with_sink;
+      Alcotest.test_case "campaign snapshot json" `Quick
+        test_campaign_snapshot_json;
+      Alcotest.test_case "coverage to_json" `Quick test_coverage_to_json;
+    ] )
