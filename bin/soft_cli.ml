@@ -22,6 +22,32 @@ let budget_arg default =
   let doc = "Maximum number of generated statements to execute (0 = exhaust)." in
   Arg.(value & opt int default & info [ "budget"; "b" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Number of worker domains (0 = \
+     $(b,Domain.recommended_domain_count ()), i.e. the machine's core \
+     count). Verdicts, bug lists and FP signatures are bit-identical \
+     at any job count; only wall time changes."
+  in
+  Arg.(value & opt int 0 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let shards_arg =
+  let doc =
+    "Number of shards to partition each campaign's case stream across. \
+     0 picks a default: one shard per job for $(b,fuzz), 1 for \
+     $(b,tables) (whose campaigns already run in parallel — sharding \
+     them too would oversubscribe the cores). More shards than jobs is \
+     fine; 1 shard is the sequential pipeline."
+  in
+  Arg.(value & opt int 0 & info [ "shards" ] ~docv:"K" ~doc)
+
+(* 0-valued knobs resolve to the machine: jobs defaults to the core
+   count, shards to the job count (one shard per worker). *)
+let resolve_parallelism ~jobs ~shards =
+  let jobs = if jobs <= 0 then Domain.recommended_domain_count () else jobs in
+  let shards = if shards <= 0 then jobs else shards in
+  (jobs, shards)
+
 let trace_arg =
   Arg.(value & opt (some string) None
        & info [ "trace" ] ~docv:"FILE"
@@ -87,15 +113,18 @@ let with_telemetry ~trace ~json f =
     raise exn
 
 let fuzz_cmd =
-  let run dialect budget verbose report trace json =
+  let run dialect budget jobs shards verbose report trace json =
     match resolve_dialect dialect with
     | Error msg ->
       prerr_endline msg;
       1
     | Ok prof ->
       let budget = if budget = 0 then None else Some budget in
+      let jobs, shards = resolve_parallelism ~jobs ~shards in
       with_telemetry ~trace ~json (fun tel ->
-          let r = Soft.Soft_runner.fuzz ?budget ~telemetry:tel prof in
+          let r =
+            Soft.Soft_runner.fuzz ?budget ~telemetry:tel ~shards ~jobs prof
+          in
           (match report with
            | Some path ->
              let oc = open_out path in
@@ -137,8 +166,8 @@ let fuzz_cmd =
   in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Run a SOFT campaign against a simulated dialect")
-    Term.(const run $ dialect_arg $ budget_arg 0 $ verbose $ report
-          $ trace_arg $ json_arg)
+    Term.(const run $ dialect_arg $ budget_arg 0 $ jobs_arg $ shards_arg
+          $ verbose $ report $ trace_arg $ json_arg)
 
 let study_cmd =
   let run () =
@@ -181,11 +210,20 @@ let compare_cmd =
     Term.(const run $ budget_arg 3000 $ trace_arg $ json_arg)
 
 let tables_cmd =
-  let run budget =
+  let run budget jobs shards =
     print_string (Sqlfun_harness.Tables.table3 ());
     print_newline ();
     let budget = if budget = 0 then None else Some budget in
-    let results = Soft.Soft_runner.fuzz_all ?budget () in
+    (* dialect campaigns parallelise across domains; tables are rendered
+       from the merged per-dialect results, so the output is identical
+       at any job count. Shards default to 1 here: campaign jobs are
+       already one domain each, and nesting shard pools inside them
+       would run jobs x (shards + 1) domains. *)
+    let jobs =
+      if jobs <= 0 then Domain.recommended_domain_count () else jobs
+    in
+    let shards = if shards <= 0 then 1 else shards in
+    let results = Soft.Soft_runner.fuzz_all ?budget ~jobs ~shards () in
     print_string (Sqlfun_harness.Tables.table4 results);
     print_newline ();
     print_string (Sqlfun_harness.Tables.table4_totals results);
@@ -195,7 +233,7 @@ let tables_cmd =
   in
   Cmd.v
     (Cmd.info "tables" ~doc:"Regenerate Tables 3-4 and Figure 2")
-    Term.(const run $ budget_arg 0)
+    Term.(const run $ budget_arg 0 $ jobs_arg $ shards_arg)
 
 let dialects_cmd =
   let run () =

@@ -31,6 +31,7 @@ type t = {
   mutable known_crashes : int;
   sites : (string, unit) Hashtbl.t;
   fp_signatures : (string, unit) Hashtbl.t;
+  fp_buf : Buffer.t;  (* reused across FP-signature normalizations *)
   mutable found : found_bug list;  (* reversed *)
 }
 
@@ -56,6 +57,7 @@ let create ?cov ?telemetry prof =
     known_crashes = 0;
     sites = Hashtbl.create 64;
     fp_signatures = Hashtbl.create 16;
+    fp_buf = Buffer.create 128;
     found = [];
   }
 
@@ -70,15 +72,29 @@ let verdict_class = function
   | Known_crash _ -> Telemetry.Known_crash
 
 (* [poc] is rendered lazily: pretty-printing every generated statement
-   would dominate the runtime, and only crashing statements need SQL. *)
-let classify t ?pattern ~poc run =
+   would dominate the runtime, and only crashing statements need SQL.
+   [case_number] overrides the detector-local execution index — shard
+   workers pass the case's index in the global (unsharded) stream so
+   that merged bug records and verdict events carry the same numbers a
+   sequential run would have produced. *)
+let classify t ?pattern ?case_number ~poc run =
   t.executed <- t.executed + 1;
+  let case_number =
+    match case_number with Some n -> n | None -> t.executed
+  in
   let dialect = t.prof.Dialect.id in
   (* Pattern_id.to_string returns shared literals, so tagging spans and
      counters with the pattern costs no allocation. *)
   let pat =
     match pattern with Some p -> Pattern_id.to_string p | None -> "seed"
   in
+  (* Each case runs against a fresh session: stateful functions
+     (NEXTVAL/LASTVAL, LAST_INSERT_ID, ROW_COUNT) must not let one
+     case's verdict depend on which statements happened to run earlier
+     on this engine — that would make PoCs non-replayable standalone
+     and break the sharded campaign's determinism guarantee (each shard
+     engine only sees a sub-stream of the cases). *)
+  Sqlfun_functions.Fn_ctx.reset_session (Engine.context t.engine);
   (* The execute stage is the engine round-trip; crashes are turned into
      data so the span closes with the statement's true wall time. *)
   let outcome =
@@ -100,37 +116,46 @@ let classify t ?pattern ~poc run =
     | `Res (Error (Engine.Limit_hit msg)) ->
       t.false_positives <- t.false_positives + 1;
       (* the paper counts unique false-positive *reports*; dedupe on the
-         message with digits normalized out *)
-      let signature =
-        let buf = Buffer.create (String.length msg) in
-        let prev_digit = ref false in
-        String.iter
-          (fun c ->
-            let is_digit = c >= '0' && c <= '9' in
-            if is_digit then begin
-              if not !prev_digit then Buffer.add_char buf '#'
-            end
-            else Buffer.add_char buf c;
-            prev_digit := is_digit)
-          msg;
-        Buffer.contents buf
-      in
-      if not (Hashtbl.mem t.fp_signatures signature) then begin
-        Hashtbl.add t.fp_signatures signature ();
-        Telemetry.fp_event t.tel ~dialect ~signature
-      end;
-      False_positive msg
+         message with digits normalized out. Stored signatures are
+         digit-free ('#' stands for every digit run), so a raw message
+         that already hits the table must itself be digit-free — its
+         normalization is the identity and can be skipped. Messages
+         that do need normalizing reuse one per-detector buffer instead
+         of allocating a fresh one per false positive. *)
+      if Hashtbl.mem t.fp_signatures msg then False_positive msg
+      else begin
+        let signature =
+          let buf = t.fp_buf in
+          Buffer.clear buf;
+          let prev_digit = ref false in
+          String.iter
+            (fun c ->
+              let is_digit = c >= '0' && c <= '9' in
+              if is_digit then begin
+                if not !prev_digit then Buffer.add_char buf '#'
+              end
+              else Buffer.add_char buf c;
+              prev_digit := is_digit)
+            msg;
+          Buffer.contents buf
+        in
+        if not (Hashtbl.mem t.fp_signatures signature) then begin
+          Hashtbl.add t.fp_signatures signature ();
+          Telemetry.fp_event t.tel ~dialect ~signature
+        end;
+        False_positive msg
+      end
     | `Crashed spec ->
       restart t;
       if Hashtbl.mem t.sites spec.Fault.site then Dup_bug spec
       else begin
         Hashtbl.add t.sites spec.Fault.site ();
         t.found <-
-          { spec; found_by = pattern; poc = poc (); case_number = t.executed }
+          { spec; found_by = pattern; poc = poc (); case_number }
           :: t.found;
         Telemetry.bug_event t.tel ~dialect ~site:spec.Fault.site
           ~kind:(Bug_kind.to_string spec.Fault.kind)
-          ~pattern:pat ~case_number:t.executed;
+          ~pattern:pat ~case_number;
         New_bug spec
       end
     | `Blown ->
@@ -138,22 +163,22 @@ let classify t ?pattern ~poc run =
       t.known_crashes <- t.known_crashes + 1;
       Known_crash "stack exhausted (CVE-2015-5289 class)"
   in
-  Telemetry.count_verdict t.tel ~dialect ~pattern:pat ~case_number:t.executed
+  Telemetry.count_verdict t.tel ~dialect ~pattern:pat ~case_number
     (verdict_class verdict);
   verdict
 
-let run_sql t ?pattern sql =
-  classify t ?pattern
+let run_sql t ?pattern ?case_number sql =
+  classify t ?pattern ?case_number
     ~poc:(fun () -> sql)
     (fun () -> Engine.exec_sql t.engine sql)
 
-let run_stmt t ?pattern stmt =
-  classify t ?pattern
+let run_stmt t ?pattern ?case_number stmt =
+  classify t ?pattern ?case_number
     ~poc:(fun () -> Sqlfun_ast.Sql_pp.stmt stmt)
     (fun () -> Engine.exec_stmt t.engine stmt)
 
-let run_case t (case : Patterns.case) =
-  classify t ~pattern:case.Patterns.pattern
+let run_case t ?case_number (case : Patterns.case) =
+  classify t ~pattern:case.Patterns.pattern ?case_number
     ~poc:(fun () -> Sqlfun_ast.Sql_pp.stmt case.Patterns.stmt)
     (fun () -> Engine.exec_stmt t.engine case.Patterns.stmt)
 
@@ -172,6 +197,34 @@ let run_cases t ?budget cases =
   in
   go cases;
   !count
+
+(* Re-derives the sequential New-vs-Dup split from per-shard bug lists.
+
+   Within one shard the engine sees its sub-stream in global order, so a
+   crash a shard classified as Dup_bug had an earlier same-site crash at
+   a smaller global index in the same shard — shard-local dups can never
+   be the global first sighting. The shard-local News are therefore the
+   only candidates: ordering them by global case number and keeping the
+   first per site reproduces exactly the bug list a sequential run
+   records, independent of shard count or completion order. *)
+let merge_bugs per_shard =
+  let all =
+    List.sort
+      (fun a b -> compare a.case_number b.case_number)
+      (List.concat per_shard)
+  in
+  let seen = Hashtbl.create 64 in
+  let kept, demoted =
+    List.fold_left
+      (fun (kept, demoted) b ->
+        if Hashtbl.mem seen b.spec.Fault.site then (kept, b :: demoted)
+        else begin
+          Hashtbl.add seen b.spec.Fault.site ();
+          (b :: kept, demoted)
+        end)
+      ([], []) all
+  in
+  (List.rev kept, List.rev demoted)
 
 let executed t = t.executed
 let passed t = t.passed

@@ -40,9 +40,18 @@ val create :
     bookkeeping); engine arms/restarts are ["restart-after-crash"]
     spans; every verdict bumps the dialect x pattern x class counter. *)
 
-val run_sql : t -> ?pattern:Pattern_id.t -> string -> verdict
-val run_stmt : t -> ?pattern:Pattern_id.t -> Sqlfun_ast.Ast.stmt -> verdict
-val run_case : t -> Patterns.case -> verdict
+val run_sql :
+  t -> ?pattern:Pattern_id.t -> ?case_number:int -> string -> verdict
+
+val run_stmt :
+  t -> ?pattern:Pattern_id.t -> ?case_number:int -> Sqlfun_ast.Ast.stmt -> verdict
+
+val run_case : t -> ?case_number:int -> Patterns.case -> verdict
+(** [case_number] overrides the detector-local 1-based execution index
+    recorded on bug records and verdict events. Shard workers pass the
+    case's index in the global (unsharded) stream so merged campaign
+    output is bit-identical to a sequential run; plain callers omit
+    it. *)
 
 val run_cases : t -> ?budget:int -> Patterns.case Seq.t -> int
 (** Executes cases until the sequence or the budget is exhausted; returns
@@ -63,6 +72,16 @@ val fp_signatures : t -> string list
 val known_crashes : t -> int
 val bugs : t -> found_bug list
 (** In discovery order. *)
+
+val merge_bugs : found_bug list list -> found_bug list * found_bug list
+(** [merge_bugs per_shard] re-derives the sequential New-vs-Dup split
+    from shard-local bug lists whose [case_number]s are global stream
+    indices: all records are ordered by global case number and the
+    first sighting of each site is kept. Returns
+    [(kept, demoted)] — [kept] is bit-identical to the bug list of a
+    sequential run (order included); [demoted] are shard-local News
+    that globally turn out to be duplicates (their [New_bug] verdict
+    counters must be reclassified to [Dup_bug]). *)
 
 val coverage : t -> Sqlfun_coverage.Coverage.t
 val profile : t -> Dialect.profile

@@ -2,6 +2,8 @@ open Sqlfun_fault
 open Sqlfun_dialects
 module Coverage = Sqlfun_coverage.Coverage
 module Telemetry = Sqlfun_telemetry.Telemetry
+module Pool = Sqlfun_parallel.Pool
+module Chunk_queue = Sqlfun_parallel.Chunk_queue
 
 type result = {
   dialect : Dialect.profile;
@@ -22,7 +24,89 @@ type result = {
   telemetry : Telemetry.t;
 }
 
-let fuzz ?budget ?cov ?telemetry ?(patterns = Pattern_id.all) prof =
+(* An explicit budget is split across the requested patterns so a
+   bounded campaign still exercises every pattern family (the paper's
+   full enumeration corresponds to no budget). The remainder of the
+   division goes to the first [b mod n] patterns, one case each, so the
+   shares always sum to exactly [b] — plain [b / n] would silently
+   under-run by up to [n - 1] cases, and a budget smaller than the
+   pattern count used to degrade to one case per pattern (overrunning
+   the budget). *)
+let split_budget b n =
+  if n <= 0 then []
+  else begin
+    let base = b / n and extra = b mod n in
+    List.init n (fun i -> if i < extra then base + 1 else base)
+  end
+
+(* [drain_share emit cases n] forces up to [n] cases through [emit];
+   returns how many were emitted and the unconsumed rest of the stream
+   ([None] when the stream ran dry). *)
+let drain_share emit cases n =
+  let rec go cases taken =
+    if taken >= n then (taken, Some cases)
+    else
+      match Seq.uncons cases with
+      | None -> (taken, None)
+      | Some (c, rest) ->
+        emit c;
+        go rest (taken + 1)
+  in
+  go cases 0
+
+(* The budgeted enumeration both the sequential and the sharded path
+   share — they MUST emit the same stream in the same order, or sharding
+   would change results. Each round splits the remaining budget over the
+   streams still live (pattern order, {!split_budget} shares); a stream
+   that runs dry below its share drops out and its unused share is
+   re-split in the next round, so a campaign executes exactly [b] cases
+   whenever the patterns can supply them. Terminates because every
+   round either spends budget or removes a dry stream. *)
+let emit_budgeted ~budget ~streams ~emit =
+  match budget with
+  | None -> List.iter (fun cases -> Seq.iter emit cases) streams
+  | Some b ->
+    let live = ref streams in
+    let remaining = ref b in
+    while !remaining > 0 && !live <> [] do
+      let shares = split_budget !remaining (List.length !live) in
+      live :=
+        List.concat
+          (List.map2
+             (fun cases share ->
+               if share = 0 then [ cases ]
+               else begin
+                 let taken, rest = drain_share emit cases share in
+                 remaining := !remaining - taken;
+                 match rest with Some s -> [ s ] | None -> []
+               end)
+             !live shares)
+    done
+
+let mk_result ~prof ~seeds ~tel ~cov ~cases_executed ~passed ~clean_errors
+    ~false_positives ~fp_signatures ~known_crashes ~bugs =
+  {
+    dialect = prof;
+    seeds_collected = List.length seeds;
+    positions = Patterns.count_positions seeds;
+    cases_executed;
+    passed;
+    clean_errors;
+    false_positives;
+    unique_false_positives = List.length fp_signatures;
+    fp_signatures;
+    known_crashes;
+    bugs;
+    functions_triggered = Coverage.prefixed_count cov "fn/";
+    branches_covered = Coverage.count cov;
+    timings = Telemetry.stage_timings tel;
+    coverage = cov;
+    telemetry = tel;
+  }
+
+(* ----- the sequential path (shards = 1) ----- *)
+
+let fuzz_sequential ?budget ?cov ?telemetry ?(patterns = Pattern_id.all) prof =
   let tel = match telemetry with Some t -> t | None -> Telemetry.create () in
   (* the result record is built after the campaign span closes so the
      "campaign" stage itself shows up in [timings] *)
@@ -40,44 +124,190 @@ let fuzz ?budget ?cov ?telemetry ?(patterns = Pattern_id.all) prof =
           (fun (seed : Collector.seed) ->
             ignore (Detector.run_stmt detector seed.Collector.stmt))
           seeds);
-    (* An explicit budget is split evenly across the requested patterns so a
-       bounded campaign still exercises every pattern family (the paper's
-       full enumeration corresponds to no budget). *)
-    let per_pattern =
-      match budget with
-      | None -> None
-      | Some b -> Some (Stdlib.max 1 (b / Stdlib.max 1 (List.length patterns)))
-    in
-    List.iter
-      (fun p ->
-        ignore
-          (Detector.run_cases detector ?budget:per_pattern
-             (Patterns.generate ~telemetry:tel ~registry ~seeds p)))
-      patterns;
+    emit_budgeted ~budget
+      ~streams:
+        (List.map
+           (fun p -> Patterns.generate ~telemetry:tel ~registry ~seeds p)
+           patterns)
+      ~emit:(fun case -> ignore (Detector.run_case detector case));
     (seeds, detector)
   in
-  let cov = Detector.coverage detector in
-  {
-    dialect = prof;
-    seeds_collected = List.length seeds;
-    positions = Patterns.count_positions seeds;
-    cases_executed = Detector.executed detector;
-    passed = Detector.passed detector;
-    clean_errors = Detector.clean_errors detector;
-    false_positives = Detector.false_positives detector;
-    unique_false_positives = Detector.unique_false_positives detector;
-    fp_signatures = Detector.fp_signatures detector;
-    known_crashes = Detector.known_crashes detector;
-    bugs = Detector.bugs detector;
-    functions_triggered = Coverage.prefixed_count cov "fn/";
-    branches_covered = Coverage.count cov;
-    timings = Telemetry.stage_timings tel;
-    coverage = cov;
-    telemetry = tel;
-  }
+  mk_result ~prof ~seeds ~tel
+    ~cov:(Detector.coverage detector)
+    ~cases_executed:(Detector.executed detector)
+    ~passed:(Detector.passed detector)
+    ~clean_errors:(Detector.clean_errors detector)
+    ~false_positives:(Detector.false_positives detector)
+    ~fp_signatures:(Detector.fp_signatures detector)
+    ~known_crashes:(Detector.known_crashes detector)
+    ~bugs:(Detector.bugs detector)
 
-let fuzz_all ?budget ?telemetry () =
-  List.map (fun prof -> fuzz ?budget ?telemetry prof) Dialect.all
+(* ----- the sharded path -----
+
+   The main thread is the producer: it enumerates exactly the stream a
+   sequential run would execute (seed replay first, then every pattern
+   in paper order under the same per-pattern budgets) and labels each
+   work item with its 1-based index in that stream. Item [n] belongs to
+   shard [(n - 1) mod shards]; shard [s] is owned by worker domain
+   [s mod jobs], and every worker feeds from its own chunked queue so a
+   slow shard never blocks the dispatch of another worker's cases.
+
+   Each shard runs a private engine/detector/coverage/telemetry —
+   engines are mutable and crash-restart, so nothing is shared between
+   domains. Because a shard receives its sub-stream in increasing
+   global order, merging is pure bookkeeping afterwards: counters and
+   histograms add, coverage points union, and the New-vs-Dup split is
+   re-derived by globally ordering crash records on case number
+   ([Detector.merge_bugs]). *)
+
+type shard_work =
+  | Seed_stmt of Sqlfun_ast.Ast.stmt
+  | Gen_case of Patterns.case
+
+let fuzz_sharded ?budget ?cov ?telemetry ?(patterns = Pattern_id.all) ~shards
+    ?jobs prof =
+  let shards = Stdlib.max 1 shards in
+  let jobs =
+    match jobs with
+    | Some j -> Stdlib.max 1 (Stdlib.min j shards)
+    | None -> shards
+  in
+  let tel = match telemetry with Some t -> t | None -> Telemetry.create () in
+  let campaign_cov = match cov with Some c -> c | None -> Coverage.create () in
+  let dialect = prof.Dialect.id in
+  let seeds, shard_covs, shard_tels, detectors =
+    Telemetry.with_span tel ~dialect "campaign" @@ fun () ->
+    let registry = Dialect.registry prof in
+    let seeds =
+      Collector.collect ~telemetry:tel ~registry ~suite:prof.Dialect.seeds ()
+    in
+    let shard_covs = Array.init shards (fun _ -> Coverage.create ()) in
+    let shard_tels = Array.init shards (fun _ -> Telemetry.create ()) in
+    let queues =
+      Array.init jobs (fun _ ->
+          Chunk_queue.create ~chunk_size:128 ~max_chunks:32 ())
+    in
+    let worker w () =
+      (* engines are armed inside the worker domain, so even startup
+         cost parallelises; detector [s] only ever runs on this domain *)
+      let dets =
+        List.filter (fun s -> s mod jobs = w) (List.init shards Fun.id)
+        |> List.map (fun s ->
+               ( s,
+                 Detector.create ~cov:shard_covs.(s)
+                   ~telemetry:shard_tels.(s) prof ))
+      in
+      let rec drain () =
+        match Chunk_queue.pop_chunk queues.(w) with
+        | None -> dets
+        | Some chunk ->
+          Array.iter
+            (fun (case_number, s, work) ->
+              let det = List.assoc s dets in
+              ignore
+                (match work with
+                 | Seed_stmt stmt -> Detector.run_stmt det ~case_number stmt
+                 | Gen_case case -> Detector.run_case det ~case_number case))
+            chunk;
+          drain ()
+      in
+      drain ()
+    in
+    let per_worker =
+      Pool.with_pool jobs @@ fun pool ->
+      let handles = List.init jobs (fun w -> Pool.submit pool (worker w)) in
+      let next = ref 0 in
+      let dispatch work =
+        incr next;
+        let n = !next in
+        let s = (n - 1) mod shards in
+        Chunk_queue.push queues.(s mod jobs) (n, s, work)
+      in
+      (* the queues must close even when generation raises, or the
+         workers (and then [shutdown]) would block forever *)
+      Fun.protect
+        ~finally:(fun () -> Array.iter Chunk_queue.close queues)
+        (fun () ->
+          Telemetry.with_span tel ~dialect "seed-replay" (fun () ->
+              List.iter
+                (fun (seed : Collector.seed) ->
+                  dispatch (Seed_stmt seed.Collector.stmt))
+                seeds);
+          emit_budgeted ~budget
+            ~streams:
+              (List.map
+                 (fun p -> Patterns.generate ~telemetry:tel ~registry ~seeds p)
+                 patterns)
+            ~emit:(fun case -> dispatch (Gen_case case)));
+      List.map Pool.await handles
+    in
+    let detectors = Array.make shards None in
+    List.iter
+      (List.iter (fun (s, det) -> detectors.(s) <- Some det))
+      per_worker;
+    let detectors =
+      Array.map
+        (function Some d -> d | None -> assert false (* every shard owned *))
+        detectors
+    in
+    (seeds, shard_covs, shard_tels, detectors)
+  in
+  (* deterministic merge, in shard order *)
+  Array.iter (fun c -> Coverage.merge_into ~dst:campaign_cov c) shard_covs;
+  Array.iter (fun t -> Telemetry.merge_into ~dst:tel t) shard_tels;
+  let bugs, demoted =
+    Detector.merge_bugs
+      (Array.to_list (Array.map Detector.bugs detectors))
+  in
+  List.iter
+    (fun (b : Detector.found_bug) ->
+      let pattern =
+        match b.Detector.found_by with
+        | Some p -> Pattern_id.to_string p
+        | None -> "seed"
+      in
+      Telemetry.reclassify_verdict tel ~dialect ~pattern
+        ~from_:Telemetry.New_bug ~to_:Telemetry.Dup_bug)
+    demoted;
+  let sum f = Array.fold_left (fun acc d -> acc + f d) 0 detectors in
+  let fp_signatures =
+    List.sort_uniq String.compare
+      (List.concat_map Detector.fp_signatures (Array.to_list detectors))
+  in
+  mk_result ~prof ~seeds ~tel ~cov:campaign_cov
+    ~cases_executed:(sum Detector.executed)
+    ~passed:(sum Detector.passed)
+    ~clean_errors:(sum Detector.clean_errors)
+    ~false_positives:(sum Detector.false_positives)
+    ~fp_signatures ~known_crashes:(sum Detector.known_crashes) ~bugs
+
+let fuzz ?budget ?cov ?telemetry ?patterns ?(shards = 1) ?jobs prof =
+  if shards <= 1 then fuzz_sequential ?budget ?cov ?telemetry ?patterns prof
+  else fuzz_sharded ?budget ?cov ?telemetry ?patterns ~shards ?jobs prof
+
+let fuzz_all ?budget ?telemetry ?(jobs = 1) ?(shards = 1) () =
+  if jobs <= 1 then
+    List.map (fun prof -> fuzz ?budget ?telemetry ~shards prof) Dialect.all
+  else begin
+    (* each campaign records into a private collector on its own domain;
+       the caller's collector receives the merged aggregates afterwards,
+       in dialect order, so shared-collector totals match a sequential
+       [fuzz_all] (per-case events are not replayed into the shared
+       sink — pass a sink per campaign, or run sequentially, to
+       stream them) *)
+    let results =
+      Pool.with_pool
+        (Stdlib.min jobs (List.length Dialect.all))
+        (fun pool ->
+          Pool.run pool
+            (List.map (fun prof () -> fuzz ?budget ~shards prof) Dialect.all))
+    in
+    Option.iter
+      (fun tel ->
+        List.iter (fun r -> Telemetry.merge_into ~dst:tel r.telemetry) results)
+      telemetry;
+    results
+  end
 
 let bugs_by_pattern_family result =
   let count family =

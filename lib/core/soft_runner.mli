@@ -1,7 +1,23 @@
 (** The complete SOFT pipeline: collect → generate per pattern → detect.
 
     One call of {!fuzz} is one "testing campaign" against one simulated
-    DBMS, the unit the paper's Tables 4–6 aggregate. *)
+    DBMS, the unit the paper's Tables 4–6 aggregate.
+
+    Campaigns parallelise at two levels on OCaml 5 domains
+    ({!Sqlfun_parallel.Pool}):
+
+    - {b shard-level} — {!fuzz} [~shards:k] partitions the case stream
+      round-robin across [k] shards, each with a private
+      engine/detector/coverage/telemetry, and merges the shard results
+      deterministically: verdict counters, bug lists (order and case
+      numbers included) and FP-signature sets are bit-identical to a
+      sequential run regardless of shard count or completion order.
+    - {b dialect-level} — {!fuzz_all} [~jobs:n] runs whole campaigns on
+      separate domains.
+
+    Only wall-clock timings differ between a parallel and a sequential
+    run; the "execute"/"detect" stage totals still measure CPU time
+    summed across shards. *)
 
 open Sqlfun_fault
 open Sqlfun_dialects
@@ -31,24 +47,68 @@ type result = {
           dialect x pattern x verdict counters behind {!timings} *)
 }
 
+val split_budget : int -> int -> int list
+(** [split_budget b n] is the per-pattern share of an [n]-pattern
+    campaign with budget [b]: [n] entries of [b / n], with the first
+    [b mod n] entries getting one extra case so the shares sum to
+    exactly [b]. Empty when [n <= 0]. *)
+
 val fuzz :
   ?budget:int ->
   ?cov:Sqlfun_coverage.Coverage.t ->
   ?telemetry:Sqlfun_telemetry.Telemetry.t ->
   ?patterns:Pattern_id.t list ->
+  ?shards:int ->
+  ?jobs:int ->
   Dialect.profile ->
   result
 (** [budget] caps generated-case executions (default: exhaust all
-    patterns). [patterns] restricts the pattern set — the ablation knob.
-    Seeds are executed first (sanity pass, not counted against the
-    budget). [telemetry] plugs in a shared collector/sink; without it a
-    private null-sink collector still populates [timings] — verdicts and
-    bug lists are bit-identical either way. *)
+    patterns); it is split across patterns by {!split_budget}, and a
+    pattern that runs dry below its share hands the unused remainder to
+    the patterns still generating — a campaign executes exactly
+    [budget] cases whenever the patterns can supply them.
+    [patterns] restricts the pattern set — the ablation knob. Seeds are
+    executed first (sanity pass, not counted against the budget).
+    [telemetry] plugs in a shared collector/sink; without it a private
+    null-sink collector still populates [timings] — verdicts and bug
+    lists are bit-identical either way.
+
+    [shards] (default 1) partitions the case stream across that many
+    independent engine instances; [jobs] (default [shards], clamped to
+    it) is the number of worker domains executing them. [shards = 1]
+    is exactly the sequential path. Results are deterministic in
+    [shards] and [on jobs]: only timings change. With [shards > 1] a
+    [--trace]-style event sink on [telemetry] sees campaign-level
+    spans but not per-case events (shard collectors are merged as
+    aggregates). *)
+
+val fuzz_sharded :
+  ?budget:int ->
+  ?cov:Sqlfun_coverage.Coverage.t ->
+  ?telemetry:Sqlfun_telemetry.Telemetry.t ->
+  ?patterns:Pattern_id.t list ->
+  shards:int ->
+  ?jobs:int ->
+  Dialect.profile ->
+  result
+(** The sharded pipeline itself, without {!fuzz}'s [shards <= 1]
+    short-circuit — exposed so tests can pin a [shards:1] run of the
+    shard/merge machinery against the plain sequential path
+    field-for-field. *)
 
 val fuzz_all :
-  ?budget:int -> ?telemetry:Sqlfun_telemetry.Telemetry.t -> unit -> result list
-(** One campaign per dialect, paper order. A shared [telemetry] yields
-    cross-dialect aggregates (counters stay keyed by dialect). *)
+  ?budget:int ->
+  ?telemetry:Sqlfun_telemetry.Telemetry.t ->
+  ?jobs:int ->
+  ?shards:int ->
+  unit ->
+  result list
+(** One campaign per dialect, paper order. [jobs] (default 1) runs
+    campaigns on that many worker domains; [shards] is passed through
+    to each campaign. A shared [telemetry] yields cross-dialect
+    aggregates (counters stay keyed by dialect); with [jobs > 1] each
+    campaign records privately and the shared collector receives the
+    merged aggregates in dialect order. *)
 
 val bugs_by_pattern_family : result -> (Pattern_id.family * int) list
 val bug_summary_line : Detector.found_bug -> string

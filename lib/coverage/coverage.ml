@@ -30,6 +30,12 @@ let merge_into ~dst src =
     src.tbl;
   dst.hits <- dst.hits + src.hits
 
+let merge a b =
+  let t = create () in
+  merge_into ~dst:t a;
+  merge_into ~dst:t b;
+  t
+
 let diff a b =
   Hashtbl.fold (fun k _ acc -> if Hashtbl.mem b.tbl k then acc else k :: acc) a.tbl []
   |> List.sort String.compare

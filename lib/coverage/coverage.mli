@@ -25,6 +25,11 @@ val reset : t -> unit
 val merge_into : dst:t -> t -> unit
 (** Adds every point of the source into [dst]. *)
 
+val merge : t -> t -> t
+(** Fresh recorder holding the union of both inputs (per-point hit
+    counts add). Commutative and associative, with a fresh recorder as
+    identity — the algebra the sharded campaign merge relies on. *)
+
 val diff : t -> t -> string list
 (** [diff a b] is the points hit in [a] but not in [b]. *)
 

@@ -112,19 +112,22 @@ let digest_hex s =
   let h2 = fnv1a_64 (s ^ "\x00pass2") in
   Printf.sprintf "%016Lx%016Lx" h1 h2
 
+(* Built eagerly: forcing a [lazy] concurrently from several domains is
+   undefined (RacyLazy / torn results), and with sharded campaigns the
+   first CRC32 call can happen on any worker domain. 256 words at
+   startup is cheaper than a synchronised lazy. *)
 let crc32_table =
-  lazy
-    (Array.init 256 (fun i ->
-         let c = ref (Int64.of_int i) in
-         for _ = 0 to 7 do
-           if Int64.rem !c 2L = 1L then
-             c := Int64.logxor 0xedb88320L (Int64.shift_right_logical !c 1)
-           else c := Int64.shift_right_logical !c 1
-         done;
-         !c))
+  Array.init 256 (fun i ->
+      let c = ref (Int64.of_int i) in
+      for _ = 0 to 7 do
+        if Int64.rem !c 2L = 1L then
+          c := Int64.logxor 0xedb88320L (Int64.shift_right_logical !c 1)
+        else c := Int64.shift_right_logical !c 1
+      done;
+      !c)
 
 let crc32 s =
-  let table = Lazy.force crc32_table in
+  let table = crc32_table in
   let c = ref 0xffffffffL in
   String.iter
     (fun ch ->

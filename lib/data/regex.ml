@@ -14,7 +14,15 @@ exception Step_limit
 exception Bad_pattern of string
 
 let step_cap = 2_000_000
-let last_steps = ref 0
+
+(* The step count of the most recent match is read back by the string
+   functions to charge regex work against the engine's step guard
+   ([Fn_ctx.tick ~cost]). With campaigns sharded across domains, a plain
+   global [ref] would let one domain's match overwrite another's count
+   and flip Limit_hit verdicts — keep it domain-local instead. *)
+let last_steps_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+let read_last_steps () = Domain.DLS.get last_steps_key
+let write_last_steps n = Domain.DLS.set last_steps_key n
 
 (* ----- parsing ----- *)
 
@@ -261,7 +269,7 @@ let match_at node s start =
         matched_end := pos;
         true)
   in
-  last_steps := !steps;
+  write_last_steps !steps;
   if ok then Some !matched_end else None
 
 let find re s =
@@ -272,15 +280,15 @@ let find re s =
     else
       match match_at re s i with
       | Some e ->
-        total := !total + !last_steps;
-        last_steps := !total;
+        total := !total + read_last_steps ();
+        write_last_steps !total;
         Some (i, e - i)
       | None ->
-        total := !total + !last_steps;
+        total := !total + read_last_steps ();
         scan (i + 1)
   in
   let r = scan 0 in
-  last_steps := !total;
+  write_last_steps !total;
   r
 
 let matches re s = find re s <> None
@@ -294,17 +302,17 @@ let replace_all re s repl =
     else
       match match_at re s i with
       | Some e when e > i ->
-        total := !total + !last_steps;
+        total := !total + read_last_steps ();
         Buffer.add_string buf repl;
         go e
       | Some _ ->
         (* empty match: emit replacement, then advance one char *)
-        total := !total + !last_steps;
+        total := !total + read_last_steps ();
         Buffer.add_string buf repl;
         if i < n then Buffer.add_char buf s.[i];
         go (i + 1)
       | None ->
-        total := !total + !last_steps;
+        total := !total + read_last_steps ();
         Buffer.add_char buf s.[i];
         go (i + 1)
   in
@@ -313,7 +321,7 @@ let replace_all re s repl =
   (match match_at re s n with
    | Some _ when n > 0 -> ()
    | _ -> ());
-  last_steps := !total;
+  write_last_steps !total;
   Buffer.contents buf
 
-let steps_of_last_match () = !last_steps
+let steps_of_last_match () = read_last_steps ()

@@ -37,6 +37,11 @@ let create ?cov ?fault ?cast_cfg ?limits ~dialect () =
     row_count = 0;
   }
 
+let reset_session ctx =
+  Hashtbl.reset ctx.sequences;
+  ctx.last_insert_id <- 0L;
+  ctx.row_count <- 0
+
 let tick ?(cost = 1) ctx =
   ctx.steps <- ctx.steps + cost;
   if ctx.steps > ctx.limits.max_steps then

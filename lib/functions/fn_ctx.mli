@@ -46,6 +46,16 @@ val create :
 val tick : ?cost:int -> t -> unit
 (** Charge steps against the budget; raises {!Resource_limit} when spent. *)
 
+val reset_session : t -> unit
+(** Clears the session-scoped function state: sequences,
+    [last_insert_id] and [row_count]. The detector calls this before
+    every fuzz case so a verdict is a function of the statement alone —
+    otherwise a LASTVAL/LAST_INSERT_ID case would pass or fail
+    depending on which statements happened to run earlier on the same
+    engine, PoCs would not replay standalone, and sharded campaigns
+    (whose engines each see only a sub-stream) could not be
+    deterministic. Interactive sessions (the REPL) never call it. *)
+
 val point : t -> string -> unit
 (** Record a coverage point. *)
 

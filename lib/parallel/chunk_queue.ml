@@ -1,0 +1,88 @@
+type 'a t = {
+  mutex : Mutex.t;
+  can_pop : Condition.t;
+  can_push : Condition.t;
+  chunks : 'a array Queue.t;
+  chunk_size : int;
+  max_chunks : int;
+  mutable pending : 'a list; (* reversed accumulation of the next chunk *)
+  mutable pending_len : int;
+  mutable closed : bool;
+}
+
+let create ?(chunk_size = 128) ?(max_chunks = 32) () =
+  if chunk_size < 1 then invalid_arg "Chunk_queue.create: chunk_size < 1";
+  if max_chunks < 1 then invalid_arg "Chunk_queue.create: max_chunks < 1";
+  {
+    mutex = Mutex.create ();
+    can_pop = Condition.create ();
+    can_push = Condition.create ();
+    chunks = Queue.create ();
+    chunk_size;
+    max_chunks;
+    pending = [];
+    pending_len = 0;
+    closed = false;
+  }
+
+(* Publishes the pending items as one chunk. Caller holds the mutex.
+   [force] skips the bound — used by [close] so the final partial chunk
+   can never deadlock against an already-full queue. *)
+let flush_locked ?(force = false) t =
+  if t.pending_len > 0 then begin
+    if not force then
+      while Queue.length t.chunks >= t.max_chunks do
+        Condition.wait t.can_push t.mutex
+      done;
+    let arr = Array.of_list (List.rev t.pending) in
+    t.pending <- [];
+    t.pending_len <- 0;
+    Queue.add arr t.chunks;
+    Condition.signal t.can_pop
+  end
+
+let push t x =
+  Mutex.lock t.mutex;
+  match
+    if t.closed then invalid_arg "Chunk_queue.push: queue is closed";
+    t.pending <- x :: t.pending;
+    t.pending_len <- t.pending_len + 1;
+    if t.pending_len >= t.chunk_size then flush_locked t
+  with
+  | () -> Mutex.unlock t.mutex
+  | exception e ->
+    Mutex.unlock t.mutex;
+    raise e
+
+let close t =
+  Mutex.lock t.mutex;
+  if not t.closed then begin
+    flush_locked ~force:true t;
+    t.closed <- true;
+    Condition.broadcast t.can_pop
+  end;
+  Mutex.unlock t.mutex
+
+let pop_chunk t =
+  Mutex.lock t.mutex;
+  let rec take () =
+    if not (Queue.is_empty t.chunks) then begin
+      let chunk = Queue.take t.chunks in
+      Condition.signal t.can_push;
+      Some chunk
+    end
+    else if t.closed then None
+    else begin
+      Condition.wait t.can_pop t.mutex;
+      take ()
+    end
+  in
+  let r = take () in
+  Mutex.unlock t.mutex;
+  r
+
+let is_closed t =
+  Mutex.lock t.mutex;
+  let c = t.closed in
+  Mutex.unlock t.mutex;
+  c

@@ -1,0 +1,34 @@
+(** A bounded multi-producer/multi-consumer queue that moves items in
+    chunks.
+
+    Fine-grained work (one fuzz case at a time) would pay one
+    mutex/condition round-trip per item; batching items into fixed-size
+    array chunks amortises that cost so a producer can stream a million
+    cases through the queue without synchronisation dominating. The
+    queue is bounded ([max_chunks]) to give backpressure: a producer
+    that outruns its consumers blocks instead of buffering the whole
+    case stream in memory. *)
+
+type 'a t
+
+val create : ?chunk_size:int -> ?max_chunks:int -> unit -> 'a t
+(** [chunk_size] (default 128) items are accumulated before a chunk is
+    published; [max_chunks] (default 32) bounds the number of published
+    chunks awaiting consumption. *)
+
+val push : 'a t -> 'a -> unit
+(** Appends one item. Publishes the pending chunk when it reaches
+    [chunk_size], blocking while the queue holds [max_chunks] published
+    chunks. Raises [Invalid_argument] on a closed queue. *)
+
+val close : 'a t -> unit
+(** Publishes any pending partial chunk and marks the stream finished;
+    blocked consumers wake up. Idempotent. *)
+
+val pop_chunk : 'a t -> 'a array option
+(** Takes the oldest published chunk, blocking while the queue is empty
+    and not yet closed. [None] means the queue is closed and drained —
+    the consumer's termination signal. Chunks preserve push order;
+    items within a chunk are in push order. *)
+
+val is_closed : 'a t -> bool

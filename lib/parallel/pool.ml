@@ -1,0 +1,94 @@
+type job = unit -> unit
+
+type t = {
+  queue : job Chunk_queue.t;
+  domains : unit Domain.t array;
+  shutdown_mutex : Mutex.t;
+  mutable joined : bool;
+}
+
+type 'a state =
+  | Pending
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+type 'a handle = {
+  h_mutex : Mutex.t;
+  h_cond : Condition.t;
+  mutable state : 'a state;
+}
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let worker queue () =
+  let rec loop () =
+    match Chunk_queue.pop_chunk queue with
+    | None -> ()
+    | Some jobs ->
+      (* [submit]'s wrapper already catches everything the job raises;
+         the extra handler keeps a misbehaving raw job from killing the
+         worker and starving the pool. *)
+      Array.iter (fun job -> try job () with _ -> ()) jobs;
+      loop ()
+  in
+  loop ()
+
+let create n =
+  let n = Stdlib.max 1 n in
+  (* jobs are coarse-grained, so publish each immediately (chunk_size 1)
+     and keep the job queue effectively unbounded: backpressure belongs
+     on the fine-grained case streams, not on job submission. *)
+  let queue = Chunk_queue.create ~chunk_size:1 ~max_chunks:max_int () in
+  {
+    queue;
+    domains = Array.init n (fun _ -> Domain.spawn (worker queue));
+    shutdown_mutex = Mutex.create ();
+    joined = false;
+  }
+
+let size t = Array.length t.domains
+
+let submit t f =
+  let h = { h_mutex = Mutex.create (); h_cond = Condition.create (); state = Pending } in
+  let finish state =
+    Mutex.lock h.h_mutex;
+    h.state <- state;
+    Condition.broadcast h.h_cond;
+    Mutex.unlock h.h_mutex
+  in
+  Chunk_queue.push t.queue (fun () ->
+      match f () with
+      | v -> finish (Done v)
+      | exception e -> finish (Failed (e, Printexc.get_raw_backtrace ())));
+  h
+
+let await h =
+  Mutex.lock h.h_mutex;
+  while (match h.state with Pending -> true | Done _ | Failed _ -> false) do
+    Condition.wait h.h_cond h.h_mutex
+  done;
+  let state = h.state in
+  Mutex.unlock h.h_mutex;
+  match state with
+  | Done v -> v
+  | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Pending -> assert false
+
+let run t thunks =
+  let handles = List.map (submit t) thunks in
+  let outcomes =
+    List.map (fun h -> try Ok (await h) with e -> Error e) handles
+  in
+  List.map (function Ok v -> v | Error e -> raise e) outcomes
+
+let shutdown t =
+  Chunk_queue.close t.queue;
+  Mutex.lock t.shutdown_mutex;
+  let first = not t.joined in
+  t.joined <- true;
+  Mutex.unlock t.shutdown_mutex;
+  if first then Array.iter Domain.join t.domains
+
+let with_pool n f =
+  let t = create n in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -224,6 +224,12 @@ module Histogram = struct
 
   let total t = t.total
 
+  let merge_into ~dst src =
+    Array.iteri
+      (fun i n -> dst.counts.(i) <- dst.counts.(i) + n)
+      src.counts;
+    dst.total <- dst.total + src.total
+
   (* Upper bound of the bucket holding the q-quantile sample: an estimate
      with <= 2x relative error, which is all a latency profile needs. *)
   let percentile t q =
@@ -355,6 +361,45 @@ let count_verdict t ~dialect ~pattern ~case_number verdict =
   | Null -> ()
   | Emit e ->
     e (Verdict { dialect; pattern; verdict; case_number; ts_ns = now_ns () })
+
+let reclassify_verdict t ~dialect ~pattern ~from_ ~to_ =
+  let row = verdict_row t ~dialect ~pattern in
+  let i = verdict_index from_ and j = verdict_index to_ in
+  if row.counts.(i) <= 0 then
+    invalid_arg
+      (Printf.sprintf
+         "Telemetry.reclassify_verdict: no %s verdict recorded for %s/%s"
+         (verdict_class_to_string from_) dialect pattern);
+  row.counts.(i) <- row.counts.(i) - 1;
+  row.counts.(j) <- row.counts.(j) + 1
+
+(* ----- merging (shard -> campaign aggregation) ----- *)
+
+let merge_into ~dst src =
+  Hashtbl.iter
+    (fun stage a ->
+      let d = stage_agg dst stage in
+      d.calls <- d.calls + a.calls;
+      d.total_ns <- d.total_ns + a.total_ns;
+      if a.max_ns > d.max_ns then d.max_ns <- a.max_ns;
+      Histogram.merge_into ~dst:d.hist a.hist)
+    src.stages;
+  Hashtbl.iter
+    (fun dialect per_dialect ->
+      Hashtbl.iter
+        (fun pattern (row : verdict_row) ->
+          let drow = verdict_row dst ~dialect ~pattern in
+          Array.iteri
+            (fun i n -> drow.counts.(i) <- drow.counts.(i) + n)
+            row.counts)
+        per_dialect)
+    src.verdicts
+
+let merge a b =
+  let t = create () in
+  merge_into ~dst:t a;
+  merge_into ~dst:t b;
+  t
 
 let bug_event t ~dialect ~site ~kind ~pattern ~case_number =
   match t.sink with

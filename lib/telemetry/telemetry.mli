@@ -140,6 +140,36 @@ val bug_event :
 
 val fp_event : t -> dialect:string -> signature:string -> unit
 
+val reclassify_verdict :
+  t ->
+  dialect:string ->
+  pattern:string ->
+  from_:verdict_class ->
+  to_:verdict_class ->
+  unit
+(** Moves one recorded verdict from one class to another. The sharded
+    campaign merge uses this to demote a shard-local [New_bug] whose
+    site was first hit (by global case order) on another shard into the
+    [Dup_bug] it would have been in a sequential run. Raises
+    [Invalid_argument] when no [from_] verdict is on record for the
+    dialect x pattern row. *)
+
+(** {1 Merging}
+
+    Shard-level parallelism gives every worker its own collector;
+    campaign totals are the merge of the shards. Merging is a plain
+    counter/histogram union — commutative, associative, with a fresh
+    collector as identity — so merged aggregates are independent of
+    shard count and completion order. Sinks and span depth are not
+    merged: events stream only from live collectors. *)
+
+val merge_into : dst:t -> t -> unit
+(** Adds the source's stage aggregates (calls, totals, max,
+    histogram buckets) and verdict counters into [dst]. *)
+
+val merge : t -> t -> t
+(** Fresh collector (null sink) holding the union of both inputs. *)
+
 (** {1 Aggregate views} *)
 
 type stage_timing = {
@@ -188,4 +218,7 @@ module Histogram : sig
   val percentile : t -> float -> int
   (** Upper bound of the log2 bucket holding the quantile sample; [0] on
       an empty histogram. *)
+
+  val merge_into : dst:t -> t -> unit
+  (** Bucket-wise sum. *)
 end
