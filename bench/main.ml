@@ -39,19 +39,23 @@ let pattern_tables () =
 (* ----- Sections 7.3-7.4: the full SOFT campaign ----- *)
 
 type campaign_timing = {
-  wall_s_sequential : float;
+  wall_s_sequential : float;  (* memoization on: the default pipeline *)
+  wall_s_nomemo : float;      (* same sequential sweep, ~memo:false *)
   wall_s_parallel : float;
   parallel_jobs : int;
   parallel_deterministic : bool;
+  memo_deterministic : bool;
 }
 
-(* Two full runs of the exhaustive campaign: the sequential baseline
-   (whose stage timings feed the trajectory artifact, as before) and a
-   multi-domain run at jobs = shards = 4. The parallel run's results
-   are checked field-for-field against the baseline — the speedup is
-   only worth reporting if the answers agree. On a single-core host the
-   ratio hovers around 1.0; the shard pipeline only pays off with real
-   cores to spread across. *)
+(* Three full runs of the exhaustive campaign: the sequential baseline
+   with verdict memoization on (the default pipeline; its stage timings
+   feed the trajectory artifact, as before), the same sweep with
+   [~memo:false] (every case pays the engine round-trip), and a
+   multi-domain run at jobs = 4. The memo-off and parallel runs are
+   checked field-for-field against the baseline — a speedup is only
+   worth reporting if the answers agree. On a single-core host the
+   parallel ratio hovers around 1.0; the memo ratio does not depend on
+   cores, only on how much of the case stream repeats. *)
 let campaign tel =
   section "SOFT campaign against the seven simulated DBMSs (Table 4)";
   let t0 = Unix.gettimeofday () in
@@ -63,6 +67,9 @@ let campaign tel =
   print_string (Sqlfun_harness.Tables.table4_totals results);
   print_newline ();
   print_string (Sqlfun_harness.Tables.figure2 results);
+  let t_nm = Unix.gettimeofday () in
+  let nomemo_results = Soft.Soft_runner.fuzz_all ~memo:false () in
+  let nomemo_s = Unix.gettimeofday () -. t_nm in
   let jobs = 4 in
   (* campaign-level parallelism only (shards = 1): 4 worker domains for
      7 dialect campaigns keeps the domain count at the job count —
@@ -86,8 +93,16 @@ let campaign tel =
        = List.map bug_key b.Soft.Soft_runner.bugs
   in
   let deterministic = List.for_all2 same_result results par_results in
+  let memo_deterministic = List.for_all2 same_result results nomemo_results in
   Printf.printf
-    "\nparallel rerun: %.1f s at jobs=%d (%.2fx vs sequential, %d cores, \
+    "\nmemoization: %.1f s with, %.1f s without (%.2fx, %.1f%% hit rate, \
+     results %s)\n"
+    seq_s nomemo_s
+    (if seq_s > 0. then nomemo_s /. seq_s else 0.)
+    (100. *. Telemetry.memo_hit_rate tel)
+    (if memo_deterministic then "identical" else "DIVERGED");
+  Printf.printf
+    "parallel rerun: %.1f s at jobs=%d (%.2fx vs sequential, %d cores, \
      results %s)\n"
     par_s jobs
     (if par_s > 0. then seq_s /. par_s else 0.)
@@ -96,9 +111,11 @@ let campaign tel =
   ( results,
     {
       wall_s_sequential = seq_s;
+      wall_s_nomemo = nomemo_s;
       wall_s_parallel = par_s;
       parallel_jobs = jobs;
       parallel_deterministic = deterministic;
+      memo_deterministic;
     } )
 
 (* ----- Section 7.5: tool comparison ----- *)
@@ -274,6 +291,15 @@ let write_telemetry tel results timing =
       [
         ("dialect", Json.Str r.Soft.Soft_runner.dialect.Dialect.id);
         ("cases_executed", Json.Int r.Soft.Soft_runner.cases_executed);
+        ("cases_memoized", Json.Int r.Soft.Soft_runner.cases_memoized);
+        (* from the campaign's own counts — [r.telemetry] is the shared
+           collector here, whose rate is the cross-dialect aggregate *)
+        ( "memo_hit_rate",
+          Json.Float
+            (if r.Soft.Soft_runner.cases_executed = 0 then 0.
+             else
+               float_of_int r.Soft.Soft_runner.cases_memoized
+               /. float_of_int r.Soft.Soft_runner.cases_executed) );
         ("bugs", Json.Int (List.length r.Soft.Soft_runner.bugs));
         ( "functions_triggered",
           Json.Int r.Soft.Soft_runner.functions_triggered );
@@ -289,6 +315,21 @@ let write_telemetry tel results timing =
         ("kind", Json.Str "bench");
         ("campaigns", Json.Arr (List.map campaign_json results));
         ("wall_s_sequential", Json.Float timing.wall_s_sequential);
+        ("wall_s_memo", Json.Float timing.wall_s_sequential);
+        ("wall_s_nomemo", Json.Float timing.wall_s_nomemo);
+        ( "memo_speedup",
+          Json.Float
+            (if timing.wall_s_sequential > 0. then
+               timing.wall_s_nomemo /. timing.wall_s_sequential
+             else 0.) );
+        ("memo_hit_rate", Json.Float (Telemetry.memo_hit_rate tel));
+        ( "cases_memoized",
+          Json.Int
+            (List.fold_left
+               (fun acc (r : Soft.Soft_runner.result) ->
+                 acc + r.Soft.Soft_runner.cases_memoized)
+               0 results) );
+        ("memo_deterministic", Json.Bool timing.memo_deterministic);
         ("wall_s_parallel", Json.Float timing.wall_s_parallel);
         ("parallel_jobs", Json.Int timing.parallel_jobs);
         ( "parallel_speedup",
@@ -300,6 +341,7 @@ let write_telemetry tel results timing =
         ("parallel_deterministic", Json.Bool timing.parallel_deterministic);
         ("stages", Telemetry.stages_to_json tel);
         ("verdicts", Telemetry.verdicts_to_json tel);
+        ("memo", Telemetry.memo_to_json tel);
       ]
   in
   let oc = open_out path in

@@ -54,6 +54,14 @@ let trace_arg =
            ~doc:"Stream telemetry events (spans, verdicts, bugs, FP \
                  signatures) to $(docv) as JSON lines.")
 
+let no_memo_arg =
+  Arg.(value & flag
+       & info [ "no-memo" ]
+           ~doc:"Disable verdict memoization (every case takes the \
+                 engine round-trip). Verdicts, bug lists and FP \
+                 signatures are bit-identical with memoization on or \
+                 off; the flag exists to verify that and to time it.")
+
 let json_arg =
   Arg.(value & opt (some string) None
        & info [ "json" ] ~docv:"FILE"
@@ -113,7 +121,7 @@ let with_telemetry ~trace ~json f =
     raise exn
 
 let fuzz_cmd =
-  let run dialect budget jobs shards verbose report trace json =
+  let run dialect budget jobs shards no_memo verbose report trace json =
     match resolve_dialect dialect with
     | Error msg ->
       prerr_endline msg;
@@ -123,7 +131,8 @@ let fuzz_cmd =
       let jobs, shards = resolve_parallelism ~jobs ~shards in
       with_telemetry ~trace ~json (fun tel ->
           let r =
-            Soft.Soft_runner.fuzz ?budget ~telemetry:tel ~shards ~jobs prof
+            Soft.Soft_runner.fuzz ?budget ~telemetry:tel ~memo:(not no_memo)
+              ~shards ~jobs prof
           in
           (match report with
            | Some path ->
@@ -137,6 +146,9 @@ let fuzz_cmd =
           Printf.printf "  seeds collected:      %d\n" r.Soft.Soft_runner.seeds_collected;
           Printf.printf "  substitution slots:   %d\n" r.Soft.Soft_runner.positions;
           Printf.printf "  statements executed:  %d\n" r.Soft.Soft_runner.cases_executed;
+          Printf.printf "  cases memoized:       %d (%.1f%% hit rate)\n"
+            r.Soft.Soft_runner.cases_memoized
+            (100. *. Telemetry.memo_hit_rate r.Soft.Soft_runner.telemetry);
           Printf.printf "  passed / clean errors: %d / %d\n" r.Soft.Soft_runner.passed
             r.Soft.Soft_runner.clean_errors;
           (* the paper's "7 false positives" counts unique reports, so both
@@ -167,7 +179,7 @@ let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Run a SOFT campaign against a simulated dialect")
     Term.(const run $ dialect_arg $ budget_arg 0 $ jobs_arg $ shards_arg
-          $ verbose $ report $ trace_arg $ json_arg)
+          $ no_memo_arg $ verbose $ report $ trace_arg $ json_arg)
 
 let study_cmd =
   let run () =

@@ -26,5 +26,17 @@ val replace_nth_call : Ast.stmt -> int -> Ast.expr -> Ast.stmt option
 val map_exprs : (Ast.expr -> Ast.expr) -> Ast.stmt -> Ast.stmt
 (** Bottom-up rewrite of every expression in the statement. *)
 
+val fingerprint : Ast.stmt -> int64
+(** Structural 64-bit fingerprint: FNV-1a over a canonical post-order
+    serialization of the statement (tags, length-terminated sequences,
+    byte-wise strings). One traversal, no pretty-printing, no per-node
+    allocation. Structurally equal statements always have equal
+    fingerprints; the converse is overwhelmingly likely but not
+    guaranteed — confirm candidate cache hits with {!equal_stmt}. *)
+
+val equal_stmt : Ast.stmt -> Ast.stmt -> bool
+(** Structural equality of statements — the collision guard paired with
+    {!fingerprint}. *)
+
 val referenced_tables : Ast.stmt -> string list
 (** Table names mentioned in FROM clauses (deduplicated, in order). *)

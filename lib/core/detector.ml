@@ -19,12 +19,26 @@ type found_bug = {
   case_number : int;
 }
 
+(* The cached image of a verdict: everything needed to replay the
+   classification without the engine round-trip. New-vs-Dup for crashes
+   is NOT cached — it depends on execution order, so it is re-derived
+   from the [sites] table at replay time (within one detector a cached
+   crash always replays as a duplicate: the miss that populated the
+   entry registered the site). *)
+type cached_verdict =
+  | C_passed
+  | C_clean of string
+  | C_fp of string
+  | C_crash of Fault.spec
+  | C_blown
+
 type t = {
   prof : Dialect.profile;
   cov : Coverage.t;
   tel : Telemetry.t;
   mutable engine : Engine.t;
   mutable executed : int;
+  mutable memoized : int;  (* how many of [executed] skipped the engine *)
   mutable passed : int;
   mutable clean_errors : int;
   mutable false_positives : int;
@@ -33,6 +47,7 @@ type t = {
   fp_signatures : (string, unit) Hashtbl.t;
   fp_buf : Buffer.t;  (* reused across FP-signature normalizations *)
   mutable found : found_bug list;  (* reversed *)
+  memo : cached_verdict Verdict_cache.t option;  (* [None] = --no-memo *)
 }
 
 (* Arming a fresh engine is the same work whether it is the initial start
@@ -42,7 +57,7 @@ let fresh_engine tel cov prof =
   Telemetry.with_span tel ~dialect:prof.Dialect.id "restart-after-crash"
     (fun () -> Dialect.make_engine ~cov ~armed:true prof)
 
-let create ?cov ?telemetry prof =
+let create ?cov ?telemetry ?(memo = true) prof =
   let cov = match cov with Some c -> c | None -> Coverage.create () in
   let tel = match telemetry with Some t -> t | None -> Telemetry.create () in
   {
@@ -51,6 +66,7 @@ let create ?cov ?telemetry prof =
     tel;
     engine = fresh_engine tel cov prof;
     executed = 0;
+    memoized = 0;
     passed = 0;
     clean_errors = 0;
     false_positives = 0;
@@ -59,6 +75,7 @@ let create ?cov ?telemetry prof =
     fp_signatures = Hashtbl.create 16;
     fp_buf = Buffer.create 128;
     found = [];
+    memo = (if memo then Some (Verdict_cache.create ()) else None);
   }
 
 let restart t = t.engine <- fresh_engine t.tel t.cov t.prof
@@ -172,15 +189,121 @@ let run_sql t ?pattern ?case_number sql =
     ~poc:(fun () -> sql)
     (fun () -> Engine.exec_sql t.engine sql)
 
+(* ----- verdict memoization -----
+
+   A verdict is a pure function of the statement: the session is reset
+   before every case (PR 2), campaign statements are SELECTs (the
+   collector filters on [Select_stmt]), and the engine's storage is
+   only ever reset — by a crash restart — never grown, between cases.
+   So a statement seen before can replay its recorded verdict without
+   the engine round-trip, bit-identically:
+
+   - counters, the FP-signature set (the first execution registered the
+     signature; a replay of the same message adds nothing), and verdict
+     events replay exactly as a re-execution would have produced them;
+   - coverage is untouched, which only drops duplicate hit-count
+     increments — the distinct point set a re-execution would touch is
+     already present (insertion is idempotent);
+   - a cached crash still restarts the engine, exactly as the
+     re-executed crash would have, so the engine lifecycle (and the
+     arming coverage it records) is identical to an uncached run;
+   - New-vs-Dup is re-derived from the [sites] table (and, across
+     shards, from globally ordered case numbers), never replayed.
+
+   Only side-effect-free statements are cacheable: an INSERT must
+   execute every time it appears. *)
+
+let cacheable = function
+  | Sqlfun_ast.Ast.Select_stmt _ | Sqlfun_ast.Ast.Explain _ -> true
+  | Sqlfun_ast.Ast.Create_table _ | Sqlfun_ast.Ast.Insert _
+  | Sqlfun_ast.Ast.Drop_table _ ->
+    false
+
+let to_cached = function
+  | Passed -> C_passed
+  | Clean_error msg -> C_clean msg
+  | False_positive msg -> C_fp msg
+  | New_bug spec | Dup_bug spec -> C_crash spec
+  | Known_crash _ -> C_blown
+
+(* Mirrors [classify]'s bookkeeping without the engine round-trip. *)
+let replay t ?pattern ?case_number ~poc cached =
+  t.executed <- t.executed + 1;
+  t.memoized <- t.memoized + 1;
+  let case_number =
+    match case_number with Some n -> n | None -> t.executed
+  in
+  let dialect = t.prof.Dialect.id in
+  let pat =
+    match pattern with Some p -> Pattern_id.to_string p | None -> "seed"
+  in
+  let verdict =
+    match cached with
+    | C_passed ->
+      t.passed <- t.passed + 1;
+      Passed
+    | C_clean msg ->
+      t.clean_errors <- t.clean_errors + 1;
+      Clean_error msg
+    | C_fp msg ->
+      t.false_positives <- t.false_positives + 1;
+      False_positive msg
+    | C_crash spec ->
+      (* a re-execution would have crashed and restarted — keep the
+         engine lifecycle identical *)
+      restart t;
+      if Hashtbl.mem t.sites spec.Fault.site then Dup_bug spec
+      else begin
+        (* unreachable through the detector (the populating miss
+           registered the site), kept so a hand-fed cache still
+           classifies soundly *)
+        Hashtbl.add t.sites spec.Fault.site ();
+        t.found <-
+          { spec; found_by = pattern; poc = poc (); case_number }
+          :: t.found;
+        Telemetry.bug_event t.tel ~dialect ~site:spec.Fault.site
+          ~kind:(Bug_kind.to_string spec.Fault.kind)
+          ~pattern:pat ~case_number;
+        New_bug spec
+      end
+    | C_blown ->
+      restart t;
+      t.known_crashes <- t.known_crashes + 1;
+      Known_crash "stack exhausted (CVE-2015-5289 class)"
+  in
+  Telemetry.count_verdict t.tel ~dialect ~pattern:pat ~case_number
+    (verdict_class verdict);
+  verdict
+
+let exec_classified t ?pattern ?case_number ~poc stmt =
+  let execute () =
+    classify t ?pattern ?case_number ~poc (fun () ->
+        Engine.exec_stmt t.engine stmt)
+  in
+  match t.memo with
+  | Some cache when cacheable stmt ->
+    let fp = Sqlfun_ast.Ast_util.fingerprint stmt in
+    (match Verdict_cache.find cache ~fp stmt with
+     | Verdict_cache.Hit cached ->
+       Telemetry.memo_hit t.tel;
+       replay t ?pattern ?case_number ~poc cached
+     | Verdict_cache.Miss { collided; admit } ->
+       if collided then Telemetry.memo_collision t.tel;
+       Telemetry.memo_miss t.tel;
+       let verdict = execute () in
+       if admit then Verdict_cache.add cache ~fp stmt (to_cached verdict);
+       verdict)
+  | Some _ | None -> execute ()
+
 let run_stmt t ?pattern ?case_number stmt =
-  classify t ?pattern ?case_number
+  exec_classified t ?pattern ?case_number
     ~poc:(fun () -> Sqlfun_ast.Sql_pp.stmt stmt)
-    (fun () -> Engine.exec_stmt t.engine stmt)
+    stmt
 
 let run_case t ?case_number (case : Patterns.case) =
-  classify t ~pattern:case.Patterns.pattern ?case_number
+  exec_classified t ~pattern:case.Patterns.pattern ?case_number
     ~poc:(fun () -> Sqlfun_ast.Sql_pp.stmt case.Patterns.stmt)
-    (fun () -> Engine.exec_stmt t.engine case.Patterns.stmt)
+    case.Patterns.stmt
 
 let run_cases t ?budget cases =
   let limit = match budget with Some b -> b | None -> max_int in
@@ -227,6 +350,7 @@ let merge_bugs per_shard =
   (List.rev kept, List.rev demoted)
 
 let executed t = t.executed
+let cases_memoized t = t.memoized
 let passed t = t.passed
 let clean_errors t = t.clean_errors
 let false_positives t = t.false_positives

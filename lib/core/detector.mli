@@ -28,6 +28,7 @@ type t
 val create :
   ?cov:Sqlfun_coverage.Coverage.t ->
   ?telemetry:Sqlfun_telemetry.Telemetry.t ->
+  ?memo:bool ->
   Dialect.profile ->
   t
 (** Builds an armed engine for the profile (restarted after each crash).
@@ -38,7 +39,18 @@ val create :
     stream events. Each executed statement is timed as an ["execute"]
     span (the engine round-trip) plus a ["detect"] span (verdict
     bookkeeping); engine arms/restarts are ["restart-after-crash"]
-    spans; every verdict bumps the dialect x pattern x class counter. *)
+    spans; every verdict bumps the dialect x pattern x class counter.
+
+    [memo] (default [true]) enables verdict memoization: side-effect-free
+    statements ([SELECT]/[EXPLAIN]) are fingerprinted
+    ({!Sqlfun_ast.Ast_util.fingerprint}) and a re-encountered statement
+    replays its cached verdict — counters, FP signatures, bug
+    classification and verdict events bit-identical to a re-execution —
+    without the engine round-trip. Candidate hits are verified with
+    structural equality, so a fingerprint collision re-executes instead
+    of replaying the wrong entry. Cached crashes still restart the
+    engine. Cache lookups are counted on the telemetry collector
+    ({!Sqlfun_telemetry.Telemetry.memo_counts}). *)
 
 val run_sql :
   t -> ?pattern:Pattern_id.t -> ?case_number:int -> string -> verdict
@@ -58,6 +70,13 @@ val run_cases : t -> ?budget:int -> Patterns.case Seq.t -> int
     the number executed. *)
 
 val executed : t -> int
+(** Every case run, memoized replays included — budget semantics are
+    unchanged by memoization. *)
+
+val cases_memoized : t -> int
+(** How many of {!executed} replayed a cached verdict without touching
+    the engine. [0] with [memo:false]. *)
+
 val passed : t -> int
 val clean_errors : t -> int
 val false_positives : t -> int

@@ -6,20 +6,22 @@ type case = { stmt : Ast.stmt; pattern : Pattern_id.t; origin : string }
 
 (* ----- substitution plumbing ----- *)
 
-(* Replace argument [ai] of call number [ci] (pre-order) in [stmt]. *)
-let with_arg stmt ci ai make_new =
-  let calls = Ast_util.function_calls stmt in
-  match List.nth_opt calls ci with
+(* Replace argument [ai] of call [c], which is call number [ci]
+   (pre-order) in [stmt]. The call node is passed in by the position
+   enumeration — recomputing [Ast_util.function_calls] here would
+   re-traverse the statement once per (position, variant) pair, an
+   O(positions^2) hot path. [ci] still numbers the same pre-order walk
+   [positions] enumerated, keeping it in lockstep with
+   [replace_nth_call]. *)
+let with_arg stmt ci (c : Ast.call) ai make_new =
+  match List.nth_opt c.Ast.args ai with
   | None -> None
-  | Some c ->
-    (match List.nth_opt c.Ast.args ai with
+  | Some old_arg ->
+    (match make_new old_arg with
      | None -> None
-     | Some old_arg ->
-       (match make_new old_arg with
-        | None -> None
-        | Some new_arg ->
-          let args = List.mapi (fun i a -> if i = ai then new_arg else a) c.Ast.args in
-          Ast_util.replace_nth_call stmt ci (Ast.Call { c with args })))
+     | Some new_arg ->
+       let args = List.mapi (fun i a -> if i = ai then new_arg else a) c.Ast.args in
+       Ast_util.replace_nth_call stmt ci (Ast.Call { c with args }))
 
 (* All (call index, arg index, call) positions of a statement. *)
 let positions stmt =
@@ -112,30 +114,26 @@ let p1_1 () =
            Some (case Pattern_id.P1_1 "pool" (Ast.select_expr lit)))
 
 let p1_2 seeds =
-  over_positions seeds (fun ~stmt ~origin ~ci ~ai ~call:_ ->
+  over_positions seeds (fun ~stmt ~origin ~ci ~ai ~call ->
       seq_of_list (Boundary_pool.all ())
       |> Seq.filter_map (fun lit ->
-             match with_arg stmt ci ai (fun _ -> Some lit) with
+             match with_arg stmt ci call ai (fun _ -> Some lit) with
              | Some stmt' -> Some (case Pattern_id.P1_2 origin stmt')
              | None -> None))
 
-let literal_arg_variants stmt ci ai variants_of =
-  let calls = Ast_util.function_calls stmt in
-  match List.nth_opt calls ci with
+let literal_arg_variants stmt ci (c : Ast.call) ai variants_of =
+  match List.nth_opt c.Ast.args ai with
+  | Some arg ->
+    (match variants_of arg with
+     | [] -> []
+     | variants ->
+       List.filter_map
+         (fun v -> with_arg stmt ci c ai (fun _ -> Some v))
+         variants)
   | None -> []
-  | Some c ->
-    (match List.nth_opt c.Ast.args ai with
-     | Some arg ->
-       (match variants_of arg with
-        | [] -> []
-        | variants ->
-          List.filter_map
-            (fun v -> with_arg stmt ci ai (fun _ -> Some v))
-            variants)
-     | None -> [])
 
 let p1_3 seeds =
-  over_positions seeds (fun ~stmt ~origin ~ci ~ai ~call:_ ->
+  over_positions seeds (fun ~stmt ~origin ~ci ~ai ~call ->
       let variants_of = function
         | Ast.Str_lit s when s <> "" ->
           List.map (fun s' -> Ast.Str_lit s') (splice_digits s)
@@ -143,24 +141,24 @@ let p1_3 seeds =
         | Ast.Dec_lit s -> List.map (fun s' -> Ast.Dec_lit s') (splice_into_number s)
         | _ -> []
       in
-      seq_of_list (literal_arg_variants stmt ci ai variants_of)
+      seq_of_list (literal_arg_variants stmt ci call ai variants_of)
       |> Seq.map (fun stmt' -> case Pattern_id.P1_3 origin stmt'))
 
 let p1_4 seeds =
-  over_positions seeds (fun ~stmt ~origin ~ci ~ai ~call:_ ->
+  over_positions seeds (fun ~stmt ~origin ~ci ~ai ~call ->
       let variants_of = function
         | Ast.Str_lit s when s <> "" ->
           List.map (fun s' -> Ast.Str_lit s') (duplicate_chars s)
         | _ -> []
       in
-      seq_of_list (literal_arg_variants stmt ci ai variants_of)
+      seq_of_list (literal_arg_variants stmt ci call ai variants_of)
       |> Seq.map (fun stmt' -> case Pattern_id.P1_4 origin stmt'))
 
 let p2_1 seeds =
-  over_positions seeds (fun ~stmt ~origin ~ci ~ai ~call:_ ->
+  over_positions seeds (fun ~stmt ~origin ~ci ~ai ~call ->
       seq_of_list Boundary_pool.cast_targets
       |> Seq.filter_map (fun ty ->
-             match with_arg stmt ci ai (fun arg -> Some (Ast.Cast (arg, ty))) with
+             match with_arg stmt ci call ai (fun arg -> Some (Ast.Cast (arg, ty))) with
              | Some stmt' -> Some (case Pattern_id.P2_1 origin stmt')
              | None -> None))
 
@@ -179,15 +177,15 @@ let scalar_subquery_union a b =
     }
 
 let p2_2 seeds =
-  over_positions seeds (fun ~stmt ~origin ~ci ~ai ~call:_ ->
+  over_positions seeds (fun ~stmt ~origin ~ci ~ai ~call ->
       seq_of_list (Boundary_pool.union_partners ())
       |> Seq.concat_map (fun partner ->
              let both =
                [
-                 with_arg stmt ci ai (fun arg ->
+                 with_arg stmt ci call ai (fun arg ->
                      if arg = Ast.Star then None
                      else Some (scalar_subquery_union arg partner));
-                 with_arg stmt ci ai (fun arg ->
+                 with_arg stmt ci call ai (fun arg ->
                      if arg = Ast.Star then None
                      else Some (scalar_subquery_union partner arg));
                ]
@@ -258,7 +256,7 @@ let p2_3 ~registry seeds =
          end)
 
 let p3_1 seeds =
-  over_positions seeds (fun ~stmt ~origin ~ci ~ai ~call:_ ->
+  over_positions seeds (fun ~stmt ~origin ~ci ~ai ~call ->
       let variants_of = function
         | Ast.Str_lit s when s <> "" ->
           let prefixes =
@@ -281,7 +279,7 @@ let p3_1 seeds =
       in
       if not (small_stmt stmt) then Seq.empty
       else
-        seq_of_list (literal_arg_variants stmt ci ai variants_of)
+        seq_of_list (literal_arg_variants stmt ci call ai variants_of)
         |> Seq.map (fun stmt' -> case Pattern_id.P3_1 origin stmt'))
 
 (* Wrappers for P3.2: any scalar function that accepts one argument. *)
@@ -301,13 +299,13 @@ let unary_wrappers registry =
 
 let p3_2 ~registry seeds =
   let wrappers = unary_wrappers registry in
-  over_positions seeds (fun ~stmt ~origin ~ci ~ai ~call:_ ->
+  over_positions seeds (fun ~stmt ~origin ~ci ~ai ~call ->
       if not (small_stmt stmt) then Seq.empty
       else
         seq_of_list wrappers
         |> Seq.filter_map (fun wrapper ->
                match
-                 with_arg stmt ci ai (fun arg ->
+                 with_arg stmt ci call ai (fun arg ->
                      if arg = Ast.Star then None
                      else Some (Ast.call wrapper [ arg ]))
                with
@@ -327,7 +325,7 @@ let p3_3 ~registry seeds =
         |> Seq.filter_map (fun donor ->
                if donor.Ast.fname = call.Ast.fname then None
                else
-                 match with_arg stmt ci ai (fun _ -> Some (Ast.Call donor)) with
+                 match with_arg stmt ci call ai (fun _ -> Some (Ast.Call donor)) with
                  | Some stmt' -> Some (case Pattern_id.P3_3 origin stmt')
                  | None -> None))
 

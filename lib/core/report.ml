@@ -38,12 +38,19 @@ let campaign_to_markdown (r : Soft_runner.result) =
   Buffer.add_string buf
     (Printf.sprintf
        "- statements executed: %d\n\
+        - cases memoized: %d (%.1f%% of executions)\n\
         - passed / clean errors: %d / %d\n\
         - resource false positives: %d (%d unique reports)\n\
         - functions triggered: %d\n\
         - branch points covered: %d\n\
         - **bugs found: %d**\n\n"
-       r.Soft_runner.cases_executed r.Soft_runner.passed
+       r.Soft_runner.cases_executed r.Soft_runner.cases_memoized
+       (if r.Soft_runner.cases_executed = 0 then 0.
+        else
+          100.
+          *. float_of_int r.Soft_runner.cases_memoized
+          /. float_of_int r.Soft_runner.cases_executed)
+       r.Soft_runner.passed
        r.Soft_runner.clean_errors r.Soft_runner.false_positives
        r.Soft_runner.unique_false_positives r.Soft_runner.functions_triggered
        r.Soft_runner.branches_covered
@@ -165,6 +172,18 @@ let campaign_to_json (r : Soft_runner.result) =
             ("functions_triggered", Json.Int r.Soft_runner.functions_triggered);
             ("branches_covered", Json.Int r.Soft_runner.branches_covered);
           ] );
+      (* memoization is throughput metadata, like [stages]: hit counts
+         depend on shard count (each shard caches privately), so it
+         lives OUTSIDE [totals] — determinism checks diff [totals],
+         [verdicts], [bugs], [fp_signatures] and [families] across
+         jobs/shards/memo settings, and those must not see it *)
+      ( "memo",
+        (match Telemetry.memo_to_json r.Soft_runner.telemetry with
+         | Json.Obj fields ->
+           Json.Obj
+             (("cases_memoized", Json.Int r.Soft_runner.cases_memoized)
+              :: fields)
+         | other -> other) );
       ( "stages",
         Json.Arr (List.map Telemetry.stage_timing_to_json r.Soft_runner.timings)
       );

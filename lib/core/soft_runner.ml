@@ -10,6 +10,7 @@ type result = {
   seeds_collected : int;
   positions : int;
   cases_executed : int;
+  cases_memoized : int;
   passed : int;
   clean_errors : int;
   false_positives : int;
@@ -83,13 +84,14 @@ let emit_budgeted ~budget ~streams ~emit =
              !live shares)
     done
 
-let mk_result ~prof ~seeds ~tel ~cov ~cases_executed ~passed ~clean_errors
-    ~false_positives ~fp_signatures ~known_crashes ~bugs =
+let mk_result ~prof ~seeds ~tel ~cov ~cases_executed ~cases_memoized ~passed
+    ~clean_errors ~false_positives ~fp_signatures ~known_crashes ~bugs =
   {
     dialect = prof;
     seeds_collected = List.length seeds;
     positions = Patterns.count_positions seeds;
     cases_executed;
+    cases_memoized;
     passed;
     clean_errors;
     false_positives;
@@ -106,7 +108,8 @@ let mk_result ~prof ~seeds ~tel ~cov ~cases_executed ~passed ~clean_errors
 
 (* ----- the sequential path (shards = 1) ----- *)
 
-let fuzz_sequential ?budget ?cov ?telemetry ?(patterns = Pattern_id.all) prof =
+let fuzz_sequential ?budget ?cov ?telemetry ?(patterns = Pattern_id.all)
+    ?(memo = true) prof =
   let tel = match telemetry with Some t -> t | None -> Telemetry.create () in
   (* the result record is built after the campaign span closes so the
      "campaign" stage itself shows up in [timings] *)
@@ -116,7 +119,7 @@ let fuzz_sequential ?budget ?cov ?telemetry ?(patterns = Pattern_id.all) prof =
     let seeds =
       Collector.collect ~telemetry:tel ~registry ~suite:prof.Dialect.seeds ()
     in
-    let detector = Detector.create ?cov ~telemetry:tel prof in
+    let detector = Detector.create ?cov ~telemetry:tel ~memo prof in
     (* Sanity pass: the regression suite must run on the armed server too —
        the paper's tool replays the suite it scanned. *)
     Telemetry.with_span tel ~dialect:prof.Dialect.id "seed-replay" (fun () ->
@@ -135,6 +138,7 @@ let fuzz_sequential ?budget ?cov ?telemetry ?(patterns = Pattern_id.all) prof =
   mk_result ~prof ~seeds ~tel
     ~cov:(Detector.coverage detector)
     ~cases_executed:(Detector.executed detector)
+    ~cases_memoized:(Detector.cases_memoized detector)
     ~passed:(Detector.passed detector)
     ~clean_errors:(Detector.clean_errors detector)
     ~false_positives:(Detector.false_positives detector)
@@ -164,8 +168,8 @@ type shard_work =
   | Seed_stmt of Sqlfun_ast.Ast.stmt
   | Gen_case of Patterns.case
 
-let fuzz_sharded ?budget ?cov ?telemetry ?(patterns = Pattern_id.all) ~shards
-    ?jobs prof =
+let fuzz_sharded ?budget ?cov ?telemetry ?(patterns = Pattern_id.all)
+    ?(memo = true) ~shards ?jobs prof =
   let shards = Stdlib.max 1 shards in
   let jobs =
     match jobs with
@@ -195,7 +199,7 @@ let fuzz_sharded ?budget ?cov ?telemetry ?(patterns = Pattern_id.all) ~shards
         |> List.map (fun s ->
                ( s,
                  Detector.create ~cov:shard_covs.(s)
-                   ~telemetry:shard_tels.(s) prof ))
+                   ~telemetry:shard_tels.(s) ~memo prof ))
       in
       let rec drain () =
         match Chunk_queue.pop_chunk queues.(w) with
@@ -276,18 +280,20 @@ let fuzz_sharded ?budget ?cov ?telemetry ?(patterns = Pattern_id.all) ~shards
   in
   mk_result ~prof ~seeds ~tel ~cov:campaign_cov
     ~cases_executed:(sum Detector.executed)
+    ~cases_memoized:(sum Detector.cases_memoized)
     ~passed:(sum Detector.passed)
     ~clean_errors:(sum Detector.clean_errors)
     ~false_positives:(sum Detector.false_positives)
     ~fp_signatures ~known_crashes:(sum Detector.known_crashes) ~bugs
 
-let fuzz ?budget ?cov ?telemetry ?patterns ?(shards = 1) ?jobs prof =
-  if shards <= 1 then fuzz_sequential ?budget ?cov ?telemetry ?patterns prof
-  else fuzz_sharded ?budget ?cov ?telemetry ?patterns ~shards ?jobs prof
+let fuzz ?budget ?cov ?telemetry ?patterns ?memo ?(shards = 1) ?jobs prof =
+  if shards <= 1 then
+    fuzz_sequential ?budget ?cov ?telemetry ?patterns ?memo prof
+  else fuzz_sharded ?budget ?cov ?telemetry ?patterns ?memo ~shards ?jobs prof
 
-let fuzz_all ?budget ?telemetry ?(jobs = 1) ?(shards = 1) () =
+let fuzz_all ?budget ?telemetry ?memo ?(jobs = 1) ?(shards = 1) () =
   if jobs <= 1 then
-    List.map (fun prof -> fuzz ?budget ?telemetry ~shards prof) Dialect.all
+    List.map (fun prof -> fuzz ?budget ?telemetry ?memo ~shards prof) Dialect.all
   else begin
     (* each campaign records into a private collector on its own domain;
        the caller's collector receives the merged aggregates afterwards,
@@ -300,7 +306,7 @@ let fuzz_all ?budget ?telemetry ?(jobs = 1) ?(shards = 1) () =
         (Stdlib.min jobs (List.length Dialect.all))
         (fun pool ->
           Pool.run pool
-            (List.map (fun prof () -> fuzz ?budget ~shards prof) Dialect.all))
+            (List.map (fun prof () -> fuzz ?budget ?memo ~shards prof) Dialect.all))
     in
     Option.iter
       (fun tel ->

@@ -27,6 +27,11 @@ type result = {
   seeds_collected : int;
   positions : int;           (** substitution slots found by the collector *)
   cases_executed : int;
+  cases_memoized : int;
+      (** of {!cases_executed}, how many replayed a memoized verdict
+          without an engine round-trip; throughput metadata — varies
+          with shard count (each shard caches privately), unlike every
+          verdict field *)
   passed : int;
   clean_errors : int;
   false_positives : int;
@@ -58,6 +63,7 @@ val fuzz :
   ?cov:Sqlfun_coverage.Coverage.t ->
   ?telemetry:Sqlfun_telemetry.Telemetry.t ->
   ?patterns:Pattern_id.t list ->
+  ?memo:bool ->
   ?shards:int ->
   ?jobs:int ->
   Dialect.profile ->
@@ -87,6 +93,7 @@ val fuzz_sharded :
   ?cov:Sqlfun_coverage.Coverage.t ->
   ?telemetry:Sqlfun_telemetry.Telemetry.t ->
   ?patterns:Pattern_id.t list ->
+  ?memo:bool ->
   shards:int ->
   ?jobs:int ->
   Dialect.profile ->
@@ -99,6 +106,7 @@ val fuzz_sharded :
 val fuzz_all :
   ?budget:int ->
   ?telemetry:Sqlfun_telemetry.Telemetry.t ->
+  ?memo:bool ->
   ?jobs:int ->
   ?shards:int ->
   unit ->

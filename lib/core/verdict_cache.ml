@@ -1,0 +1,108 @@
+open Sqlfun_ast
+
+(* Open-addressing table keyed on the statement fingerprint. The
+   fingerprint is already a high-quality 63-bit hash, so slots are
+   probed linearly from [fp land mask] with no re-hashing, and the keys
+   live in an unboxed [int array].
+
+   Admission is two-probe: the first sighting of a fingerprint only
+   flips its slot to [Seen] — one immediate word, the statement is NOT
+   retained — and the verdict is cached on the second sighting. The
+   campaign stream is ~85% singleton statements; caching them would
+   retain hundreds of thousands of AST nodes that the major GC then
+   marks on every cycle for the rest of the campaign, which costs more
+   than the engine round-trips the cache saves (measured: always-admit
+   made exhaustive campaigns ~25% slower on the simulated engines).
+   Two-probe keeps the repeat-heavy entries — pool statements shared
+   across many seeds — at a tenth of the retention.
+
+   A [Full] slot whose statement fails the structural-equality guard is
+   a real 64-bit collision: the probe returns [collided = true] and the
+   caller re-executes, so a collision can never flip a verdict. The
+   colliding statement is simply never cached (first-wins); soundness
+   costs it one engine round-trip per sighting. *)
+
+type 'v lookup = Hit of 'v | Miss of { collided : bool; admit : bool }
+
+type 'v entry =
+  | Empty
+  | Seen  (* fingerprint sighted once; statement not retained *)
+  | Full of { stmt : Ast.stmt; v : 'v }
+
+type 'v t = {
+  mutable keys : int array;  (* valid where [entries] is not [Empty] *)
+  mutable entries : 'v entry array;
+  mutable live : int;  (* [Seen] + [Full] slots *)
+  mutable full : int;  (* [Full] slots *)
+}
+
+let initial_capacity = 1 lsl 16
+
+let create () =
+  {
+    keys = Array.make initial_capacity 0;
+    entries = Array.make initial_capacity Empty;
+    live = 0;
+    full = 0;
+  }
+
+(* the slot holding [fp], or the first empty slot of its probe chain *)
+let probe keys entries fp =
+  let mask = Array.length keys - 1 in
+  let rec go i =
+    match entries.(i) with
+    | Empty -> i
+    | Seen | Full _ ->
+      if keys.(i) = fp then i else go ((i + 1) land mask)
+  in
+  go (fp land mask)
+
+(* grow at 50% load so probe chains stay short *)
+let maybe_grow t =
+  if 2 * t.live >= Array.length t.keys then begin
+    let keys = Array.make (2 * Array.length t.keys) 0 in
+    let entries = Array.make (2 * Array.length t.entries) Empty in
+    Array.iteri
+      (fun i e ->
+        match e with
+        | Empty -> ()
+        | Seen | Full _ ->
+          let j = probe keys entries t.keys.(i) in
+          keys.(j) <- t.keys.(i);
+          entries.(j) <- e)
+      t.entries;
+    t.keys <- keys;
+    t.entries <- entries
+  end
+
+let find t ~fp stmt =
+  let fp = Int64.to_int fp in
+  let i = probe t.keys t.entries fp in
+  match t.entries.(i) with
+  | Empty ->
+    (* first sighting: remember the fingerprint, skip the statement *)
+    t.keys.(i) <- fp;
+    t.entries.(i) <- Seen;
+    t.live <- t.live + 1;
+    maybe_grow t;
+    Miss { collided = false; admit = false }
+  | Seen -> Miss { collided = false; admit = true }
+  | Full { stmt = cached; v } ->
+    if Ast_util.equal_stmt cached stmt then Hit v
+    else Miss { collided = true; admit = false }
+
+let add t ~fp stmt v =
+  let fp = Int64.to_int fp in
+  let i = probe t.keys t.entries fp in
+  (match t.entries.(i) with
+   | Empty ->
+     t.keys.(i) <- fp;
+     t.live <- t.live + 1;
+     t.full <- t.full + 1
+   | Seen -> t.full <- t.full + 1
+   | Full _ -> ());
+  t.entries.(i) <- Full { stmt; v };
+  maybe_grow t
+
+let length t = t.full
+let tracked t = t.live

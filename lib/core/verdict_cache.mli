@@ -1,0 +1,52 @@
+(** Fingerprint-keyed statement cache with a structural-equality
+    collision guard and two-probe admission.
+
+    Keys are {!Sqlfun_ast.Ast_util.fingerprint} values in an
+    open-addressing table (the fingerprint is the hash — no re-hashing,
+    unboxed [int] keys). Every candidate hit is verified with
+    {!Sqlfun_ast.Ast_util.equal_stmt} before its value is returned, so
+    a fingerprint collision can never replay the wrong entry — it
+    surfaces as a miss with [collided = true] and the caller
+    re-executes.
+
+    Admission is two-probe: {!find} on a never-seen fingerprint records
+    the sighting (one unboxed word — the statement is {e not} retained)
+    and returns [admit = false]; the second sighting returns
+    [admit = true], telling the caller to {!add} the executed verdict.
+    Most campaign statements are singletons, and retaining their ASTs
+    would cost the major GC more than the cache saves; repeat-heavy
+    statements reach [Full] and replay from the third sighting on.
+
+    The detector stores one cached verdict per admitted statement and
+    replays it on re-encounter (sound because a verdict is a pure
+    function of the statement: the session is reset before every case
+    and only side-effect-free statements are cached). *)
+
+type 'v t
+
+type 'v lookup =
+  | Hit of 'v  (** fingerprint matched and structural equality confirmed *)
+  | Miss of { collided : bool; admit : bool }
+      (** [collided]: the slot held a structurally different statement —
+          a genuine hash collision (the case re-executes). [admit]: this
+          is the fingerprint's second sighting; the caller should {!add}
+          the verdict it is about to compute. *)
+
+val create : unit -> 'v t
+
+val find : 'v t -> fp:int64 -> Sqlfun_ast.Ast.stmt -> 'v lookup
+(** [fp] must be [Ast_util.fingerprint stmt]; it is taken as an argument
+    so callers hash once per statement. Records first sightings (see
+    admission above), so [find] mutates the table. *)
+
+val add : 'v t -> fp:int64 -> Sqlfun_ast.Ast.stmt -> 'v -> unit
+(** Caches the statement's verdict. Normally called after a {!find}
+    returning [admit = true]; a direct [add] (tests, hand-fed caches)
+    fills the slot immediately, and re-adding a fingerprint replaces
+    the entry. *)
+
+val length : 'v t -> int
+(** Number of cached ([Full]) entries. *)
+
+val tracked : 'v t -> int
+(** Number of distinct fingerprints sighted (cached or not). *)

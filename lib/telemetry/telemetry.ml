@@ -271,10 +271,24 @@ type t = {
      never builds a compound key (no allocation after the first sighting) *)
   verdicts : (string, (string, verdict_row) Hashtbl.t) Hashtbl.t;
   mutable depth : int;
+  (* verdict-memoization counters: hits replay a cached verdict, misses
+     execute; collisions are fingerprint matches whose structural
+     verification failed (the guard forced a re-execution) *)
+  mutable memo_hits : int;
+  mutable memo_misses : int;
+  mutable memo_collisions : int;
 }
 
 let create ?(sink = Null) () =
-  { sink; stages = Hashtbl.create 16; verdicts = Hashtbl.create 8; depth = 0 }
+  {
+    sink;
+    stages = Hashtbl.create 16;
+    verdicts = Hashtbl.create 8;
+    depth = 0;
+    memo_hits = 0;
+    memo_misses = 0;
+    memo_collisions = 0;
+  }
 
 let enabled t = t.sink <> Null
 let emit t ev = match t.sink with Null -> () | Emit f -> f ev
@@ -373,6 +387,23 @@ let reclassify_verdict t ~dialect ~pattern ~from_ ~to_ =
   row.counts.(i) <- row.counts.(i) - 1;
   row.counts.(j) <- row.counts.(j) + 1
 
+(* ----- memoization counters ----- *)
+
+let memo_hit t = t.memo_hits <- t.memo_hits + 1
+let memo_miss t = t.memo_misses <- t.memo_misses + 1
+let memo_collision t = t.memo_collisions <- t.memo_collisions + 1
+
+type memo_counts = { hits : int; misses : int; collisions : int }
+
+let memo_counts t =
+  { hits = t.memo_hits; misses = t.memo_misses;
+    collisions = t.memo_collisions }
+
+let memo_hit_rate t =
+  let looked_up = t.memo_hits + t.memo_misses in
+  if looked_up = 0 then 0.
+  else float_of_int t.memo_hits /. float_of_int looked_up
+
 (* ----- merging (shard -> campaign aggregation) ----- *)
 
 let merge_into ~dst src =
@@ -393,7 +424,10 @@ let merge_into ~dst src =
             (fun i n -> drow.counts.(i) <- drow.counts.(i) + n)
             row.counts)
         per_dialect)
-    src.verdicts
+    src.verdicts;
+  dst.memo_hits <- dst.memo_hits + src.memo_hits;
+  dst.memo_misses <- dst.memo_misses + src.memo_misses;
+  dst.memo_collisions <- dst.memo_collisions + src.memo_collisions
 
 let merge a b =
   let t = create () in
@@ -497,5 +531,19 @@ let verdict_counts_to_json r =
 let verdicts_to_json t =
   Json.Arr (List.map verdict_counts_to_json (verdict_rows t))
 
+let memo_to_json t =
+  Json.Obj
+    [
+      ("hits", Json.Int t.memo_hits);
+      ("misses", Json.Int t.memo_misses);
+      ("collisions", Json.Int t.memo_collisions);
+      ("hit_rate", Json.Float (memo_hit_rate t));
+    ]
+
 let snapshot_json t =
-  Json.Obj [ ("stages", stages_to_json t); ("verdicts", verdicts_to_json t) ]
+  Json.Obj
+    [
+      ("stages", stages_to_json t);
+      ("verdicts", verdicts_to_json t);
+      ("memo", memo_to_json t);
+    ]

@@ -140,6 +140,29 @@ val bug_event :
 
 val fp_event : t -> dialect:string -> signature:string -> unit
 
+(** {1 Verdict-memoization counters}
+
+    The detector's statement-fingerprint cache records every lookup
+    here: a {e hit} replayed a cached verdict without touching the
+    engine, a {e miss} executed (and populated the cache), and a
+    {e collision} is a fingerprint match whose structural-equality
+    verification failed — the guard that keeps a 64-bit collision from
+    ever flipping a verdict (the case re-executes and also counts as a
+    miss). Like stage timings, these are throughput metadata: they vary
+    with shard count (each shard caches privately) while verdicts, bugs
+    and coverage do not. *)
+
+val memo_hit : t -> unit
+val memo_miss : t -> unit
+val memo_collision : t -> unit
+
+type memo_counts = { hits : int; misses : int; collisions : int }
+
+val memo_counts : t -> memo_counts
+
+val memo_hit_rate : t -> float
+(** [hits / (hits + misses)]; [0.] before any lookup. *)
+
 val reclassify_verdict :
   t ->
   dialect:string ->
@@ -165,7 +188,8 @@ val reclassify_verdict :
 
 val merge_into : dst:t -> t -> unit
 (** Adds the source's stage aggregates (calls, totals, max,
-    histogram buckets) and verdict counters into [dst]. *)
+    histogram buckets), verdict counters and memoization counters into
+    [dst]. *)
 
 val merge : t -> t -> t
 (** Fresh collector (null sink) holding the union of both inputs. *)
@@ -201,9 +225,12 @@ val stages_to_json : t -> Json.t
 val verdict_counts_to_json : verdict_counts -> Json.t
 val verdicts_to_json : t -> Json.t
 
+val memo_to_json : t -> Json.t
+(** [{"hits": ..., "misses": ..., "collisions": ..., "hit_rate": ...}]. *)
+
 val snapshot_json : t -> Json.t
-(** [{"stages": ..., "verdicts": ...}] — the generic part of a campaign
-    snapshot; callers add their own run-level fields. *)
+(** [{"stages": ..., "verdicts": ..., "memo": ...}] — the generic part
+    of a campaign snapshot; callers add their own run-level fields. *)
 
 (** {1 Histograms}
 

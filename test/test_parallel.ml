@@ -318,6 +318,24 @@ let test_more_shards_than_jobs () =
   Alcotest.(check bool) "7 shards on 2 workers matches sequential" true
     (result_key seq = result_key par)
 
+let test_memo_invariant_under_sharding () =
+  (* memoization must be invisible to every result field at any
+     jobs/shards combination — each shard caches privately, so this
+     exercises cache state that a sequential run never builds *)
+  let prof = Dialect.find_exn "duckdb" in
+  let baseline = Soft.Soft_runner.fuzz ~budget:2000 ~memo:false prof in
+  List.iter
+    (fun (shards, jobs) ->
+      let r = Soft.Soft_runner.fuzz ~budget:2000 ~memo:true ~shards ~jobs prof in
+      Alcotest.(check bool)
+        (Printf.sprintf "memo-on shards=%d jobs=%d matches memo-off" shards jobs)
+        true
+        (result_key baseline = result_key r);
+      Alcotest.(check bool) "verdict counters agree" true
+        (verdict_key baseline.Soft.Soft_runner.telemetry
+        = verdict_key r.Soft.Soft_runner.telemetry))
+    [ (1, 1); (2, 2) ]
+
 let test_fuzz_all_parallel_deterministic () =
   let seq = Soft.Soft_runner.fuzz_all ~budget:400 () in
   let par = Soft.Soft_runner.fuzz_all ~budget:400 ~jobs:4 ~shards:2 () in
@@ -356,6 +374,8 @@ let suite =
         test_sharded_campaign_deterministic;
       Alcotest.test_case "more shards than jobs" `Slow
         test_more_shards_than_jobs;
+      Alcotest.test_case "memo invariant under sharding" `Slow
+        test_memo_invariant_under_sharding;
       Alcotest.test_case "parallel fuzz_all deterministic" `Slow
         test_fuzz_all_parallel_deterministic;
     ] )

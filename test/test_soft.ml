@@ -246,6 +246,134 @@ let test_soft_beats_baselines_on_mariadb () =
   Alcotest.(check int) "SQUIRREL finds none" 0 squirrel.Sqlfun_harness.Compare.bugs;
   Alcotest.(check int) "SQLancer finds none" 0 sqlancer.Sqlfun_harness.Compare.bugs
 
+(* ----- statement fingerprinting and verdict memoization ----- *)
+
+let parse_exn sql =
+  match Sqlfun_parse.Parser.parse_stmt sql with
+  | Ok stmt -> stmt
+  | Error msg -> Alcotest.failf "unparseable %S: %s" sql msg
+
+let test_fingerprint_agrees_with_equality () =
+  (* structurally equal statements (print -> parse survivors) hash
+     equal; sampled across every pattern's output *)
+  List.iter
+    (fun pattern ->
+      List.iteri
+        (fun i (c : Soft.Patterns.case) ->
+          if i mod 97 = 0 then begin
+            let stmt = c.Soft.Patterns.stmt in
+            match Sqlfun_parse.Parser.parse_stmt (Sql_pp.stmt stmt) with
+            | Ok stmt' when Ast_util.equal_stmt stmt stmt' ->
+              Alcotest.(check int64) "equal statements hash equal"
+                (Ast_util.fingerprint stmt) (Ast_util.fingerprint stmt')
+            | Ok _ | Error _ -> ()
+          end)
+        (gen "mysql" pattern))
+    Pattern_id.all
+
+let test_fingerprint_sensitivity () =
+  (* every pair below differs in exactly one structural detail a cache
+     must not conflate: literal value, literal type, argument order,
+     arity, cast target, DISTINCT flag *)
+  let pairs =
+    [
+      ("SELECT LENGTH('a')", "SELECT LENGTH('b')");
+      ("SELECT LENGTH('1')", "SELECT LENGTH(1)");
+      ("SELECT CONCAT('a', 'b')", "SELECT CONCAT('b', 'a')");
+      ("SELECT CONCAT('a')", "SELECT CONCAT('a', 'a')");
+      ("SELECT CAST(1 AS BIGINT)", "SELECT CAST(1 AS TEXT)");
+      ("SELECT COUNT(c) FROM t", "SELECT COUNT(DISTINCT c) FROM t");
+      ("SELECT REPEAT('a', 2)", "SELECT REPEAT('a', -2)");
+    ]
+  in
+  List.iter
+    (fun (a, b) ->
+      let fa = Ast_util.fingerprint (parse_exn a) in
+      let fb = Ast_util.fingerprint (parse_exn b) in
+      if Int64.equal fa fb then
+        Alcotest.failf "distinct statements %S and %S collided" a b)
+    pairs;
+  (* and a broad sweep: distinct sampled statements rarely collide *)
+  let tbl = Hashtbl.create 512 in
+  let stmts = ref 0 in
+  List.iter
+    (fun pattern ->
+      List.iteri
+        (fun i (c : Soft.Patterns.case) ->
+          if i mod 31 = 0 then begin
+            incr stmts;
+            let fp = Ast_util.fingerprint c.Soft.Patterns.stmt in
+            match Hashtbl.find_opt tbl fp with
+            | Some prior
+              when not (Ast_util.equal_stmt prior c.Soft.Patterns.stmt) ->
+              Alcotest.failf "fingerprint collision on %S vs %S"
+                (Sql_pp.stmt prior)
+                (Sql_pp.stmt c.Soft.Patterns.stmt)
+            | Some _ -> ()
+            | None -> Hashtbl.add tbl fp c.Soft.Patterns.stmt
+          end)
+        (gen "duckdb" pattern))
+    Pattern_id.all;
+  Alcotest.(check bool) "sampled a real population" true (!stmts > 200)
+
+let test_collision_guard () =
+  (* a forced 64-bit collision must come back as a verified miss, never
+     as a hit on the other statement's verdict *)
+  let cache : string Soft.Verdict_cache.t = Soft.Verdict_cache.create () in
+  let a = parse_exn "SELECT LENGTH('a')" in
+  let b = parse_exn "SELECT UPPER('z')" in
+  let fp = 42L in
+  Soft.Verdict_cache.add cache ~fp a "verdict-of-a";
+  (match Soft.Verdict_cache.find cache ~fp b with
+   | Soft.Verdict_cache.Miss { collided = true; _ } -> ()
+   | Soft.Verdict_cache.Miss { collided = false; _ } ->
+     Alcotest.fail "collision not flagged"
+   | Soft.Verdict_cache.Hit _ ->
+     Alcotest.fail "collision replayed the wrong statement's verdict");
+  (match Soft.Verdict_cache.find cache ~fp a with
+   | Soft.Verdict_cache.Hit v -> Alcotest.(check string) "hit" "verdict-of-a" v
+   | Soft.Verdict_cache.Miss _ -> Alcotest.fail "expected a hit");
+  Soft.Verdict_cache.add cache ~fp b "verdict-of-b";
+  match Soft.Verdict_cache.find cache ~fp b with
+  | Soft.Verdict_cache.Hit v -> Alcotest.(check string) "hit b" "verdict-of-b" v
+  | Soft.Verdict_cache.Miss _ -> Alcotest.fail "expected a hit after add"
+
+let test_memo_campaign_identical () =
+  (* the acceptance bar: a memoized campaign is field-for-field
+     identical to an unmemoized one — only throughput metadata
+     (cases_memoized, timings, coverage hit counts) may differ *)
+  let prof = Dialect.find_exn "clickhouse" in
+  let on = Soft.Soft_runner.fuzz ~budget:3_000 ~memo:true prof in
+  let off = Soft.Soft_runner.fuzz ~budget:3_000 ~memo:false prof in
+  let bug_key (b : Soft.Detector.found_bug) =
+    (b.Soft.Detector.spec.Fault.site, b.Soft.Detector.found_by,
+     b.Soft.Detector.poc, b.Soft.Detector.case_number)
+  in
+  Alcotest.(check int) "cases" on.Soft.Soft_runner.cases_executed
+    off.Soft.Soft_runner.cases_executed;
+  Alcotest.(check int) "passed" on.Soft.Soft_runner.passed
+    off.Soft.Soft_runner.passed;
+  Alcotest.(check int) "clean errors" on.Soft.Soft_runner.clean_errors
+    off.Soft.Soft_runner.clean_errors;
+  Alcotest.(check int) "false positives" on.Soft.Soft_runner.false_positives
+    off.Soft.Soft_runner.false_positives;
+  Alcotest.(check (list string)) "fp signatures"
+    on.Soft.Soft_runner.fp_signatures off.Soft.Soft_runner.fp_signatures;
+  Alcotest.(check int) "known crashes" on.Soft.Soft_runner.known_crashes
+    off.Soft.Soft_runner.known_crashes;
+  Alcotest.(check bool) "same bugs" true
+    (List.map bug_key on.Soft.Soft_runner.bugs
+    = List.map bug_key off.Soft.Soft_runner.bugs);
+  Alcotest.(check int) "functions triggered"
+    on.Soft.Soft_runner.functions_triggered
+    off.Soft.Soft_runner.functions_triggered;
+  Alcotest.(check int) "branches covered" on.Soft.Soft_runner.branches_covered
+    off.Soft.Soft_runner.branches_covered;
+  Alcotest.(check bool) "memoized some cases" true
+    (on.Soft.Soft_runner.cases_memoized > 0);
+  Alcotest.(check int) "no-memo memoizes nothing" 0
+    off.Soft.Soft_runner.cases_memoized
+
 (* ----- baselines ----- *)
 
 let test_baselines_generate_valid_statements () =
@@ -311,6 +439,13 @@ let suite =
         test_detector_finds_planted_bug;
       Alcotest.test_case "detector classifies" `Quick test_detector_classifies;
       Alcotest.test_case "budgeted run" `Quick test_budgeted_run;
+      Alcotest.test_case "fingerprint agrees with equality" `Quick
+        test_fingerprint_agrees_with_equality;
+      Alcotest.test_case "fingerprint sensitivity" `Quick
+        test_fingerprint_sensitivity;
+      Alcotest.test_case "collision guard" `Quick test_collision_guard;
+      Alcotest.test_case "memoized campaign identical" `Slow
+        test_memo_campaign_identical;
       Alcotest.test_case "SOFT beats baselines (mariadb)" `Slow
         test_soft_beats_baselines_on_mariadb;
       Alcotest.test_case "baselines generate valid statements" `Quick
