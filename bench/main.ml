@@ -8,6 +8,8 @@
 open Sqlfun_dialects
 open Sqlfun_fault
 module Telemetry = Sqlfun_telemetry.Telemetry
+module Profile = Sqlfun_telemetry.Profile
+module Timeseries = Sqlfun_telemetry.Timeseries
 module Json = Sqlfun_telemetry.Json
 
 let section title =
@@ -38,28 +40,85 @@ let pattern_tables () =
 
 (* ----- Sections 7.3-7.4: the full SOFT campaign ----- *)
 
-type campaign_timing = {
-  wall_s_sequential : float;  (* memoization on: the default pipeline *)
-  wall_s_nomemo : float;      (* same sequential sweep, ~memo:false *)
+type parallel_run = {
   wall_s_parallel : float;
   parallel_jobs : int;
   parallel_deterministic : bool;
-  memo_deterministic : bool;
 }
 
-(* Three full runs of the exhaustive campaign: the sequential baseline
-   with verdict memoization on (the default pipeline; its stage timings
-   feed the trajectory artifact, as before), the same sweep with
-   [~memo:false] (every case pays the engine round-trip), and a
-   multi-domain run at jobs = 4. The memo-off and parallel runs are
-   checked field-for-field against the baseline — a speedup is only
-   worth reporting if the answers agree. On a single-core host the
-   parallel ratio hovers around 1.0; the memo ratio does not depend on
-   cores, only on how much of the case stream repeats. *)
+type campaign_timing = {
+  wall_s_sequential : float;  (* memoization on: the default pipeline *)
+  wall_s_nomemo : float;      (* same sequential sweep, ~memo:false *)
+  memo_deterministic : bool;
+  parallel : parallel_run option;
+      (* [None] when the host has one core: a jobs>1 rerun there only
+         measures domain coordination overhead, and reporting its ratio
+         as "the parallel speedup" would be misleading *)
+  cores : int;
+}
+
+(* The campaign observatory artifacts accumulated across the seven
+   sequential sweeps: the merged execute-stage attribution profile and
+   the global coverage-growth curve. *)
+type observatory = {
+  obs_profile : Profile.t;
+  obs_curve : (int * int) list;  (* (cases, branches), chronological *)
+}
+
+(* Up to three full runs of the exhaustive campaign: the sequential
+   baseline with verdict memoization on (the default pipeline; its stage
+   timings feed the trajectory artifact, as before), the same sweep with
+   [~memo:false] (every case pays the engine round-trip), and — on
+   multi-core hosts only — a multi-domain run at jobs = 4. The memo-off
+   and parallel runs are checked field-for-field against the baseline —
+   a speedup is only worth reporting if the answers agree. The memo
+   ratio does not depend on cores, only on how much of the case stream
+   repeats.
+
+   The baseline run doubles as the observatory pass: each campaign
+   carries a timeseries recorder whose periodic snapshots, offset by the
+   totals of the campaigns already finished, chain into one global
+   coverage-growth curve, and the per-campaign attribution profiles
+   merge into one cross-dialect profile. *)
 let campaign tel =
   section "SOFT campaign against the seven simulated DBMSs (Table 4)";
+  let cores = Domain.recommended_domain_count () in
+  let agg_profile = Profile.create () in
+  let curve = ref [] in
+  let base_cases = ref 0 and base_branches = ref 0 in
   let t0 = Unix.gettimeofday () in
-  let results = Soft.Soft_runner.fuzz_all ~telemetry:tel () in
+  let results =
+    List.map
+      (fun prof ->
+        let snaps = ref [] in
+        let cfg =
+          {
+            Timeseries.every_cases = 2000;
+            every_ms = 0;
+            emit = (fun s -> snaps := s :: !snaps);
+          }
+        in
+        let r = Soft.Soft_runner.fuzz ~telemetry:tel ~timeseries:cfg prof in
+        Profile.merge_into ~dst:agg_profile r.Soft.Soft_runner.profile;
+        (* the shard-series snapshots give the within-campaign growth;
+           shift them by the completed campaigns so the x axis is the
+           global case count, then close the segment at the campaign's
+           exact totals (coverage recorders are per-campaign, so global
+           branch coverage is the sum) *)
+        List.iter
+          (fun (s : Timeseries.snapshot) ->
+            if s.Timeseries.shard >= 0 && not s.Timeseries.final then
+              curve :=
+                ( !base_cases + s.Timeseries.cases,
+                  !base_branches + s.Timeseries.branches )
+                :: !curve)
+          (List.rev !snaps);
+        base_cases := !base_cases + r.Soft.Soft_runner.cases_executed;
+        base_branches := !base_branches + r.Soft.Soft_runner.branches_covered;
+        curve := (!base_cases, !base_branches) :: !curve;
+        r)
+      Dialect.all
+  in
   let seq_s = Unix.gettimeofday () -. t0 in
   Printf.printf "(exhaustive pattern enumeration, %.1f s wall clock)\n\n" seq_s;
   print_string (Sqlfun_harness.Tables.table4 results);
@@ -67,18 +126,14 @@ let campaign tel =
   print_string (Sqlfun_harness.Tables.table4_totals results);
   print_newline ();
   print_string (Sqlfun_harness.Tables.figure2 results);
+  print_newline ();
+  Printf.printf "Hottest functions (execute-stage attribution, %.1f%% of \
+                 profiled engine time):\n\n"
+    (100. *. Profile.attribution agg_profile);
+  print_string (Profile.top_markdown agg_profile);
   let t_nm = Unix.gettimeofday () in
   let nomemo_results = Soft.Soft_runner.fuzz_all ~memo:false () in
   let nomemo_s = Unix.gettimeofday () -. t_nm in
-  let jobs = 4 in
-  (* campaign-level parallelism only (shards = 1): 4 worker domains for
-     7 dialect campaigns keeps the domain count at the job count —
-     nesting shard pools inside campaign jobs would oversubscribe
-     (jobs x (shards + 1) domains) and the GC coordination cost would
-     swamp the win. Sharding is for single-campaign runs. *)
-  let t1 = Unix.gettimeofday () in
-  let par_results = Soft.Soft_runner.fuzz_all ~jobs () in
-  let par_s = Unix.gettimeofday () -. t1 in
   let same_result (a : Soft.Soft_runner.result) (b : Soft.Soft_runner.result) =
     let bug_key (x : Soft.Detector.found_bug) =
       (x.Soft.Detector.spec.Fault.site, x.Soft.Detector.case_number)
@@ -92,7 +147,6 @@ let campaign tel =
     && List.map bug_key a.Soft.Soft_runner.bugs
        = List.map bug_key b.Soft.Soft_runner.bugs
   in
-  let deterministic = List.for_all2 same_result results par_results in
   let memo_deterministic = List.for_all2 same_result results nomemo_results in
   Printf.printf
     "\nmemoization: %.1f s with, %.1f s without (%.2fx, %.1f%% hit rate, \
@@ -101,22 +155,49 @@ let campaign tel =
     (if seq_s > 0. then nomemo_s /. seq_s else 0.)
     (100. *. Telemetry.memo_hit_rate tel)
     (if memo_deterministic then "identical" else "DIVERGED");
-  Printf.printf
-    "parallel rerun: %.1f s at jobs=%d (%.2fx vs sequential, %d cores, \
-     results %s)\n"
-    par_s jobs
-    (if par_s > 0. then seq_s /. par_s else 0.)
-    (Domain.recommended_domain_count ())
-    (if deterministic then "identical" else "DIVERGED");
+  let parallel =
+    if cores <= 1 then begin
+      Printf.printf
+        "parallel rerun: skipped (1 core — a jobs>1 run here would only \
+         measure domain coordination overhead)\n";
+      None
+    end
+    else begin
+      let jobs = 4 in
+      (* campaign-level parallelism only (shards = 1): 4 worker domains
+         for 7 dialect campaigns keeps the domain count at the job
+         count — nesting shard pools inside campaign jobs would
+         oversubscribe (jobs x (shards + 1) domains) and the GC
+         coordination cost would swamp the win. Sharding is for
+         single-campaign runs. *)
+      let t1 = Unix.gettimeofday () in
+      let par_results = Soft.Soft_runner.fuzz_all ~jobs () in
+      let par_s = Unix.gettimeofday () -. t1 in
+      let deterministic = List.for_all2 same_result results par_results in
+      Printf.printf
+        "parallel rerun: %.1f s at jobs=%d (%.2fx vs sequential, %d cores, \
+         results %s)\n"
+        par_s jobs
+        (if par_s > 0. then seq_s /. par_s else 0.)
+        cores
+        (if deterministic then "identical" else "DIVERGED");
+      Some
+        {
+          wall_s_parallel = par_s;
+          parallel_jobs = jobs;
+          parallel_deterministic = deterministic;
+        }
+    end
+  in
   ( results,
     {
       wall_s_sequential = seq_s;
       wall_s_nomemo = nomemo_s;
-      wall_s_parallel = par_s;
-      parallel_jobs = jobs;
-      parallel_deterministic = deterministic;
       memo_deterministic;
-    } )
+      parallel;
+      cores;
+    },
+    { obs_profile = agg_profile; obs_curve = List.rev !curve } )
 
 (* ----- Section 7.5: tool comparison ----- *)
 
@@ -282,9 +363,10 @@ let microbenches () =
         results)
     tests
 
-(* The perf trajectory artifact: stage wall-times and verdict counters of
-   the exhaustive campaign, diffable across PRs. *)
-let write_telemetry tel results timing =
+(* The perf trajectory artifact: stage wall-times, verdict counters,
+   execute-stage attribution and the coverage-growth curve of the
+   exhaustive campaign, diffable across PRs. *)
+let write_telemetry tel results timing obs =
   let path = "BENCH_telemetry.json" in
   let campaign_json (r : Soft.Soft_runner.result) =
     Json.Obj
@@ -330,37 +412,76 @@ let write_telemetry tel results timing =
                  acc + r.Soft.Soft_runner.cases_memoized)
                0 results) );
         ("memo_deterministic", Json.Bool timing.memo_deterministic);
-        ("wall_s_parallel", Json.Float timing.wall_s_parallel);
-        ("parallel_jobs", Json.Int timing.parallel_jobs);
+        ("cores", Json.Int timing.cores);
+        ( "parallel_comparison",
+          Json.Str
+            (match timing.parallel with
+             | Some _ -> "measured"
+             | None -> "skipped_single_core") );
+        ( "wall_s_parallel",
+          match timing.parallel with
+          | Some p -> Json.Float p.wall_s_parallel
+          | None -> Json.Null );
+        ( "parallel_jobs",
+          match timing.parallel with
+          | Some p -> Json.Int p.parallel_jobs
+          | None -> Json.Null );
         ( "parallel_speedup",
-          Json.Float
-            (if timing.wall_s_parallel > 0. then
-               timing.wall_s_sequential /. timing.wall_s_parallel
-             else 0.) );
-        ("cores", Json.Int (Domain.recommended_domain_count ()));
-        ("parallel_deterministic", Json.Bool timing.parallel_deterministic);
+          match timing.parallel with
+          | Some p when p.wall_s_parallel > 0. ->
+            Json.Float (timing.wall_s_sequential /. p.wall_s_parallel)
+          | Some _ -> Json.Float 0.
+          | None -> Json.Null );
+        ( "parallel_deterministic",
+          match timing.parallel with
+          | Some p -> Json.Bool p.parallel_deterministic
+          | None -> Json.Null );
         ("stages", Telemetry.stages_to_json tel);
         ("verdicts", Telemetry.verdicts_to_json tel);
         ("memo", Telemetry.memo_to_json tel);
+        ("attribution", Profile.to_json ~top:10 obs.obs_profile);
+        ( "coverage_curve",
+          Json.Arr
+            (List.map
+               (fun (c, b) ->
+                 Json.Obj [ ("cases", Json.Int c); ("branches", Json.Int b) ])
+               obs.obs_curve) );
+        ( "coverage_curve_final_matches",
+          Json.Bool
+            (let total_cases =
+               List.fold_left
+                 (fun acc (r : Soft.Soft_runner.result) ->
+                   acc + r.Soft.Soft_runner.cases_executed)
+                 0 results
+             and total_branches =
+               List.fold_left
+                 (fun acc (r : Soft.Soft_runner.result) ->
+                   acc + r.Soft.Soft_runner.branches_covered)
+                 0 results
+             in
+             match List.rev obs.obs_curve with
+             | (c, b) :: _ -> c = total_cases && b = total_branches
+             | [] -> false) );
       ]
   in
   let oc = open_out path in
   output_string oc (Json.to_string snapshot);
   output_char oc '\n';
   close_out oc;
-  Printf.printf "\nstage timings and verdict counters written to %s\n" path
+  Printf.printf
+    "\nstage timings, attribution and coverage curve written to %s\n" path
 
 let () =
   study_tables ();
   pattern_tables ();
   let tel = Telemetry.create () in
-  let results, timing = campaign tel in
+  let results, timing, obs = campaign tel in
   comparison ();
   ablations ();
   nesting_ablation ();
   logic_oracles ();
   (try microbenches ()
    with e -> Printf.printf "(micro-benchmarks skipped: %s)\n" (Printexc.to_string e));
-  write_telemetry tel results timing;
+  write_telemetry tel results timing obs;
   print_newline ();
   print_endline "bench: all tables and figures regenerated."

@@ -9,6 +9,8 @@
 open Cmdliner
 open Sqlfun_dialects
 module Telemetry = Sqlfun_telemetry.Telemetry
+module Profile = Sqlfun_telemetry.Profile
+module Timeseries = Sqlfun_telemetry.Timeseries
 module Json = Sqlfun_telemetry.Json
 
 let dialect_arg =
@@ -68,6 +70,29 @@ let json_arg =
            ~doc:"Write a machine-readable campaign metrics snapshot to \
                  $(docv).")
 
+let profile_arg =
+  Arg.(value & opt (some string) None
+       & info [ "profile" ] ~docv:"FILE"
+           ~doc:"Write the execute-stage attribution profile to $(docv) \
+                 in folded-stack format \
+                 ($(b,soft;dialect;function;phase self_ns) per line) — \
+                 feed directly to flamegraph.pl.")
+
+let timeseries_arg =
+  Arg.(value & opt (some string) None
+       & info [ "timeseries" ] ~docv:"FILE"
+           ~doc:"Stream periodic campaign snapshots (cases/s, coverage, \
+                 bug counts, memo hit rate, per-shard progress) to \
+                 $(docv) as JSON lines. The final $(b,shard=-1) \
+                 snapshot is computed from merged totals and is \
+                 identical at any shard/job count.")
+
+let progress_arg =
+  Arg.(value & flag
+       & info [ "progress" ]
+           ~doc:"Render a single-line live progress status on stderr \
+                 from the campaign snapshots.")
+
 (* exact id first, then a unique prefix ("postgres" -> postgresql) *)
 let resolve_dialect id =
   match Dialect.find id with
@@ -101,6 +126,12 @@ let with_telemetry ~trace ~json f =
     | None -> Telemetry.null_sink
   in
   let tel = Telemetry.create ~sink () in
+  (* the runner flushes registered sinks at campaign end and on the
+     crash/restart path, so an abnormal termination can't truncate the
+     trace mid-event *)
+  Option.iter
+    (fun oc -> Telemetry.add_flusher tel (fun () -> Stdlib.flush oc))
+    trace_oc;
   let finish () = Option.iter close_out trace_oc in
   match f tel with
   | make_snapshot ->
@@ -120,8 +151,27 @@ let with_telemetry ~trace ~json f =
     finish ();
     raise exn
 
+(* One status line, redrawn in place on stderr. Snapshots may arrive
+   from worker domains; the mutex keeps redraws whole. *)
+let progress_renderer dialect_id =
+  let m = Mutex.create () in
+  fun (s : Timeseries.snapshot) ->
+    Mutex.lock m;
+    let shard_view =
+      match Array.length s.Timeseries.shard_cases with
+      | 0 | 1 -> ""
+      | n -> Printf.sprintf " | %d shards" n
+    in
+    Printf.eprintf "\r[%s] %d cases | %.0f c/s | %d branches | %d bugs%s  %!"
+      dialect_id
+      (Array.fold_left ( + ) 0 s.Timeseries.shard_cases)
+      s.Timeseries.cases_per_s s.Timeseries.branches s.Timeseries.new_bugs
+      shard_view;
+    Mutex.unlock m
+
 let fuzz_cmd =
-  let run dialect budget jobs shards no_memo verbose report trace json =
+  let run dialect budget jobs shards no_memo verbose report trace json
+      profile_out timeseries_out progress =
     match resolve_dialect dialect with
     | Error msg ->
       prerr_endline msg;
@@ -130,10 +180,43 @@ let fuzz_cmd =
       let budget = if budget = 0 then None else Some budget in
       let jobs, shards = resolve_parallelism ~jobs ~shards in
       with_telemetry ~trace ~json (fun tel ->
-          let r =
-            Soft.Soft_runner.fuzz ?budget ~telemetry:tel ~memo:(not no_memo)
-              ~shards ~jobs prof
+          let ts_oc = Option.map open_out timeseries_out in
+          Option.iter
+            (fun oc -> Telemetry.add_flusher tel (fun () -> Stdlib.flush oc))
+            ts_oc;
+          let render =
+            if progress then Some (progress_renderer prof.Dialect.id)
+            else None
           in
+          let timeseries =
+            if ts_oc = None && render = None then None
+            else
+              Some
+                {
+                  Timeseries.every_cases = 1000;
+                  every_ms = 500;
+                  emit =
+                    (fun s ->
+                      Option.iter (fun oc -> Timeseries.jsonl_emit oc s) ts_oc;
+                      Option.iter (fun r -> r s) render);
+                }
+          in
+          let r =
+            Soft.Soft_runner.fuzz ?budget ~telemetry:tel ?timeseries
+              ~memo:(not no_memo) ~shards ~jobs prof
+          in
+          if progress then prerr_newline ();
+          Option.iter close_out ts_oc;
+          Option.iter
+            (Printf.printf "timeseries written to %s\n")
+            timeseries_out;
+          (match profile_out with
+           | Some path ->
+             let oc = open_out path in
+             Profile.write_folded oc r.Soft.Soft_runner.profile;
+             close_out oc;
+             Printf.printf "folded attribution profile written to %s\n" path
+           | None -> ());
           (match report with
            | Some path ->
              let oc = open_out path in
@@ -179,7 +262,8 @@ let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Run a SOFT campaign against a simulated dialect")
     Term.(const run $ dialect_arg $ budget_arg 0 $ jobs_arg $ shards_arg
-          $ no_memo_arg $ verbose $ report $ trace_arg $ json_arg)
+          $ no_memo_arg $ verbose $ report $ trace_arg $ json_arg
+          $ profile_arg $ timeseries_arg $ progress_arg)
 
 let study_cmd =
   let run () =

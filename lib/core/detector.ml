@@ -3,6 +3,7 @@ open Sqlfun_engine
 open Sqlfun_dialects
 module Coverage = Sqlfun_coverage.Coverage
 module Telemetry = Sqlfun_telemetry.Telemetry
+module Profile = Sqlfun_telemetry.Profile
 
 type verdict =
   | Passed
@@ -36,6 +37,7 @@ type t = {
   prof : Dialect.profile;
   cov : Coverage.t;
   tel : Telemetry.t;
+  xprof : Profile.t;  (* execute-stage attribution profiler *)
   mutable engine : Engine.t;
   mutable executed : int;
   mutable memoized : int;  (* how many of [executed] skipped the engine *)
@@ -43,6 +45,7 @@ type t = {
   mutable clean_errors : int;
   mutable false_positives : int;
   mutable known_crashes : int;
+  mutable dup_crashes : int;  (* Dup_bug verdicts, classified + replayed *)
   sites : (string, unit) Hashtbl.t;
   fp_signatures : (string, unit) Hashtbl.t;
   fp_buf : Buffer.t;  (* reused across FP-signature normalizations *)
@@ -53,24 +56,28 @@ type t = {
 (* Arming a fresh engine is the same work whether it is the initial start
    or a post-crash restart, so both are timed under the
    "restart-after-crash" stage. *)
-let fresh_engine tel cov prof =
+let fresh_engine tel cov xprof prof =
   Telemetry.with_span tel ~dialect:prof.Dialect.id "restart-after-crash"
-    (fun () -> Dialect.make_engine ~cov ~armed:true prof)
+    (fun () -> Dialect.make_engine ~cov ~armed:true ~profile:xprof prof)
 
-let create ?cov ?telemetry ?(memo = true) prof =
+let create ?cov ?telemetry ?profile ?(memo = true) prof =
   let cov = match cov with Some c -> c | None -> Coverage.create () in
   let tel = match telemetry with Some t -> t | None -> Telemetry.create () in
+  let xprof = match profile with Some p -> p | None -> Profile.create () in
+  Profile.set_dialect xprof prof.Dialect.id;
   {
     prof;
     cov;
     tel;
-    engine = fresh_engine tel cov prof;
+    xprof;
+    engine = fresh_engine tel cov xprof prof;
     executed = 0;
     memoized = 0;
     passed = 0;
     clean_errors = 0;
     false_positives = 0;
     known_crashes = 0;
+    dup_crashes = 0;
     sites = Hashtbl.create 64;
     fp_signatures = Hashtbl.create 16;
     fp_buf = Buffer.create 128;
@@ -78,7 +85,12 @@ let create ?cov ?telemetry ?(memo = true) prof =
     memo = (if memo then Some (Verdict_cache.create ()) else None);
   }
 
-let restart t = t.engine <- fresh_engine t.tel t.cov t.prof
+(* A restart is the crash path: flush any streaming sinks first, so a
+   campaign killed mid-restart cannot have silently swallowed the events
+   leading up to the crash. *)
+let restart t =
+  Telemetry.flush t.tel;
+  t.engine <- fresh_engine t.tel t.cov t.xprof t.prof
 
 let verdict_class = function
   | Passed -> Telemetry.Passed
@@ -116,13 +128,24 @@ let classify t ?pattern ?case_number ~poc run =
      data so the span closes with the statement's true wall time. *)
   let outcome =
     Telemetry.with_span t.tel ~dialect ~pattern:pat "execute" (fun () ->
+        (* root attribution frame: whatever the engine's named scopes
+           (parse/plan/eval/storage) don't claim of this round-trip is
+           charged to the [other] bucket as this frame's self-time *)
+        Profile.enter t.xprof Profile.Other;
         match run () with
-        | r -> `Res r
-        | exception Fault.Crash spec -> `Crashed spec
-        | exception Stack_overflow -> `Blown)
+        | r ->
+          Profile.exit t.xprof;
+          `Res r
+        | exception Fault.Crash spec ->
+          Profile.exit t.xprof;
+          `Crashed spec
+        | exception Stack_overflow ->
+          Profile.exit t.xprof;
+          `Blown)
   in
   let verdict =
     Telemetry.with_span t.tel ~dialect ~pattern:pat "detect" @@ fun () ->
+    Profile.with_phase t.xprof Profile.Classify @@ fun () ->
     match outcome with
     | `Res (Ok _) ->
       t.passed <- t.passed + 1;
@@ -164,7 +187,10 @@ let classify t ?pattern ?case_number ~poc run =
       end
     | `Crashed spec ->
       restart t;
-      if Hashtbl.mem t.sites spec.Fault.site then Dup_bug spec
+      if Hashtbl.mem t.sites spec.Fault.site then begin
+        t.dup_crashes <- t.dup_crashes + 1;
+        Dup_bug spec
+      end
       else begin
         Hashtbl.add t.sites spec.Fault.site ();
         t.found <-
@@ -252,7 +278,10 @@ let replay t ?pattern ?case_number ~poc cached =
       (* a re-execution would have crashed and restarted — keep the
          engine lifecycle identical *)
       restart t;
-      if Hashtbl.mem t.sites spec.Fault.site then Dup_bug spec
+      if Hashtbl.mem t.sites spec.Fault.site then begin
+        t.dup_crashes <- t.dup_crashes + 1;
+        Dup_bug spec
+      end
       else begin
         (* unreachable through the detector (the populating miss
            registered the site), kept so a hand-fed cache still
@@ -360,7 +389,9 @@ let fp_signatures t =
   Hashtbl.fold (fun k () acc -> k :: acc) t.fp_signatures []
   |> List.sort String.compare
 let known_crashes t = t.known_crashes
+let dup_crashes t = t.dup_crashes
 let bugs t = List.rev t.found
 let coverage t = t.cov
 let profile t = t.prof
 let telemetry t = t.tel
+let exec_profile t = t.xprof

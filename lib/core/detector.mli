@@ -28,10 +28,20 @@ type t
 val create :
   ?cov:Sqlfun_coverage.Coverage.t ->
   ?telemetry:Sqlfun_telemetry.Telemetry.t ->
+  ?profile:Sqlfun_telemetry.Profile.t ->
   ?memo:bool ->
   Dialect.profile ->
   t
 (** Builds an armed engine for the profile (restarted after each crash).
+
+    [profile] is the execute-stage attribution profiler (see
+    {!Sqlfun_telemetry.Profile}): a root scope around every engine
+    round-trip catches unclaimed time as [other], the engine's own
+    scopes charge parse/plan/eval/storage, and verdict bookkeeping runs
+    under [detector-classify]. A private profiler is created when
+    omitted; its dialect context is set to this profile's id either
+    way. Memoized replays never touch the engine and are deliberately
+    not profiled — attribution measures engine work, not cache hits.
 
     Without [telemetry] a private null-sink collector is created, so
     stage timings and verdict counters always accumulate; pass a
@@ -89,6 +99,11 @@ val fp_signatures : t -> string list
 (** The signatures themselves (sorted), for cross-dialect deduplication. *)
 
 val known_crashes : t -> int
+
+val dup_crashes : t -> int
+(** [Dup_bug] verdicts recorded by this detector (classified and
+    memo-replayed alike) — the campaign timeseries' dup-bug count. *)
+
 val bugs : t -> found_bug list
 (** In discovery order. *)
 
@@ -108,3 +123,7 @@ val profile : t -> Dialect.profile
 val telemetry : t -> Sqlfun_telemetry.Telemetry.t
 (** The collector the detector records into (the one passed to
     {!create}, or its private one). *)
+
+val exec_profile : t -> Sqlfun_telemetry.Profile.t
+(** The attribution profiler the detector's engine charges (the one
+    passed to {!create}, or its private one). *)

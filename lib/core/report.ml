@@ -1,6 +1,7 @@
 open Sqlfun_fault
 open Sqlfun_dialects
 module Telemetry = Sqlfun_telemetry.Telemetry
+module Profile = Sqlfun_telemetry.Profile
 module Json = Sqlfun_telemetry.Json
 module Coverage = Sqlfun_coverage.Coverage
 
@@ -72,6 +73,15 @@ let campaign_to_markdown (r : Soft_runner.result) =
               (float_of_int s.Telemetry.p99_ns /. 1e3)
               (float_of_int s.Telemetry.max_ns /. 1e3)))
        timings;
+     Buffer.add_char buf '\n');
+  (match Profile.hottest r.Soft_runner.profile with
+   | [] -> ()
+   | _ ->
+     Buffer.add_string buf "## Hottest functions\n\n";
+     Buffer.add_string buf
+       (Printf.sprintf "Attribution: %.1f%% of profiled engine time.\n\n"
+          (100. *. Profile.attribution r.Soft_runner.profile));
+     Buffer.add_string buf (Profile.top_markdown r.Soft_runner.profile);
      Buffer.add_char buf '\n');
   List.iter
     (fun b ->
@@ -187,6 +197,9 @@ let campaign_to_json (r : Soft_runner.result) =
       ( "stages",
         Json.Arr (List.map Telemetry.stage_timing_to_json r.Soft_runner.timings)
       );
+      (* execute-stage attribution is wall-time bookkeeping, so it also
+         lives outside [totals] for the same reason as [stages]/[memo] *)
+      ("profile", Profile.to_json r.Soft_runner.profile);
       ("families", family_rollup_json r.Soft_runner.telemetry);
       ("verdicts", Telemetry.verdicts_to_json r.Soft_runner.telemetry);
       ("bugs", Json.Arr (List.map bug_to_json r.Soft_runner.bugs));

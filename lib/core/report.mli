@@ -7,12 +7,15 @@ val bug_to_markdown : Detector.found_bug -> string
 
 val campaign_to_markdown : Soft_runner.result -> string
 (** Full campaign report: header with the run statistics, a "Stage
-    timing" table (per-stage calls, total ms, p50/p99/max), then one
-    section per bug in discovery order. *)
+    timing" table (per-stage calls, total ms, p50/p99/max), a "Hottest
+    functions" attribution table (dialect x function self-times from
+    the execute-stage profiler), then one section per bug in discovery
+    order. *)
 
 val campaign_to_json : Soft_runner.result -> Sqlfun_telemetry.Json.t
 (** The machine-readable campaign snapshot written by [--json FILE]:
-    run totals, per-stage wall-time, per-pattern-family and
-    per-pattern verdict counters, the bug list with PoCs, FP
-    signatures, and the coverage slice. Schema tag:
+    run totals, per-stage wall-time, execute-stage attribution
+    ([profile], outside [totals] like all wall-time bookkeeping),
+    per-pattern-family and per-pattern verdict counters, the bug list
+    with PoCs, FP signatures, and the coverage slice. Schema tag:
     ["soft-telemetry/1"]. *)

@@ -2,8 +2,11 @@ open Sqlfun_fault
 open Sqlfun_dialects
 module Coverage = Sqlfun_coverage.Coverage
 module Telemetry = Sqlfun_telemetry.Telemetry
+module Profile = Sqlfun_telemetry.Profile
+module Timeseries = Sqlfun_telemetry.Timeseries
 module Pool = Sqlfun_parallel.Pool
 module Chunk_queue = Sqlfun_parallel.Chunk_queue
+module Progress = Sqlfun_parallel.Progress
 
 type result = {
   dialect : Dialect.profile;
@@ -23,6 +26,7 @@ type result = {
   timings : Telemetry.stage_timing list;
   coverage : Coverage.t;
   telemetry : Telemetry.t;
+  profile : Profile.t;
 }
 
 (* An explicit budget is split across the requested patterns so a
@@ -84,8 +88,27 @@ let emit_budgeted ~budget ~streams ~emit =
              !live shares)
     done
 
-let mk_result ~prof ~seeds ~tel ~cov ~cases_executed ~cases_memoized ~passed
-    ~clean_errors ~false_positives ~fp_signatures ~known_crashes ~bugs =
+(* One snapshot probe per campaign side (a shard, or the sequential
+   whole): branch/function counts from the coverage recorder, bug counts
+   from the detector, memo counters from the telemetry collector, and
+   the campaign-wide per-shard progress view. Probes run at snapshot
+   cadence only, so the O(bugs) length walk is fine. *)
+let probe_of det tel progress =
+  {
+    Timeseries.p_branches =
+      (fun () -> Coverage.count (Detector.coverage det));
+    p_functions =
+      (fun () -> Coverage.prefixed_count (Detector.coverage det) "fn/");
+    p_new_bugs = (fun () -> List.length (Detector.bugs det));
+    p_dup_bugs = (fun () -> Detector.dup_crashes det);
+    p_memo_hits = (fun () -> (Telemetry.memo_counts tel).Telemetry.hits);
+    p_memo_misses = (fun () -> (Telemetry.memo_counts tel).Telemetry.misses);
+    p_shard_cases = (fun () -> Progress.read progress);
+  }
+
+let mk_result ~prof ~seeds ~tel ~cov ~profile ~cases_executed ~cases_memoized
+    ~passed ~clean_errors ~false_positives ~fp_signatures ~known_crashes ~bugs
+    =
   {
     dialect = prof;
     seeds_collected = List.length seeds;
@@ -104,39 +127,75 @@ let mk_result ~prof ~seeds ~tel ~cov ~cases_executed ~cases_memoized ~passed
     timings = Telemetry.stage_timings tel;
     coverage = cov;
     telemetry = tel;
+    profile;
   }
 
 (* ----- the sequential path (shards = 1) ----- *)
 
-let fuzz_sequential ?budget ?cov ?telemetry ?(patterns = Pattern_id.all)
-    ?(memo = true) prof =
+let fuzz_sequential ?budget ?cov ?telemetry ?timeseries
+    ?(patterns = Pattern_id.all) ?(memo = true) prof =
   let tel = match telemetry with Some t -> t | None -> Telemetry.create () in
+  let t0 = Telemetry.now_ns () in
   (* the result record is built after the campaign span closes so the
-     "campaign" stage itself shows up in [timings] *)
+     "campaign" stage itself shows up in [timings]; the flush guard runs
+     even when a case raises, so streaming sinks survive an abnormal
+     termination with the campaign's tail intact *)
   let seeds, detector =
+    Fun.protect ~finally:(fun () -> Telemetry.flush tel) @@ fun () ->
     Telemetry.with_span tel ~dialect:prof.Dialect.id "campaign" @@ fun () ->
     let registry = Dialect.registry prof in
     let seeds =
       Collector.collect ~telemetry:tel ~registry ~suite:prof.Dialect.seeds ()
     in
     let detector = Detector.create ?cov ~telemetry:tel ~memo prof in
+    let progress = Progress.create 1 in
+    let recorder =
+      Option.map
+        (fun cfg -> Timeseries.recorder cfg ~shard:0 (probe_of detector tel progress))
+        timeseries
+    in
+    let tick () =
+      Progress.tick progress 0;
+      Option.iter Timeseries.tick recorder
+    in
     (* Sanity pass: the regression suite must run on the armed server too —
        the paper's tool replays the suite it scanned. *)
     Telemetry.with_span tel ~dialect:prof.Dialect.id "seed-replay" (fun () ->
         List.iter
           (fun (seed : Collector.seed) ->
-            ignore (Detector.run_stmt detector seed.Collector.stmt))
+            ignore (Detector.run_stmt detector seed.Collector.stmt);
+            tick ())
           seeds);
     emit_budgeted ~budget
       ~streams:
         (List.map
            (fun p -> Patterns.generate ~telemetry:tel ~registry ~seeds p)
            patterns)
-      ~emit:(fun case -> ignore (Detector.run_case detector case));
+      ~emit:(fun case ->
+        ignore (Detector.run_case detector case);
+        tick ());
+    Option.iter Timeseries.finalize recorder;
     (seeds, detector)
   in
+  Option.iter
+    (fun cfg ->
+      let memo_c = Telemetry.memo_counts tel in
+      ignore
+        (Timeseries.campaign_final cfg
+           ~elapsed_ns:(Telemetry.now_ns () - t0)
+           ~cases:(Detector.executed detector)
+           ~branches:(Coverage.count (Detector.coverage detector))
+           ~functions:
+             (Coverage.prefixed_count (Detector.coverage detector) "fn/")
+           ~new_bugs:(List.length (Detector.bugs detector))
+           ~dup_bugs:(Detector.dup_crashes detector)
+           ~memo_hits:memo_c.Telemetry.hits
+           ~memo_misses:memo_c.Telemetry.misses
+           ~shard_cases:[| Detector.executed detector |]))
+    timeseries;
   mk_result ~prof ~seeds ~tel
     ~cov:(Detector.coverage detector)
+    ~profile:(Detector.exec_profile detector)
     ~cases_executed:(Detector.executed detector)
     ~cases_memoized:(Detector.cases_memoized detector)
     ~passed:(Detector.passed detector)
@@ -168,8 +227,8 @@ type shard_work =
   | Seed_stmt of Sqlfun_ast.Ast.stmt
   | Gen_case of Patterns.case
 
-let fuzz_sharded ?budget ?cov ?telemetry ?(patterns = Pattern_id.all)
-    ?(memo = true) ~shards ?jobs prof =
+let fuzz_sharded ?budget ?cov ?telemetry ?timeseries
+    ?(patterns = Pattern_id.all) ?(memo = true) ~shards ?jobs prof =
   let shards = Stdlib.max 1 shards in
   let jobs =
     match jobs with
@@ -179,7 +238,14 @@ let fuzz_sharded ?budget ?cov ?telemetry ?(patterns = Pattern_id.all)
   let tel = match telemetry with Some t -> t | None -> Telemetry.create () in
   let campaign_cov = match cov with Some c -> c | None -> Coverage.create () in
   let dialect = prof.Dialect.id in
+  let t0 = Telemetry.now_ns () in
+  (* per-shard attribution profilers, allocated on the main domain but
+     only ever charged by the shard's owning worker; merged (in shard
+     order) into the campaign profile afterwards *)
+  let shard_profiles = Array.init shards (fun _ -> Profile.create ()) in
+  let progress = Progress.create shards in
   let seeds, shard_covs, shard_tels, detectors =
+    Fun.protect ~finally:(fun () -> Telemetry.flush tel) @@ fun () ->
     Telemetry.with_span tel ~dialect "campaign" @@ fun () ->
     let registry = Dialect.registry prof in
     let seeds =
@@ -197,21 +263,39 @@ let fuzz_sharded ?budget ?cov ?telemetry ?(patterns = Pattern_id.all)
       let dets =
         List.filter (fun s -> s mod jobs = w) (List.init shards Fun.id)
         |> List.map (fun s ->
-               ( s,
+               let det =
                  Detector.create ~cov:shard_covs.(s)
-                   ~telemetry:shard_tels.(s) ~memo prof ))
+                   ~telemetry:shard_tels.(s) ~profile:shard_profiles.(s)
+                   ~memo prof
+               in
+               let recorder =
+                 Option.map
+                   (fun cfg ->
+                     Timeseries.recorder cfg ~shard:s
+                       (probe_of det shard_tels.(s) progress))
+                   timeseries
+               in
+               (s, det, recorder))
       in
       let rec drain () =
         match Chunk_queue.pop_chunk queues.(w) with
-        | None -> dets
+        | None ->
+          List.iter
+            (fun (_, _, recorder) -> Option.iter Timeseries.finalize recorder)
+            dets;
+          List.map (fun (s, det, _) -> (s, det)) dets
         | Some chunk ->
           Array.iter
             (fun (case_number, s, work) ->
-              let det = List.assoc s dets in
+              let _, det, recorder =
+                List.find (fun (s', _, _) -> s' = s) dets
+              in
               ignore
                 (match work with
                  | Seed_stmt stmt -> Detector.run_stmt det ~case_number stmt
-                 | Gen_case case -> Detector.run_case det ~case_number case))
+                 | Gen_case case -> Detector.run_case det ~case_number case);
+              Progress.tick progress s;
+              Option.iter Timeseries.tick recorder)
             chunk;
           drain ()
       in
@@ -273,12 +357,40 @@ let fuzz_sharded ?budget ?cov ?telemetry ?(patterns = Pattern_id.all)
       Telemetry.reclassify_verdict tel ~dialect ~pattern
         ~from_:Telemetry.New_bug ~to_:Telemetry.Dup_bug)
     demoted;
+  let campaign_profile = Profile.create () in
+  Array.iter
+    (fun p -> Profile.merge_into ~dst:campaign_profile p)
+    shard_profiles;
   let sum f = Array.fold_left (fun acc d -> acc + f d) 0 detectors in
   let fp_signatures =
     List.sort_uniq String.compare
       (List.concat_map Detector.fp_signatures (Array.to_list detectors))
   in
-  mk_result ~prof ~seeds ~tel ~cov:campaign_cov
+  (* the campaign-final snapshot is computed from the deterministically
+     merged totals, never from racing shard streams: its
+     cases/branches/functions/new_bugs/dup_bugs match a sequential run
+     of the same campaign bit-for-bit (memo counters and rates are
+     throughput metadata and do not) *)
+  Option.iter
+    (fun cfg ->
+      let sum_tel f =
+        Array.fold_left
+          (fun acc st -> acc + f (Telemetry.memo_counts st))
+          0 shard_tels
+      in
+      ignore
+        (Timeseries.campaign_final cfg
+           ~elapsed_ns:(Telemetry.now_ns () - t0)
+           ~cases:(sum Detector.executed)
+           ~branches:(Coverage.count campaign_cov)
+           ~functions:(Coverage.prefixed_count campaign_cov "fn/")
+           ~new_bugs:(List.length bugs)
+           ~dup_bugs:(sum Detector.dup_crashes + List.length demoted)
+           ~memo_hits:(sum_tel (fun c -> c.Telemetry.hits))
+           ~memo_misses:(sum_tel (fun c -> c.Telemetry.misses))
+           ~shard_cases:(Progress.read progress)))
+    timeseries;
+  mk_result ~prof ~seeds ~tel ~cov:campaign_cov ~profile:campaign_profile
     ~cases_executed:(sum Detector.executed)
     ~cases_memoized:(sum Detector.cases_memoized)
     ~passed:(sum Detector.passed)
@@ -286,14 +398,20 @@ let fuzz_sharded ?budget ?cov ?telemetry ?(patterns = Pattern_id.all)
     ~false_positives:(sum Detector.false_positives)
     ~fp_signatures ~known_crashes:(sum Detector.known_crashes) ~bugs
 
-let fuzz ?budget ?cov ?telemetry ?patterns ?memo ?(shards = 1) ?jobs prof =
+let fuzz ?budget ?cov ?telemetry ?timeseries ?patterns ?memo ?(shards = 1)
+    ?jobs prof =
   if shards <= 1 then
-    fuzz_sequential ?budget ?cov ?telemetry ?patterns ?memo prof
-  else fuzz_sharded ?budget ?cov ?telemetry ?patterns ?memo ~shards ?jobs prof
+    fuzz_sequential ?budget ?cov ?telemetry ?timeseries ?patterns ?memo prof
+  else
+    fuzz_sharded ?budget ?cov ?telemetry ?timeseries ?patterns ?memo ~shards
+      ?jobs prof
 
-let fuzz_all ?budget ?telemetry ?memo ?(jobs = 1) ?(shards = 1) () =
+let fuzz_all ?budget ?telemetry ?timeseries ?memo ?(jobs = 1) ?(shards = 1) ()
+    =
   if jobs <= 1 then
-    List.map (fun prof -> fuzz ?budget ?telemetry ?memo ~shards prof) Dialect.all
+    List.map
+      (fun prof -> fuzz ?budget ?telemetry ?timeseries ?memo ~shards prof)
+      Dialect.all
   else begin
     (* each campaign records into a private collector on its own domain;
        the caller's collector receives the merged aggregates afterwards,
@@ -306,7 +424,9 @@ let fuzz_all ?budget ?telemetry ?memo ?(jobs = 1) ?(shards = 1) () =
         (Stdlib.min jobs (List.length Dialect.all))
         (fun pool ->
           Pool.run pool
-            (List.map (fun prof () -> fuzz ?budget ?memo ~shards prof) Dialect.all))
+            (List.map
+               (fun prof () -> fuzz ?budget ?timeseries ?memo ~shards prof)
+               Dialect.all))
     in
     Option.iter
       (fun tel ->

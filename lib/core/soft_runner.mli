@@ -50,6 +50,10 @@ type result = {
   telemetry : Sqlfun_telemetry.Telemetry.t;
       (** the collector the campaign recorded into — holds the
           dialect x pattern x verdict counters behind {!timings} *)
+  profile : Sqlfun_telemetry.Profile.t;
+      (** execute-stage attribution (dialect x function x phase
+          self-times); under sharding, the deterministic merge of the
+          per-shard profilers *)
 }
 
 val split_budget : int -> int -> int list
@@ -62,6 +66,7 @@ val fuzz :
   ?budget:int ->
   ?cov:Sqlfun_coverage.Coverage.t ->
   ?telemetry:Sqlfun_telemetry.Telemetry.t ->
+  ?timeseries:Sqlfun_telemetry.Timeseries.cfg ->
   ?patterns:Pattern_id.t list ->
   ?memo:bool ->
   ?shards:int ->
@@ -86,12 +91,26 @@ val fuzz :
     [shards] and [on jobs]: only timings change. With [shards > 1] a
     [--trace]-style event sink on [telemetry] sees campaign-level
     spans but not per-case events (shard collectors are merged as
-    aggregates). *)
+    aggregates).
+
+    [timeseries] enables periodic campaign snapshots
+    ({!Sqlfun_telemetry.Timeseries}): every executed case ticks a
+    recorder (one per shard), and the campaign closes with a
+    campaign-final snapshot ([shard = -1]) computed from the merged
+    totals — its cases/branches/functions/new_bugs/dup_bugs fields are
+    identical at any shard/job count. Under sharding the [cfg.emit]
+    callback runs on worker domains and must be thread-safe.
+
+    Registered telemetry flushers ({!Sqlfun_telemetry.Telemetry.flush})
+    run when the campaign ends {e and} when it unwinds on an exception,
+    and on every engine crash-restart, so streaming sinks are never
+    left with a silently truncated tail. *)
 
 val fuzz_sharded :
   ?budget:int ->
   ?cov:Sqlfun_coverage.Coverage.t ->
   ?telemetry:Sqlfun_telemetry.Telemetry.t ->
+  ?timeseries:Sqlfun_telemetry.Timeseries.cfg ->
   ?patterns:Pattern_id.t list ->
   ?memo:bool ->
   shards:int ->
@@ -106,6 +125,7 @@ val fuzz_sharded :
 val fuzz_all :
   ?budget:int ->
   ?telemetry:Sqlfun_telemetry.Telemetry.t ->
+  ?timeseries:Sqlfun_telemetry.Timeseries.cfg ->
   ?memo:bool ->
   ?jobs:int ->
   ?shards:int ->

@@ -26,11 +26,14 @@ val make_engine :
   ?cov:Sqlfun_coverage.Coverage.t ->
   ?armed:bool ->
   ?limits:Sqlfun_functions.Fn_ctx.limits ->
+  ?profile:Sqlfun_telemetry.Profile.t ->
   profile ->
   Engine.t
 (** A fresh simulated server. [armed] (default false) enables the
     profile's injected bugs from {!Bug_ledger}. The seed schema
-    (CREATE/INSERT statements) is pre-loaded. *)
+    (CREATE/INSERT statements) is pre-loaded. [profile] (an attribution
+    profiler, not a dialect profile) is threaded to the engine so
+    execute-stage time charges the caller's collector. *)
 
 val load_seeds : Engine.t -> profile -> unit
 (** (Re-)execute the seed schema statements; ignores errors. *)

@@ -1,5 +1,6 @@
 open Sqlfun_value
 open Sqlfun_functions
+module Profile = Sqlfun_telemetry.Profile
 
 type t = { env : Interp.env }
 
@@ -10,13 +11,25 @@ type exec_error =
 
 type outcome = Rows of Interp.result_set | Affected of int
 
-let create ?cov ?fault ?cast_cfg ?limits ~registry ~dialect () =
+let create ?cov ?fault ?cast_cfg ?limits ?profile ~registry ~dialect () =
   let ctx = Fn_ctx.create ?cov ?fault ?cast_cfg ?limits ~dialect () in
-  { env = { Interp.ctx; registry; catalog = Storage.create_catalog () } }
+  let profile =
+    match profile with Some p -> p | None -> Profile.create ()
+  in
+  {
+    env =
+      {
+        Interp.ctx;
+        registry;
+        catalog = Storage.create_catalog ~profile ();
+        profile;
+      };
+  }
 
 let context t = t.env.Interp.ctx
 let registry t = t.env.Interp.registry
 let catalog t = t.env.Interp.catalog
+let profile t = t.env.Interp.profile
 
 let run t f =
   (* fresh step budget per statement, like a per-query timeout *)
@@ -32,13 +45,20 @@ let exec_stmt t stmt =
       | Interp.Rows rs -> Rows rs
       | Interp.Affected n -> Affected n)
 
+let parse_stmt_profiled t sql =
+  Profile.with_phase t.env.Interp.profile Profile.Parse (fun () ->
+      Sqlfun_parse.Parser.parse_stmt sql)
+
 let exec_sql t sql =
-  match Sqlfun_parse.Parser.parse_stmt sql with
+  match parse_stmt_profiled t sql with
   | Error msg -> Error (Parse_failed msg)
   | Ok stmt -> exec_stmt t stmt
 
 let exec_script t sql =
-  match Sqlfun_parse.Parser.parse_script sql with
+  match
+    Profile.with_phase t.env.Interp.profile Profile.Parse (fun () ->
+        Sqlfun_parse.Parser.parse_script sql)
+  with
   | Error msg -> Error (Parse_failed msg)
   | Ok stmts ->
     let rec go acc = function
@@ -51,10 +71,15 @@ let exec_script t sql =
     go [] stmts
 
 let eval_expr_sql t sql =
-  match Sqlfun_parse.Parser.parse_expr_string sql with
+  match
+    Profile.with_phase t.env.Interp.profile Profile.Parse (fun () ->
+        Sqlfun_parse.Parser.parse_expr_string sql)
+  with
   | Error msg -> Error (Parse_failed msg)
   | Ok e ->
-    run t (fun () -> (Interp.eval_expr t.env ~row:None e).Sqlfun_fault.Fault.value)
+    run t (fun () ->
+        Profile.with_phase t.env.Interp.profile Profile.Eval (fun () ->
+            (Interp.eval_expr t.env ~row:None e).Sqlfun_fault.Fault.value))
 
 let error_to_string = function
   | Parse_failed msg -> "parse error: " ^ msg

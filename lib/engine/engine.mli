@@ -24,14 +24,20 @@ val create :
   ?fault:Sqlfun_fault.Fault.runtime ->
   ?cast_cfg:Cast.config ->
   ?limits:Fn_ctx.limits ->
+  ?profile:Sqlfun_telemetry.Profile.t ->
   registry:Registry.t ->
   dialect:string ->
   unit ->
   t
+(** [profile] receives execute-stage attribution (parse / plan / eval /
+    storage scopes); a fresh private profiler when omitted. The detector
+    passes its campaign profiler so engine restarts keep charging the
+    same keys. *)
 
 val context : t -> Fn_ctx.t
 val registry : t -> Registry.t
 val catalog : t -> Storage.catalog
+val profile : t -> Sqlfun_telemetry.Profile.t
 
 val exec_sql : t -> string -> (outcome, exec_error) result
 (** Execute one statement. Each statement gets a fresh step budget. *)

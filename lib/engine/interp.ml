@@ -5,10 +5,13 @@ open Sqlfun_fault
 open Sqlfun_functions
 open Sqlfun_ast
 
+module Profile = Sqlfun_telemetry.Profile
+
 type env = {
   ctx : Fn_ctx.t;
   registry : Registry.t;
   catalog : Storage.catalog;
+  profile : Profile.t;
 }
 
 type result_set = { columns : string list; rows : Value.t list list }
@@ -360,6 +363,20 @@ let rec eval_expr env ~row e : Fault.arg =
     ret (Value.Bool (rs.rows <> []))
 
 and eval_call env ~row fname arg_exprs distinct =
+  (* every function dispatch is an [eval] scope on its own name; nested
+     calls in the argument list open their own scopes, so self-time pins
+     to the function actually running. match-with-exception instead of
+     [with_fn] keeps the per-call path closure-free. *)
+  Profile.enter_fn env.profile fname Profile.Eval;
+  match eval_call_body env ~row fname arg_exprs distinct with
+  | v ->
+    Profile.exit env.profile;
+    v
+  | exception e ->
+    Profile.exit env.profile;
+    raise e
+
+and eval_call_body env ~row fname arg_exprs distinct =
   let args = List.map (eval_expr env ~row) arg_exprs in
   if distinct && not (Registry.is_aggregate env.registry fname) then
     err "%s does not accept DISTINCT" fname;
@@ -477,14 +494,17 @@ and rows_of_from env (f : Ast.from) :
   let bind keys row = List.combine keys (row @ row) in
   match f with
   | Ast.From_table (name, alias) ->
-    (match Storage.find_table env.catalog name with
-     | None -> err "no such table: %s" name
-     | Some t ->
-       let cols = List.map (fun c -> c.Storage.col_name) t.Storage.columns in
-       let keys =
-         qualify (match alias with Some a -> a | None -> name) cols
-       in
-       (keys, List.map (fun r -> bind keys r) t.Storage.rows))
+    (* table lookup + row materialization is storage work, once per
+       FROM source *)
+    Profile.with_phase env.profile Profile.Storage (fun () ->
+        match Storage.find_table env.catalog name with
+        | None -> err "no such table: %s" name
+        | Some t ->
+          let cols = List.map (fun c -> c.Storage.col_name) t.Storage.columns in
+          let keys =
+            qualify (match alias with Some a -> a | None -> name) cols
+          in
+          (keys, List.map (fun r -> bind keys r) t.Storage.rows))
   | Ast.From_subquery (q, alias) ->
     let rs = exec_query env q in
     let keys = qualify alias rs.columns in
@@ -1033,10 +1053,16 @@ let rec plan_of_stmt (stmt : Ast.stmt) : string list =
 let exec_stmt env (stmt : Ast.stmt) : outcome =
   match stmt with
   | Ast.Explain inner ->
-    Rows
-      { columns = [ "plan" ];
-        rows = List.map (fun line -> [ Value.Str line ]) (plan_of_stmt inner) }
-  | Ast.Select_stmt q -> Rows (exec_query env q)
+    (* EXPLAIN renders the plan without executing: pure [plan] time *)
+    Profile.with_phase env.profile Profile.Plan (fun () ->
+        Rows
+          { columns = [ "plan" ];
+            rows =
+              List.map (fun line -> [ Value.Str line ]) (plan_of_stmt inner) })
+  | Ast.Select_stmt q ->
+    (* the whole query round-trip is [eval]; storage scans and function
+       dispatches inside open their own scopes and take their share *)
+    Rows (Profile.with_phase env.profile Profile.Eval (fun () -> exec_query env q))
   | Ast.Create_table { tbl_name; columns; if_not_exists } ->
     let cols =
       List.map
@@ -1053,7 +1079,8 @@ let exec_stmt env (stmt : Ast.stmt) : outcome =
      | Ok () -> Affected 0
      | Error msg -> err "%s" msg)
   | Ast.Insert { ins_table; ins_columns; rows } ->
-    (match Storage.find_table env.catalog ins_table with
+    Profile.with_phase env.profile Profile.Storage (fun () ->
+    match Storage.find_table env.catalog ins_table with
      | None -> err "no such table: %s" ins_table
      | Some t ->
        let ncols = List.length t.Storage.columns in

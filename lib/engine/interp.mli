@@ -14,6 +14,10 @@ type env = {
   ctx : Fn_ctx.t;
   registry : Registry.t;
   catalog : Storage.catalog;
+  profile : Sqlfun_telemetry.Profile.t;
+      (** execute-stage attribution: evaluation charges
+          [dialect x function x phase] keys as it runs (see
+          {!Sqlfun_telemetry.Profile}) *)
 }
 
 type result_set = { columns : string list; rows : Value.t list list }

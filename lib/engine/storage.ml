@@ -14,18 +14,32 @@ type table = {
   mutable rows : Value.t list list;
 }
 
-type catalog = { tables : (string, table) Hashtbl.t }
+module Profile = Sqlfun_telemetry.Profile
 
-let create_catalog () = { tables = Hashtbl.create 8 }
+type catalog = { tables : (string, table) Hashtbl.t; profile : Profile.t }
+
+let create_catalog ?profile () =
+  let profile =
+    match profile with Some p -> p | None -> Profile.create ()
+  in
+  { tables = Hashtbl.create 8; profile }
+
+let profile c = c.profile
 
 let norm = String.lowercase_ascii
 
 let table_names c =
   Hashtbl.fold (fun k _ acc -> k :: acc) c.tables [] |> List.sort String.compare
 
-let find_table c name = Hashtbl.find_opt c.tables (norm name)
+(* called once per FROM source and once per INSERT: scoped directly
+   (enter/exit, no closure) — nothing below raises *)
+let find_table c name =
+  Profile.enter c.profile Profile.Storage;
+  let r = Hashtbl.find_opt c.tables (norm name) in
+  Profile.exit c.profile;
+  r
 
-let create_table c ~name ~columns ~if_not_exists =
+let create_table_unscoped c ~name ~columns ~if_not_exists =
   let key = norm name in
   if Hashtbl.mem c.tables key then
     if if_not_exists then Ok () else Error (Printf.sprintf "table %s already exists" name)
@@ -50,14 +64,25 @@ let create_table c ~name ~columns ~if_not_exists =
     end
   end
 
+let create_table c ~name ~columns ~if_not_exists =
+  Profile.enter c.profile Profile.Storage;
+  let r = create_table_unscoped c ~name ~columns ~if_not_exists in
+  Profile.exit c.profile;
+  r
+
 let drop_table c ~name ~if_exists =
+  Profile.enter c.profile Profile.Storage;
   let key = norm name in
-  if Hashtbl.mem c.tables key then begin
-    Hashtbl.remove c.tables key;
-    Ok ()
-  end
-  else if if_exists then Ok ()
-  else Error (Printf.sprintf "no such table %s" name)
+  let r =
+    if Hashtbl.mem c.tables key then begin
+      Hashtbl.remove c.tables key;
+      Ok ()
+    end
+    else if if_exists then Ok ()
+    else Error (Printf.sprintf "no such table %s" name)
+  in
+  Profile.exit c.profile;
+  r
 
 let append_row t row = t.rows <- t.rows @ [ row ]
 

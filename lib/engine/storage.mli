@@ -18,7 +18,12 @@ type table = {
 
 type catalog
 
-val create_catalog : unit -> catalog
+val create_catalog : ?profile:Sqlfun_telemetry.Profile.t -> unit -> catalog
+(** Catalog operations charge the [storage] phase of [profile] (a fresh
+    throwaway profiler when omitted). *)
+
+val profile : catalog -> Sqlfun_telemetry.Profile.t
+
 val table_names : catalog -> string list
 val find_table : catalog -> string -> table option
 

@@ -277,6 +277,9 @@ type t = {
   mutable memo_hits : int;
   mutable memo_misses : int;
   mutable memo_collisions : int;
+  (* sink flushers, run on campaign end and on the crash/restart path so
+     abnormal termination cannot truncate a JSONL stream mid-campaign *)
+  mutable flushers : (unit -> unit) list;
 }
 
 let create ?(sink = Null) () =
@@ -288,7 +291,16 @@ let create ?(sink = Null) () =
     memo_hits = 0;
     memo_misses = 0;
     memo_collisions = 0;
+    flushers = [];
   }
+
+let add_flusher t f = t.flushers <- f :: t.flushers
+
+let flush t =
+  List.iter
+    (fun f -> try f () with _ -> (* a dead channel must not mask the
+                                    original failure *) ())
+    t.flushers
 
 let enabled t = t.sink <> Null
 let emit t ev = match t.sink with Null -> () | Emit f -> f ev
@@ -482,6 +494,13 @@ type verdict_counts = {
   pattern : string;
   by_class : (verdict_class * int) list;
 }
+
+let verdict_total t cls =
+  let i = verdict_index cls in
+  Hashtbl.fold
+    (fun _ per_dialect acc ->
+      Hashtbl.fold (fun _ row acc -> acc + row.counts.(i)) per_dialect acc)
+    t.verdicts 0
 
 let verdict_rows t =
   Hashtbl.fold

@@ -108,6 +108,18 @@ val enabled : t -> bool
 val emit : t -> event -> unit
 (** Sends a hand-built event to the sink (no-op on {!null_sink}). *)
 
+val add_flusher : t -> (unit -> unit) -> unit
+(** Registers a sink flusher — typically [fun () -> flush oc] for a
+    JSONL channel. Flushers run on {!flush}, which the campaign runner
+    calls at campaign end {e and} on the crash/restart path, so abnormal
+    termination cannot silently truncate a trace or timeseries stream.
+    Flushers are per-collector and are not carried by {!merge_into}. *)
+
+val flush : t -> unit
+(** Runs every registered flusher. Exceptions from individual flushers
+    are swallowed (a dead channel must not mask the failure that
+    triggered the flush). No-op when none are registered. *)
+
 (** {1 Spans and timings} *)
 
 val with_span :
@@ -218,6 +230,9 @@ type verdict_counts = {
 val verdict_rows : t -> verdict_counts list
 (** Sorted by dialect then pattern. *)
 
+val verdict_total : t -> verdict_class -> int
+(** Total count for one class summed over every dialect x pattern row. *)
+
 (** {1 JSON snapshots} *)
 
 val stage_timing_to_json : stage_timing -> Json.t
@@ -241,6 +256,13 @@ module Histogram : sig
   val create : unit -> t
   val add : t -> int -> unit
   val total : t -> int
+
+  val bucket_of : int -> int
+  (** Index of the log2 bucket holding a duration:
+      [2^i <= d < 2^(i+1)], clamped to the last bucket. *)
+
+  val bucket_upper : int -> int
+  (** Exclusive upper bound of bucket [i]: [2^(i+1)]. *)
 
   val percentile : t -> float -> int
   (** Upper bound of the log2 bucket holding the quantile sample; [0] on

@@ -336,6 +336,50 @@ let test_memo_invariant_under_sharding () =
         = verdict_key r.Soft.Soft_runner.telemetry))
     [ (1, 1); (2, 2) ]
 
+let test_timeseries_final_snapshot_shard_invariant () =
+  (* the campaign-final timeseries snapshot (shard = -1) is computed
+     from the deterministically merged totals, so its
+     determinism-relevant fields must be identical at any shard/job
+     count — only rates and timestamps may differ *)
+  let module Timeseries = Sqlfun_telemetry.Timeseries in
+  let final_of shards jobs =
+    let captured = ref None in
+    let cfg =
+      {
+        Timeseries.every_cases = 500;
+        every_ms = 0;
+        emit =
+          (fun s -> if s.Timeseries.shard = -1 then captured := Some s);
+      }
+    in
+    let prof = Dialect.find_exn "mariadb" in
+    let r = Soft.Soft_runner.fuzz ~budget:2000 ~timeseries:cfg ~shards ~jobs prof in
+    match !captured with
+    | Some s -> (r, s)
+    | None -> Alcotest.fail "campaign-final snapshot never emitted"
+  in
+  let r_seq, seq = final_of 1 1 in
+  let _, par = final_of 3 3 in
+  let key (s : Timeseries.snapshot) =
+    ( s.Timeseries.cases,
+      s.Timeseries.branches,
+      s.Timeseries.functions,
+      s.Timeseries.new_bugs,
+      s.Timeseries.dup_bugs )
+  in
+  Alcotest.(check (list int)) "final snapshot shard-invariant"
+    (let (a, b, c, d, e) = key seq in [ a; b; c; d; e ])
+    (let (a, b, c, d, e) = key par in [ a; b; c; d; e ]);
+  Alcotest.(check int) "final cases = campaign total"
+    r_seq.Soft.Soft_runner.cases_executed seq.Timeseries.cases;
+  Alcotest.(check int) "final branches = campaign total"
+    r_seq.Soft.Soft_runner.branches_covered seq.Timeseries.branches;
+  Alcotest.(check int) "final new_bugs = campaign total"
+    (List.length r_seq.Soft.Soft_runner.bugs) seq.Timeseries.new_bugs;
+  (* the sharded final also accounts every executed case to a shard *)
+  Alcotest.(check int) "shard_cases sums to cases" par.Timeseries.cases
+    (Array.fold_left ( + ) 0 par.Timeseries.shard_cases)
+
 let test_fuzz_all_parallel_deterministic () =
   let seq = Soft.Soft_runner.fuzz_all ~budget:400 () in
   let par = Soft.Soft_runner.fuzz_all ~budget:400 ~jobs:4 ~shards:2 () in
@@ -376,6 +420,8 @@ let suite =
         test_more_shards_than_jobs;
       Alcotest.test_case "memo invariant under sharding" `Slow
         test_memo_invariant_under_sharding;
+      Alcotest.test_case "timeseries final snapshot shard-invariant" `Slow
+        test_timeseries_final_snapshot_shard_invariant;
       Alcotest.test_case "parallel fuzz_all deterministic" `Slow
         test_fuzz_all_parallel_deterministic;
     ] )

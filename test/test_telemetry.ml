@@ -141,6 +141,40 @@ let test_histogram_single_value () =
         (Telemetry.Histogram.percentile h q))
     [ 0.0; 0.5; 0.99; 1.0 ]
 
+let test_histogram_bucket_edges () =
+  let open Telemetry.Histogram in
+  (* 1 ns lands in the first bucket, upper bound 2 *)
+  Alcotest.(check int) "bucket_of 1" 0 (bucket_of 1);
+  Alcotest.(check int) "upper of bucket(1)" 2 (bucket_upper (bucket_of 1));
+  (* an exact power of two opens a fresh bucket: 2 -> [2,4) *)
+  Alcotest.(check int) "bucket_of 2" 1 (bucket_of 2);
+  Alcotest.(check int) "upper of bucket(2)" 4 (bucket_upper (bucket_of 2));
+  Alcotest.(check int) "upper of bucket(2^40)" (1 lsl 41)
+    (bucket_upper (bucket_of (1 lsl 40)));
+  (* max_int clamps into the last bucket instead of running off the end *)
+  Alcotest.(check int) "max_int clamps to last bucket" 47 (bucket_of max_int);
+  Alcotest.(check int) "last bucket upper" (1 lsl 48)
+    (bucket_upper (bucket_of max_int));
+  (* percentile agrees with the bucket math at both edges *)
+  let h = create () in
+  add h 1;
+  Alcotest.(check int) "p100 of {1}" 2 (percentile h 1.0);
+  let h2 = create () in
+  add h2 max_int;
+  Alcotest.(check int) "p50 of {max_int}" (1 lsl 48) (percentile h2 0.5)
+
+let test_verdict_class_roundtrip () =
+  List.iter
+    (fun c ->
+      let s = Telemetry.verdict_class_to_string c in
+      match Telemetry.verdict_class_of_string s with
+      | Some c' ->
+        Alcotest.(check bool) (Printf.sprintf "%s round-trips" s) true (c = c')
+      | None -> Alcotest.failf "%s does not parse back" s)
+    Telemetry.verdict_classes;
+  Alcotest.(check bool) "bogus class rejected" true
+    (Telemetry.verdict_class_of_string "bogus" = None)
+
 (* ----- JSONL event round-trip ----- *)
 
 let sample_events =
@@ -318,6 +352,220 @@ let test_coverage_to_json () =
       (Json.int_member "cast/int" points)
   | None -> Alcotest.fail "points missing"
 
+(* ----- execute-stage attribution profiler ----- *)
+
+(* burn enough cycles that a scope's duration is visibly nonzero *)
+let spin () =
+  let x = ref 0 in
+  for i = 1 to 20_000 do
+    x := !x + i
+  done;
+  ignore (Sys.opaque_identity !x)
+
+let find_row rows func phase =
+  match
+    List.find_opt
+      (fun (r : Profile.row) -> r.Profile.r_func = func && r.Profile.r_phase = phase)
+      rows
+  with
+  | Some r -> r
+  | None ->
+    Alcotest.failf "no row for %S/%s" func (Profile.phase_to_string phase)
+
+let test_profile_self_vs_children () =
+  let p = Profile.create () in
+  Profile.set_dialect p "mysql";
+  (* root (other) > UPPER eval > storage scan; the scan inherits the
+     enclosing function *)
+  Profile.enter p Profile.Other;
+  Profile.enter_fn p "UPPER" Profile.Eval;
+  spin ();
+  Profile.enter p Profile.Storage;
+  spin ();
+  Profile.exit p;
+  Profile.exit p;
+  Profile.exit p;
+  Alcotest.(check int) "all scopes closed" 0 (Profile.depth p);
+  let rows = Profile.rows p in
+  let eval = find_row rows "UPPER" Profile.Eval in
+  let storage = find_row rows "UPPER" Profile.Storage in
+  let root = find_row rows "" Profile.Other in
+  Alcotest.(check string) "dialect attributed" "mysql" eval.Profile.r_dialect;
+  List.iter
+    (fun (r : Profile.row) ->
+      Alcotest.(check int) "each scope entered once" 1 r.Profile.r_count;
+      Alcotest.(check bool) "self-time nonnegative" true (r.Profile.r_self_ns >= 0);
+      Alcotest.(check int) "count=1 so max = self" r.Profile.r_self_ns
+        r.Profile.r_max_ns)
+    [ eval; storage; root ];
+  Alcotest.(check bool) "spun scopes accumulated time" true
+    (eval.Profile.r_self_ns > 0 && storage.Profile.r_self_ns > 0);
+  (* self-accounting: the named phases and the root's leftover are
+     exactly the attributed/other split the attribution ratio reports *)
+  Alcotest.(check int) "attributed = eval self + storage self"
+    (eval.Profile.r_self_ns + storage.Profile.r_self_ns)
+    (Profile.attributed_ns p);
+  Alcotest.(check int) "other = root self" root.Profile.r_self_ns
+    (Profile.other_ns p)
+
+let test_profile_exit_on_exception () =
+  let p = Profile.create () in
+  Profile.set_dialect p "mysql";
+  (try
+     Profile.with_fn p "REPEAT" Profile.Eval (fun () -> failwith "boom")
+     |> ignore
+   with Failure _ -> ());
+  Alcotest.(check int) "scope unwound" 0 (Profile.depth p);
+  let r = find_row (Profile.rows p) "REPEAT" Profile.Eval in
+  Alcotest.(check int) "charge recorded" 1 r.Profile.r_count
+
+let test_profile_merge () =
+  let mk () =
+    let p = Profile.create () in
+    Profile.set_dialect p "mysql";
+    Profile.with_fn p "UPPER" Profile.Eval spin;
+    p
+  in
+  let a = mk () and b = mk () in
+  Profile.with_fn b "LOWER" Profile.Eval spin;
+  let a_self = (find_row (Profile.rows a) "UPPER" Profile.Eval).Profile.r_self_ns
+  and b_self = (find_row (Profile.rows b) "UPPER" Profile.Eval).Profile.r_self_ns in
+  Profile.merge_into ~dst:a b;
+  let merged = find_row (Profile.rows a) "UPPER" Profile.Eval in
+  Alcotest.(check int) "counts add" 2 merged.Profile.r_count;
+  Alcotest.(check int) "totals add" (a_self + b_self) merged.Profile.r_self_ns;
+  Alcotest.(check int) "maxes take the max" (max a_self b_self)
+    merged.Profile.r_max_ns;
+  Alcotest.(check int) "disjoint keys union" 1
+    (find_row (Profile.rows a) "LOWER" Profile.Eval).Profile.r_count
+
+let test_profile_folded_format () =
+  let p = Profile.create () in
+  Profile.set_dialect p "mysql";
+  Profile.enter p Profile.Other;
+  Profile.with_fn p "UPPER" Profile.Eval spin;
+  spin ();
+  Profile.exit p;
+  let lines = Profile.folded_lines p in
+  Alcotest.(check bool) "emits stacks" true (lines <> []);
+  List.iter
+    (fun line ->
+      match String.split_on_char ' ' line with
+      | [ stack; count ] ->
+        Alcotest.(check bool)
+          (Printf.sprintf "weight numeric: %s" line)
+          true
+          (int_of_string_opt count <> None);
+        (match String.split_on_char ';' stack with
+         | [ "soft"; "mysql"; func; phase ] ->
+           Alcotest.(check bool) "func frame nonempty" true (func <> "");
+           Alcotest.(check bool)
+             (Printf.sprintf "phase known: %s" phase)
+             true
+             (Profile.phase_of_string phase <> None)
+         | frames ->
+           Alcotest.failf "expected 4 frames, got %d in %s"
+             (List.length frames) line)
+      | _ -> Alcotest.failf "not 'stack weight': %s" line)
+    lines;
+  (* the anonymous root renders as "-" *)
+  Alcotest.(check bool) "root frame renders as -" true
+    (List.exists
+       (fun l -> String.length l >= 12 && String.sub l 0 12 = "soft;mysql;-")
+       lines)
+
+let test_profile_attribution_on_fuzz () =
+  (* the acceptance bar: >= 95% of profiled engine time charged to named
+     keys on a real (small) campaign *)
+  let prof = Dialect.find_exn "mysql" in
+  let r = Soft.Soft_runner.fuzz ~budget:2000 prof in
+  let p = r.Soft.Soft_runner.profile in
+  Alcotest.(check bool) "profiler saw the campaign" true (Profile.rows p <> []);
+  let a = Profile.attribution p in
+  Alcotest.(check bool)
+    (Printf.sprintf "attribution %.4f >= 0.95" a)
+    true (a >= 0.95);
+  (* the JSON artifact carries the ratio and a bounded hottest table *)
+  let j = Profile.to_json ~top:10 p in
+  (match Json.member "attribution" j with
+   | Some (Json.Float f) ->
+     Alcotest.(check bool) "json ratio matches" true
+       (Float.abs (f -. a) < 1e-9)
+   | _ -> Alcotest.fail "attribution missing from json");
+  match Json.member "hottest" j with
+  | Some (Json.Arr rows) ->
+    Alcotest.(check bool) "hottest bounded" true
+      (List.length rows <= 10 && rows <> [])
+  | _ -> Alcotest.fail "hottest missing from json"
+
+(* ----- timeseries snapshots ----- *)
+
+let null_probe branches =
+  {
+    Timeseries.p_branches = branches;
+    p_functions = (fun () -> 1);
+    p_new_bugs = (fun () -> 0);
+    p_dup_bugs = (fun () -> 0);
+    p_memo_hits = (fun () -> 0);
+    p_memo_misses = (fun () -> 0);
+    p_shard_cases = (fun () -> [||]);
+  }
+
+let test_timeseries_cadence () =
+  let snaps = ref [] in
+  let cfg =
+    {
+      Timeseries.every_cases = 2;
+      every_ms = 0;
+      emit = (fun s -> snaps := s :: !snaps);
+    }
+  in
+  let b = ref 0 in
+  let rec_ = Timeseries.recorder cfg ~shard:3 (null_probe (fun () -> !b)) in
+  for i = 1 to 5 do
+    b := i * 10;
+    Timeseries.tick rec_
+  done;
+  Timeseries.finalize rec_;
+  match List.rev !snaps with
+  | [ s1; s2; s3 ] ->
+    Alcotest.(check int) "first fires at 2 cases" 2 s1.Timeseries.cases;
+    Alcotest.(check int) "first delta" 2 s1.Timeseries.delta_cases;
+    Alcotest.(check int) "seq 0" 0 s1.Timeseries.seq;
+    Alcotest.(check int) "shard tag" 3 s1.Timeseries.shard;
+    Alcotest.(check bool) "periodic not final" false s1.Timeseries.final;
+    Alcotest.(check int) "probe read at fire time" 20 s1.Timeseries.branches;
+    Alcotest.(check int) "second at 4" 4 s2.Timeseries.cases;
+    Alcotest.(check int) "second delta" 2 s2.Timeseries.delta_cases;
+    Alcotest.(check int) "seq 1" 1 s2.Timeseries.seq;
+    Alcotest.(check int) "probe again" 40 s2.Timeseries.branches;
+    Alcotest.(check bool) "finalize is final" true s3.Timeseries.final;
+    Alcotest.(check int) "final carries the tail" 5 s3.Timeseries.cases;
+    Alcotest.(check int) "final delta" 1 s3.Timeseries.delta_cases;
+    Alcotest.(check int) "final branches" 50 s3.Timeseries.branches
+  | l -> Alcotest.failf "expected 3 snapshots, got %d" (List.length l)
+
+let test_timeseries_snapshot_roundtrip () =
+  let snaps = ref [] in
+  let cfg =
+    {
+      Timeseries.every_cases = 0;
+      every_ms = 0;
+      emit = (fun s -> snaps := s :: !snaps);
+    }
+  in
+  let s =
+    Timeseries.campaign_final cfg ~elapsed_ns:7_000_000 ~cases:123 ~branches:45
+      ~functions:6 ~new_bugs:2 ~dup_bugs:3 ~memo_hits:10 ~memo_misses:20
+      ~shard_cases:[| 60; 63 |]
+  in
+  Alcotest.(check int) "campaign-final shard tag" (-1) s.Timeseries.shard;
+  Alcotest.(check bool) "campaign-final is final" true s.Timeseries.final;
+  Alcotest.(check int) "emitted once" 1 (List.length !snaps);
+  match Timeseries.snapshot_of_json (Timeseries.snapshot_to_json s) with
+  | Ok s' -> Alcotest.(check bool) "snapshot round-trips" true (s = s')
+  | Error e -> Alcotest.failf "snapshot undecodable: %s" e
+
 let suite =
   ( "telemetry",
     [
@@ -332,6 +580,10 @@ let suite =
         test_histogram_percentiles;
       Alcotest.test_case "histogram single value" `Quick
         test_histogram_single_value;
+      Alcotest.test_case "histogram bucket edges" `Quick
+        test_histogram_bucket_edges;
+      Alcotest.test_case "verdict class round-trip" `Quick
+        test_verdict_class_roundtrip;
       Alcotest.test_case "event jsonl round-trip" `Quick
         test_event_jsonl_roundtrip;
       Alcotest.test_case "verdict counters" `Quick test_verdict_counters;
@@ -340,4 +592,16 @@ let suite =
       Alcotest.test_case "campaign snapshot json" `Quick
         test_campaign_snapshot_json;
       Alcotest.test_case "coverage to_json" `Quick test_coverage_to_json;
+      Alcotest.test_case "profile self vs children" `Quick
+        test_profile_self_vs_children;
+      Alcotest.test_case "profile exit on exception" `Quick
+        test_profile_exit_on_exception;
+      Alcotest.test_case "profile merge" `Quick test_profile_merge;
+      Alcotest.test_case "profile folded format" `Quick
+        test_profile_folded_format;
+      Alcotest.test_case "profile attribution on fuzz" `Quick
+        test_profile_attribution_on_fuzz;
+      Alcotest.test_case "timeseries cadence" `Quick test_timeseries_cadence;
+      Alcotest.test_case "timeseries snapshot round-trip" `Quick
+        test_timeseries_snapshot_roundtrip;
     ] )
