@@ -47,7 +47,13 @@ type parallel_run = {
 }
 
 type campaign_timing = {
-  wall_s_sequential : float;  (* memoization on: the default pipeline *)
+  wall_s_sequential : float;
+      (* the observatory baseline: memoization on, plus timeseries
+         recording and snapshot bookkeeping *)
+  wall_s_memo : float;
+      (* a fresh plain memo-on sweep, timed like the memo-off one — the
+         honest numerator-free leg of the memo ratio (the observatory
+         baseline carries instrumentation the ~memo:false run doesn't) *)
   wall_s_nomemo : float;      (* same sequential sweep, ~memo:false *)
   memo_deterministic : bool;
   parallel : parallel_run option;
@@ -86,6 +92,10 @@ let campaign tel =
   let agg_profile = Profile.create () in
   let curve = ref [] in
   let base_cases = ref 0 and base_branches = ref 0 in
+  (* each timed leg starts from a compacted heap: a sweep allocates
+     heavily, and without the barrier the *next* leg pays the collection
+     debt of the previous one, skewing every ratio in one direction *)
+  Gc.compact ();
   let t0 = Unix.gettimeofday () in
   let results =
     List.map
@@ -131,9 +141,25 @@ let campaign tel =
                  profiled engine time):\n\n"
     (100. *. Profile.attribution agg_profile);
   print_string (Profile.top_markdown agg_profile);
-  let t_nm = Unix.gettimeofday () in
-  let nomemo_results = Soft.Soft_runner.fuzz_all ~memo:false () in
-  let nomemo_s = Unix.gettimeofday () -. t_nm in
+  (* the two plain legs are timed min-of-two: this host's wall-clock
+     noise (±15% run to run) is larger than the memo-on/memo-off gap,
+     and the minimum of two interleaved runs is the standard symmetric
+     estimator for "what the sweep costs when the machine isn't busy" *)
+  let timed_leg f =
+    Gc.compact ();
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let nomemo_results, nm1 = timed_leg (Soft.Soft_runner.fuzz_all ~memo:false) in
+  (* a plain memo-on sweep under the same conditions as the memo-off
+     one (no shared collector, no timeseries recorders), so the memo
+     ratio compares two like-for-like runs instead of reusing the
+     instrumented observatory baseline *)
+  let memo_results, m1 = timed_leg (fun () -> Soft.Soft_runner.fuzz_all ()) in
+  let nomemo_results2, nm2 = timed_leg (Soft.Soft_runner.fuzz_all ~memo:false) in
+  let memo_results2, m2 = timed_leg (fun () -> Soft.Soft_runner.fuzz_all ()) in
+  let nomemo_s = Float.min nm1 nm2 and memo_s = Float.min m1 m2 in
   let same_result (a : Soft.Soft_runner.result) (b : Soft.Soft_runner.result) =
     let bug_key (x : Soft.Detector.found_bug) =
       (x.Soft.Detector.spec.Fault.site, x.Soft.Detector.case_number)
@@ -147,12 +173,17 @@ let campaign tel =
     && List.map bug_key a.Soft.Soft_runner.bugs
        = List.map bug_key b.Soft.Soft_runner.bugs
   in
-  let memo_deterministic = List.for_all2 same_result results nomemo_results in
+  let memo_deterministic =
+    List.for_all2 same_result results nomemo_results
+    && List.for_all2 same_result results memo_results
+    && List.for_all2 same_result results nomemo_results2
+    && List.for_all2 same_result results memo_results2
+  in
   Printf.printf
     "\nmemoization: %.1f s with, %.1f s without (%.2fx, %.1f%% hit rate, \
      results %s)\n"
-    seq_s nomemo_s
-    (if seq_s > 0. then nomemo_s /. seq_s else 0.)
+    memo_s nomemo_s
+    (if memo_s > 0. then nomemo_s /. memo_s else 0.)
     (100. *. Telemetry.memo_hit_rate tel)
     (if memo_deterministic then "identical" else "DIVERGED");
   let parallel =
@@ -170,6 +201,7 @@ let campaign tel =
          oversubscribe (jobs x (shards + 1) domains) and the GC
          coordination cost would swamp the win. Sharding is for
          single-campaign runs. *)
+      Gc.compact ();
       let t1 = Unix.gettimeofday () in
       let par_results = Soft.Soft_runner.fuzz_all ~jobs () in
       let par_s = Unix.gettimeofday () -. t1 in
@@ -192,6 +224,7 @@ let campaign tel =
   ( results,
     {
       wall_s_sequential = seq_s;
+      wall_s_memo = memo_s;
       wall_s_nomemo = nomemo_s;
       memo_deterministic;
       parallel;
@@ -363,10 +396,65 @@ let microbenches () =
         results)
     tests
 
+(* ----- per-case execution cost of the two engine paths ----- *)
+
+(* One plan-shaped statement executed hot through the tree-walking
+   interpreter and through its compiled closure (slot fill included, as
+   the detector pays it). The absolute ns/case pair normalizes campaign
+   speedups across hosts: wall-clock ratios drift with machine load, the
+   per-path cost ratio does not. *)
+let per_case_costs () =
+  section "Per-case execution cost (interpreter vs compiled plan)";
+  let prof = Dialect.find_exn "mariadb" in
+  let engine = Dialect.make_engine prof in
+  let stmt =
+    match
+      Sqlfun_parse.Parser.parse_stmt
+        "SELECT UPPER(CONCAT('boundary', 99999)), LENGTH(REPEAT('ab', 7))"
+    with
+    | Ok s -> s
+    | Error e -> failwith e
+  in
+  let registry = Sqlfun_engine.Engine.registry engine in
+  let plan =
+    match Sqlfun_engine.Compile.compile ~registry stmt with
+    | Sqlfun_engine.Compile.Plan p -> p
+    | Sqlfun_engine.Compile.Fallback ->
+      failwith "per-case bench statement fell outside the compiled subset"
+  in
+  let buf =
+    Array.make (Sqlfun_engine.Compile.n_slots plan) Sqlfun_ast.Ast.Null
+  in
+  let time_ns_per_run f =
+    let iters = 20_000 in
+    for _ = 1 to 2_000 do f () done;
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do f () done;
+    (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters
+  in
+  let interp_ns =
+    time_ns_per_run (fun () ->
+        ignore (Sqlfun_engine.Engine.exec_stmt engine stmt))
+  in
+  let compiled_ns =
+    time_ns_per_run (fun () ->
+        ignore
+          (Sqlfun_ast.Ast_util.fold_slots
+             (fun i s -> buf.(i) <- s; i + 1)
+             0 stmt);
+        ignore (Sqlfun_engine.Engine.exec_compiled engine plan buf))
+  in
+  Printf.printf "  interpreter  %8.0f ns/case\n  compiled     %8.0f ns/case \
+                 (%.2fx)\n"
+    interp_ns compiled_ns
+    (if compiled_ns > 0. then interp_ns /. compiled_ns else 0.);
+  (interp_ns, compiled_ns)
+
 (* The perf trajectory artifact: stage wall-times, verdict counters,
    execute-stage attribution and the coverage-growth curve of the
    exhaustive campaign, diffable across PRs. *)
-let write_telemetry tel results timing obs =
+let write_telemetry tel results timing obs ~ns_per_case_interp
+    ~ns_per_case_compiled =
   let path = "BENCH_telemetry.json" in
   let campaign_json (r : Soft.Soft_runner.result) =
     Json.Obj
@@ -397,13 +485,15 @@ let write_telemetry tel results timing obs =
         ("kind", Json.Str "bench");
         ("campaigns", Json.Arr (List.map campaign_json results));
         ("wall_s_sequential", Json.Float timing.wall_s_sequential);
-        ("wall_s_memo", Json.Float timing.wall_s_sequential);
+        ("wall_s_memo", Json.Float timing.wall_s_memo);
         ("wall_s_nomemo", Json.Float timing.wall_s_nomemo);
         ( "memo_speedup",
           Json.Float
-            (if timing.wall_s_sequential > 0. then
-               timing.wall_s_nomemo /. timing.wall_s_sequential
+            (if timing.wall_s_memo > 0. then
+               timing.wall_s_nomemo /. timing.wall_s_memo
              else 0.) );
+        ("ns_per_case_interp", Json.Float ns_per_case_interp);
+        ("ns_per_case_compiled", Json.Float ns_per_case_compiled);
         ("memo_hit_rate", Json.Float (Telemetry.memo_hit_rate tel));
         ( "cases_memoized",
           Json.Int
@@ -439,6 +529,7 @@ let write_telemetry tel results timing obs =
         ("stages", Telemetry.stages_to_json tel);
         ("verdicts", Telemetry.verdicts_to_json tel);
         ("memo", Telemetry.memo_to_json tel);
+        ("compile", Telemetry.compile_to_json tel);
         ("attribution", Profile.to_json ~top:10 obs.obs_profile);
         ( "coverage_curve",
           Json.Arr
@@ -482,6 +573,8 @@ let () =
   logic_oracles ();
   (try microbenches ()
    with e -> Printf.printf "(micro-benchmarks skipped: %s)\n" (Printexc.to_string e));
-  write_telemetry tel results timing obs;
+  let ns_per_case_interp, ns_per_case_compiled = per_case_costs () in
+  write_telemetry tel results timing obs ~ns_per_case_interp
+    ~ns_per_case_compiled;
   print_newline ();
   print_endline "bench: all tables and figures regenerated."

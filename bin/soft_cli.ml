@@ -64,6 +64,15 @@ let no_memo_arg =
                  signatures are bit-identical with memoization on or \
                  off; the flag exists to verify that and to time it.")
 
+let no_compile_arg =
+  Arg.(value & flag
+       & info [ "no-compile" ]
+           ~doc:"Disable closure compilation (every case is evaluated by \
+                 the AST interpreter instead of a cached compiled plan). \
+                 Verdicts, bug lists and FP signatures are bit-identical \
+                 with compilation on or off; the flag exists to verify \
+                 that and to time it.")
+
 let json_arg =
   Arg.(value & opt (some string) None
        & info [ "json" ] ~docv:"FILE"
@@ -170,8 +179,8 @@ let progress_renderer dialect_id =
     Mutex.unlock m
 
 let fuzz_cmd =
-  let run dialect budget jobs shards no_memo verbose report trace json
-      profile_out timeseries_out progress =
+  let run dialect budget jobs shards no_memo no_compile verbose report trace
+      json profile_out timeseries_out progress =
     match resolve_dialect dialect with
     | Error msg ->
       prerr_endline msg;
@@ -203,7 +212,8 @@ let fuzz_cmd =
           in
           let r =
             Soft.Soft_runner.fuzz ?budget ~telemetry:tel ?timeseries
-              ~memo:(not no_memo) ~shards ~jobs prof
+              ~memo:(not no_memo) ~compile:(not no_compile) ~shards ~jobs
+              prof
           in
           if progress then prerr_newline ();
           Option.iter close_out ts_oc;
@@ -232,6 +242,13 @@ let fuzz_cmd =
           Printf.printf "  cases memoized:       %d (%.1f%% hit rate)\n"
             r.Soft.Soft_runner.cases_memoized
             (100. *. Telemetry.memo_hit_rate r.Soft.Soft_runner.telemetry);
+          (let cc = Telemetry.compile_counts r.Soft.Soft_runner.telemetry in
+           Printf.printf
+             "  plans compiled:       %d (%.1f%% plan-cache hit rate, %d \
+              fallbacks)\n"
+             cc.Telemetry.c_misses
+             (100. *. Telemetry.compile_hit_rate r.Soft.Soft_runner.telemetry)
+             cc.Telemetry.c_fallbacks);
           Printf.printf "  passed / clean errors: %d / %d\n" r.Soft.Soft_runner.passed
             r.Soft.Soft_runner.clean_errors;
           (* the paper's "7 false positives" counts unique reports, so both
@@ -262,8 +279,8 @@ let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Run a SOFT campaign against a simulated dialect")
     Term.(const run $ dialect_arg $ budget_arg 0 $ jobs_arg $ shards_arg
-          $ no_memo_arg $ verbose $ report $ trace_arg $ json_arg
-          $ profile_arg $ timeseries_arg $ progress_arg)
+          $ no_memo_arg $ no_compile_arg $ verbose $ report $ trace_arg
+          $ json_arg $ profile_arg $ timeseries_arg $ progress_arg)
 
 let study_cmd =
   let run () =

@@ -447,6 +447,270 @@ let fingerprint stmt = Int64.of_int (fp_stmt fnv_basis stmt)
    polymorphic structural equality is exactly statement identity. *)
 let equal_stmt (a : Ast.stmt) (b : Ast.stmt) = a = b
 
+(* ----- slot-normalized skeletons -----
+
+   A statement *skeleton* is the statement with its literal leaves
+   ([Null]/[Bool_lit]/[Int_lit]/[Dec_lit]/[Str_lit]/[Hex_lit]) blanked
+   out — exactly the positions that
+   [Patterns.with_arg]/[literal_arg_variants] vary when fanning one
+   pattern into a case family. All six literal constructors collapse
+   into ONE slot tag: a boundary-argument set mixes NULL, integers,
+   strings and hex blobs at the same position, and keeping the
+   constructors distinct would give each literal kind its own skeleton
+   and shrink plan reuse by the size of the argument set. Literals
+   inside [Subquery]/[Exists]/[From_subquery] interiors are NOT slots:
+   P2.2 plants boundary arguments inside subqueries whose result shape
+   (and hence the enclosing statement's behavior) depends on those
+   payloads, so subquery interiors are hashed and compared in full.
+
+   [fingerprint_skeleton]/[equal_skeleton] are the cache key pair for
+   the closure compiler: statements with equal skeletons share one
+   compiled plan, and [fold_slots] extracts the varying literal nodes in
+   the compiler's slot order (pre-order, projection → from → where →
+   group_by → having → order_by, same field order as [fingerprint]).
+
+   A statement containing a subquery in slot-bearing position has NO
+   skeleton ([fingerprint_skeleton] returns [None]): its case family
+   varies literals *inside* the interior, so every family member is a
+   distinct skeleton anyway — caching them would compile each statement
+   once for a plan that is never reused, and their full-interior hashes
+   are the most expensive to compute. The fingerprint walk aborts on
+   the first subquery instead. *)
+
+exception Unshared
+
+let rec fp_skel_expr h = function
+  (* one shared tag: every literal kind is the same slot *)
+  | Null | Bool_lit _ | Int_lit _ | Dec_lit _ | Str_lit _ | Hex_lit _ ->
+    mix h 142
+  | Star -> mix h 146
+  | Column (q, c) -> mix (fp_str (fp_opt fp_str h q) c) 147
+  | Call { fname; args; distinct } ->
+    mix (mix (fp_list fp_skel_expr (fp_str h fname) args)
+           (if distinct then 1 else 0))
+      148
+  | Cast (e, t) -> mix (fp_ty (fp_skel_expr h e) t) 149
+  | Unop (op, e) -> mix (mix (fp_skel_expr h e) (unop_tag op)) 150
+  | Binop (op, a, b) ->
+    mix (mix (fp_skel_expr (fp_skel_expr h a) b) (binop_tag op)) 151
+  | Row es -> mix (fp_list fp_skel_expr h es) 152
+  | Array_lit es -> mix (fp_list fp_skel_expr h es) 153
+  | Case { operand; branches; else_ } ->
+    let h = fp_opt fp_skel_expr h operand in
+    let h =
+      fp_list (fun h (w, t) -> fp_skel_expr (fp_skel_expr h w) t) h branches
+    in
+    mix (fp_opt fp_skel_expr h else_) 154
+  | In_list (e, es) -> mix (fp_list fp_skel_expr (fp_skel_expr h e) es) 155
+  | Is_null (e, neg) -> mix (mix (fp_skel_expr h e) (if neg then 1 else 0)) 156
+  | Between (e, lo, hi) ->
+    mix (fp_skel_expr (fp_skel_expr (fp_skel_expr h e) lo) hi) 157
+  (* subquery interiors make the statement unshareable *)
+  | Subquery _ | Exists _ -> raise Unshared
+
+and fp_skel_from h = function
+  | From_table (t, a) -> mix (fp_opt fp_str (fp_str h t) a) 172
+  | From_subquery _ -> raise Unshared
+  | From_join { left; right; kind; on } ->
+    let h = fp_skel_from (fp_skel_from h left) right in
+    mix (fp_opt fp_skel_expr (mix h (join_tag kind)) on) 174
+
+and fp_skel_select h s =
+  let h = mix h (if s.sel_distinct then 1 else 0) in
+  let h =
+    fp_list
+      (fun h -> function
+        | Proj_star -> mix h 170
+        | Proj_expr (e, a) -> mix (fp_opt fp_str (fp_skel_expr h e) a) 171)
+      h s.projection
+  in
+  let h = fp_opt fp_skel_from h s.from in
+  let h = fp_opt fp_skel_expr h s.where in
+  let h = fp_list fp_skel_expr h s.group_by in
+  mix (fp_opt fp_skel_expr h s.having) 175
+
+and fp_skel_body h = function
+  | Body_select s -> mix (fp_skel_select h s) 176
+  | Body_union { all; left; right } ->
+    mix
+      (mix (fp_skel_body (fp_skel_body h left) right) (if all then 1 else 0))
+      177
+
+and fp_skel_query h q =
+  let h = fp_skel_body h q.body in
+  let h =
+    fp_list
+      (fun h { ord_expr; asc } ->
+        mix (fp_skel_expr h ord_expr) (if asc then 1 else 0))
+      h q.order_by
+  in
+  mix (fp_opt mix h q.limit) 178
+
+let rec fp_skel_stmt h = function
+  | Select_stmt q -> mix (fp_skel_query h q) 190
+  | Explain s -> mix (fp_skel_stmt h s) 191
+  (* DDL/DML carry no slots: their skeleton is the full statement *)
+  | Create_table _ | Insert _ | Drop_table _ as s -> fp_stmt h s
+
+let fingerprint_skeleton stmt =
+  match fp_skel_stmt fnv_basis stmt with
+  | h -> Some (Int64.of_int h)
+  | exception Unshared -> None
+
+let rec eq_skel_expr a b =
+  match (a, b) with
+  | Star, Star -> true
+  (* slot positions: any literal matches any literal — the compiled
+     plan dispatches on the filled-in node's constructor at run time *)
+  | ( (Null | Bool_lit _ | Int_lit _ | Dec_lit _ | Str_lit _ | Hex_lit _),
+      (Null | Bool_lit _ | Int_lit _ | Dec_lit _ | Str_lit _ | Hex_lit _) ) ->
+    true
+  | Column (q1, c1), Column (q2, c2) -> q1 = q2 && c1 = c2
+  | Call c1, Call c2 ->
+    c1.fname = c2.fname && c1.distinct = c2.distinct
+    && eq_skel_list c1.args c2.args
+  | Cast (e1, t1), Cast (e2, t2) -> t1 = t2 && eq_skel_expr e1 e2
+  | Unop (o1, e1), Unop (o2, e2) -> o1 = o2 && eq_skel_expr e1 e2
+  | Binop (o1, a1, b1), Binop (o2, a2, b2) ->
+    o1 = o2 && eq_skel_expr a1 a2 && eq_skel_expr b1 b2
+  | Row e1, Row e2 | Array_lit e1, Array_lit e2 -> eq_skel_list e1 e2
+  | Case c1, Case c2 ->
+    eq_skel_opt c1.operand c2.operand
+    && List.compare_lengths c1.branches c2.branches = 0
+    && List.for_all2
+         (fun (w1, t1) (w2, t2) -> eq_skel_expr w1 w2 && eq_skel_expr t1 t2)
+         c1.branches c2.branches
+    && eq_skel_opt c1.else_ c2.else_
+  | In_list (e1, l1), In_list (e2, l2) ->
+    eq_skel_expr e1 e2 && eq_skel_list l1 l2
+  | Is_null (e1, n1), Is_null (e2, n2) -> n1 = n2 && eq_skel_expr e1 e2
+  | Between (e1, lo1, hi1), Between (e2, lo2, hi2) ->
+    eq_skel_expr e1 e2 && eq_skel_expr lo1 lo2 && eq_skel_expr hi1 hi2
+  (* subquery interiors must match in full *)
+  | Subquery q1, Subquery q2 | Exists q1, Exists q2 -> q1 = q2
+  | _, _ -> false
+
+and eq_skel_list l1 l2 =
+  List.compare_lengths l1 l2 = 0 && List.for_all2 eq_skel_expr l1 l2
+
+and eq_skel_opt o1 o2 =
+  match (o1, o2) with
+  | None, None -> true
+  | Some e1, Some e2 -> eq_skel_expr e1 e2
+  | _, _ -> false
+
+let eq_skel_from f1 f2 =
+  let rec go f1 f2 =
+    match (f1, f2) with
+    | From_table (t1, a1), From_table (t2, a2) -> t1 = t2 && a1 = a2
+    | From_subquery (q1, a1), From_subquery (q2, a2) -> a1 = a2 && q1 = q2
+    | From_join j1, From_join j2 ->
+      j1.kind = j2.kind && go j1.left j2.left && go j1.right j2.right
+      && eq_skel_opt j1.on j2.on
+    | _, _ -> false
+  in
+  go f1 f2
+
+let eq_skel_select s1 s2 =
+  s1.sel_distinct = s2.sel_distinct
+  && List.compare_lengths s1.projection s2.projection = 0
+  && List.for_all2
+       (fun p1 p2 ->
+         match (p1, p2) with
+         | Proj_star, Proj_star -> true
+         | Proj_expr (e1, a1), Proj_expr (e2, a2) ->
+           a1 = a2 && eq_skel_expr e1 e2
+         | _, _ -> false)
+       s1.projection s2.projection
+  && (match (s1.from, s2.from) with
+      | None, None -> true
+      | Some f1, Some f2 -> eq_skel_from f1 f2
+      | _, _ -> false)
+  && eq_skel_opt s1.where s2.where
+  && eq_skel_list s1.group_by s2.group_by
+  && eq_skel_opt s1.having s2.having
+
+let rec eq_skel_body b1 b2 =
+  match (b1, b2) with
+  | Body_select s1, Body_select s2 -> eq_skel_select s1 s2
+  | Body_union u1, Body_union u2 ->
+    u1.all = u2.all && eq_skel_body u1.left u2.left
+    && eq_skel_body u1.right u2.right
+  | _, _ -> false
+
+let eq_skel_query q1 q2 =
+  q1.limit = q2.limit
+  && List.compare_lengths q1.order_by q2.order_by = 0
+  && List.for_all2
+       (fun o1 o2 -> o1.asc = o2.asc && eq_skel_expr o1.ord_expr o2.ord_expr)
+       q1.order_by q2.order_by
+  && eq_skel_body q1.body q2.body
+
+let rec equal_skeleton (a : Ast.stmt) (b : Ast.stmt) =
+  match (a, b) with
+  | Select_stmt q1, Select_stmt q2 -> eq_skel_query q1 q2
+  | Explain s1, Explain s2 -> equal_skeleton s1 s2
+  | (Create_table _ | Insert _ | Drop_table _), _ -> a = b
+  | _, _ -> false
+
+let rec slot_expr f acc = function
+  | (Null | Bool_lit _ | Int_lit _ | Dec_lit _ | Str_lit _ | Hex_lit _) as e
+    ->
+    f acc e
+  | Star | Column _ -> acc
+  | Call { args; _ } -> List.fold_left (slot_expr f) acc args
+  | Cast (e, _) | Unop (_, e) | Is_null (e, _) -> slot_expr f acc e
+  | Binop (_, a, b) -> slot_expr f (slot_expr f acc a) b
+  | Row es | Array_lit es -> List.fold_left (slot_expr f) acc es
+  | Case { operand; branches; else_ } ->
+    let acc =
+      match operand with Some e -> slot_expr f acc e | None -> acc
+    in
+    let acc =
+      List.fold_left
+        (fun acc (w, t) -> slot_expr f (slot_expr f acc w) t)
+        acc branches
+    in
+    (match else_ with Some e -> slot_expr f acc e | None -> acc)
+  | In_list (e, es) -> List.fold_left (slot_expr f) (slot_expr f acc e) es
+  | Between (e, lo, hi) ->
+    slot_expr f (slot_expr f (slot_expr f acc e) lo) hi
+  | Subquery _ | Exists _ -> acc
+
+let rec slot_from f acc = function
+  | From_table _ | From_subquery _ -> acc
+  | From_join { left; right; on; _ } ->
+    let acc = slot_from f (slot_from f acc left) right in
+    (match on with Some e -> slot_expr f acc e | None -> acc)
+
+let slot_select f acc s =
+  let acc =
+    List.fold_left
+      (fun acc -> function
+        | Proj_star -> acc
+        | Proj_expr (e, _) -> slot_expr f acc e)
+      acc s.projection
+  in
+  let acc = match s.from with Some fr -> slot_from f acc fr | None -> acc in
+  let acc = match s.where with Some e -> slot_expr f acc e | None -> acc in
+  let acc = List.fold_left (slot_expr f) acc s.group_by in
+  match s.having with Some e -> slot_expr f acc e | None -> acc
+
+let rec slot_body f acc = function
+  | Body_select s -> slot_select f acc s
+  | Body_union { left; right; _ } -> slot_body f (slot_body f acc left) right
+
+let slot_query f acc q =
+  let acc = slot_body f acc q.body in
+  List.fold_left
+    (fun acc { ord_expr; _ } -> slot_expr f acc ord_expr)
+    acc q.order_by
+
+let rec fold_slots f acc = function
+  | Select_stmt q -> slot_query f acc q
+  | Explain s -> fold_slots f acc s
+  | Create_table _ | Insert _ | Drop_table _ -> acc
+
 let referenced_tables stmt =
   let rec of_from acc = function
     | From_table (t, _) -> t :: acc

@@ -38,5 +38,30 @@ val equal_stmt : Ast.stmt -> Ast.stmt -> bool
 (** Structural equality of statements — the collision guard paired with
     {!fingerprint}. *)
 
+val fingerprint_skeleton : Ast.stmt -> int64 option
+(** Like {!fingerprint}, but literal leaves
+    ([Null]/[Bool_lit]/[Int_lit]/[Dec_lit]/[Str_lit]/[Hex_lit]) are
+    normalized to one shared slot tag: statements that differ only in
+    those boundary arguments — the positions a SOFT case family varies,
+    across literal {e kinds} (NULL vs [5] vs [''] vs [0x1F]) — hash
+    equal. [None] when the statement contains a
+    [Subquery]/[Exists]/[From_subquery]: its case family varies
+    literals inside the interior, so no two family members could share
+    a skeleton and caching would be pure overhead. Confirm candidate
+    hits with {!equal_skeleton}. *)
+
+val equal_skeleton : Ast.stmt -> Ast.stmt -> bool
+(** Structural equality modulo slot nodes — the collision guard paired
+    with {!fingerprint_skeleton}. Equal skeletons are the sharing unit
+    for compiled plans: two skeleton-equal statements differ only in
+    the literal nodes at identical slot positions. *)
+
+val fold_slots : ('a -> Ast.expr -> 'a) -> 'a -> Ast.stmt -> 'a
+(** Pre-order fold over the slot nodes of a statement (the literal
+    leaves {!fingerprint_skeleton} normalizes out — always one of the
+    six literal constructors), in the compiler's slot order:
+    projection, then from/where/group_by/having, then ORDER BY
+    expressions. Subquery interiors contribute no slots. *)
+
 val referenced_tables : Ast.stmt -> string list
 (** Table names mentioned in FROM clauses (deduplicated, in order). *)

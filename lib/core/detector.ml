@@ -51,6 +51,10 @@ type t = {
   fp_buf : Buffer.t;  (* reused across FP-signature normalizations *)
   mutable found : found_bug list;  (* reversed *)
   memo : cached_verdict Verdict_cache.t option;  (* [None] = --no-memo *)
+  plans : Compile.Cache.t option;  (* [None] = --no-compile *)
+  mutable slot_buf : Sqlfun_ast.Ast.expr array;
+      (* reused across compiled executions; holds each case's literal
+         slot nodes *)
 }
 
 (* Arming a fresh engine is the same work whether it is the initial start
@@ -60,7 +64,7 @@ let fresh_engine tel cov xprof prof =
   Telemetry.with_span tel ~dialect:prof.Dialect.id "restart-after-crash"
     (fun () -> Dialect.make_engine ~cov ~armed:true ~profile:xprof prof)
 
-let create ?cov ?telemetry ?profile ?(memo = true) prof =
+let create ?cov ?telemetry ?profile ?(memo = true) ?(compile = true) prof =
   let cov = match cov with Some c -> c | None -> Coverage.create () in
   let tel = match telemetry with Some t -> t | None -> Telemetry.create () in
   let xprof = match profile with Some p -> p | None -> Profile.create () in
@@ -83,6 +87,8 @@ let create ?cov ?telemetry ?profile ?(memo = true) prof =
     fp_buf = Buffer.create 128;
     found = [];
     memo = (if memo then Some (Verdict_cache.create ()) else None);
+    plans = (if compile then Some (Compile.Cache.create ()) else None);
+    slot_buf = Array.make 16 Sqlfun_ast.Ast.Null;
   }
 
 (* A restart is the crash path: flush any streaming sinks first, so a
@@ -304,10 +310,81 @@ let replay t ?pattern ?case_number ~poc cached =
     (verdict_class verdict);
   verdict
 
+(* The engine round-trip for one statement: compile-once/fill-slots/run
+   when a compiled plan covers the statement's skeleton, the interpreter
+   otherwise. The plan cache is keyed on the skeleton, so every case of
+   a pattern family after the first is a cache hit that skips the AST
+   walk entirely; the slot buffer is reused across cases. *)
+let exec_engine t ?pattern stmt =
+  match t.plans with
+  | None -> Engine.exec_stmt t.engine stmt
+  | Some _
+    when not
+           (match pattern with
+            | Some p -> Pattern_id.shares_skeleton p
+            | None -> false) ->
+    (* seed replays and skeleton-varying patterns (P2.1/P2.2/P3.2/P3.3)
+       never reuse a plan; probing the cache for them costs more than
+       the tree walk they would run anyway *)
+    Telemetry.compile_fallback t.tel;
+    Engine.exec_stmt t.engine stmt
+  | Some cache ->
+    (* the cache probe (skeleton fingerprint + structural verify) and
+       slot fill are planning work: charged to the [Plan] attribution
+       phase so the much shorter compiled round-trips don't inflate the
+       unclaimed [other] bucket *)
+    let prepared =
+      Profile.with_phase t.xprof Profile.Plan @@ fun () ->
+      let compiled =
+        match
+          Compile.Cache.get cache ~registry:(Engine.registry t.engine) stmt
+        with
+        | Compile.Cache.Skip -> None
+        | Compile.Cache.Found c ->
+          Telemetry.compile_hit t.tel;
+          Some c
+        | Compile.Cache.Added c ->
+          Telemetry.compile_miss t.tel;
+          Some c
+      in
+      match compiled with
+      | None ->
+        Telemetry.compile_fallback t.tel;
+        None
+      | Some Compile.Fallback ->
+        Telemetry.compile_fallback t.tel;
+        None
+      | Some (Compile.Plan plan) ->
+        let n = Compile.n_slots plan in
+        if Array.length t.slot_buf < n then
+          t.slot_buf <-
+            Array.make
+              (Stdlib.max n (2 * Array.length t.slot_buf))
+              Sqlfun_ast.Ast.Null;
+        let buf = t.slot_buf in
+        let filled =
+          Sqlfun_ast.Ast_util.fold_slots
+            (fun i s ->
+              buf.(i) <- s;
+              i + 1)
+            0 stmt
+        in
+        if filled <> n then begin
+          (* traversal disagreement would mean a skeleton bug; never let
+             it corrupt a verdict — run the interpreter instead *)
+          Telemetry.compile_fallback t.tel;
+          None
+        end
+        else Some (plan, buf)
+    in
+    (match prepared with
+     | None -> Engine.exec_stmt t.engine stmt
+     | Some (plan, buf) -> Engine.exec_compiled t.engine plan buf)
+
 let exec_classified t ?pattern ?case_number ~poc stmt =
   let execute () =
     classify t ?pattern ?case_number ~poc (fun () ->
-        Engine.exec_stmt t.engine stmt)
+        exec_engine t ?pattern stmt)
   in
   match t.memo with
   | Some cache when cacheable stmt ->

@@ -30,6 +30,7 @@ val create :
   ?telemetry:Sqlfun_telemetry.Telemetry.t ->
   ?profile:Sqlfun_telemetry.Profile.t ->
   ?memo:bool ->
+  ?compile:bool ->
   Dialect.profile ->
   t
 (** Builds an armed engine for the profile (restarted after each crash).
@@ -60,7 +61,18 @@ val create :
     structural equality, so a fingerprint collision re-executes instead
     of replaying the wrong entry. Cached crashes still restart the
     engine. Cache lookups are counted on the telemetry collector
-    ({!Sqlfun_telemetry.Telemetry.memo_counts}). *)
+    ({!Sqlfun_telemetry.Telemetry.memo_counts}).
+
+    [compile] (default [true]) enables closure compilation: statements
+    that miss the verdict memo are executed compile-once/fill-slots/run
+    through a per-detector plan cache keyed by
+    {!Sqlfun_ast.Ast_util.fingerprint_skeleton}, so every case of a
+    pattern family after the first skips the AST walk. Compiled
+    execution is observably identical to the interpreter (values,
+    coverage, fault sites, ticks, profile attribution); shapes outside
+    the compiled subset fall back to the interpreter. Probes are counted
+    on the telemetry collector
+    ({!Sqlfun_telemetry.Telemetry.compile_counts}). *)
 
 val run_sql :
   t -> ?pattern:Pattern_id.t -> ?case_number:int -> string -> verdict

@@ -194,6 +194,10 @@ let campaign_to_json (r : Soft_runner.result) =
              (("cases_memoized", Json.Int r.Soft_runner.cases_memoized)
               :: fields)
          | other -> other) );
+      (* plan-compilation counters are throughput metadata for the same
+         reason: probes vary with shard count (each shard caches plans
+         privately) while verdicts and bugs do not *)
+      ("compile", Telemetry.compile_to_json r.Soft_runner.telemetry);
       ( "stages",
         Json.Arr (List.map Telemetry.stage_timing_to_json r.Soft_runner.timings)
       );

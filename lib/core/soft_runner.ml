@@ -133,7 +133,7 @@ let mk_result ~prof ~seeds ~tel ~cov ~profile ~cases_executed ~cases_memoized
 (* ----- the sequential path (shards = 1) ----- *)
 
 let fuzz_sequential ?budget ?cov ?telemetry ?timeseries
-    ?(patterns = Pattern_id.all) ?(memo = true) prof =
+    ?(patterns = Pattern_id.all) ?(memo = true) ?(compile = true) prof =
   let tel = match telemetry with Some t -> t | None -> Telemetry.create () in
   let t0 = Telemetry.now_ns () in
   (* the result record is built after the campaign span closes so the
@@ -147,7 +147,7 @@ let fuzz_sequential ?budget ?cov ?telemetry ?timeseries
     let seeds =
       Collector.collect ~telemetry:tel ~registry ~suite:prof.Dialect.seeds ()
     in
-    let detector = Detector.create ?cov ~telemetry:tel ~memo prof in
+    let detector = Detector.create ?cov ~telemetry:tel ~memo ~compile prof in
     let progress = Progress.create 1 in
     let recorder =
       Option.map
@@ -228,7 +228,8 @@ type shard_work =
   | Gen_case of Patterns.case
 
 let fuzz_sharded ?budget ?cov ?telemetry ?timeseries
-    ?(patterns = Pattern_id.all) ?(memo = true) ~shards ?jobs prof =
+    ?(patterns = Pattern_id.all) ?(memo = true) ?(compile = true) ~shards
+    ?jobs prof =
   let shards = Stdlib.max 1 shards in
   let jobs =
     match jobs with
@@ -266,7 +267,7 @@ let fuzz_sharded ?budget ?cov ?telemetry ?timeseries
                let det =
                  Detector.create ~cov:shard_covs.(s)
                    ~telemetry:shard_tels.(s) ~profile:shard_profiles.(s)
-                   ~memo prof
+                   ~memo ~compile prof
                in
                let recorder =
                  Option.map
@@ -398,19 +399,21 @@ let fuzz_sharded ?budget ?cov ?telemetry ?timeseries
     ~false_positives:(sum Detector.false_positives)
     ~fp_signatures ~known_crashes:(sum Detector.known_crashes) ~bugs
 
-let fuzz ?budget ?cov ?telemetry ?timeseries ?patterns ?memo ?(shards = 1)
-    ?jobs prof =
+let fuzz ?budget ?cov ?telemetry ?timeseries ?patterns ?memo ?compile
+    ?(shards = 1) ?jobs prof =
   if shards <= 1 then
-    fuzz_sequential ?budget ?cov ?telemetry ?timeseries ?patterns ?memo prof
+    fuzz_sequential ?budget ?cov ?telemetry ?timeseries ?patterns ?memo
+      ?compile prof
   else
-    fuzz_sharded ?budget ?cov ?telemetry ?timeseries ?patterns ?memo ~shards
-      ?jobs prof
+    fuzz_sharded ?budget ?cov ?telemetry ?timeseries ?patterns ?memo ?compile
+      ~shards ?jobs prof
 
-let fuzz_all ?budget ?telemetry ?timeseries ?memo ?(jobs = 1) ?(shards = 1) ()
-    =
+let fuzz_all ?budget ?telemetry ?timeseries ?memo ?compile ?(jobs = 1)
+    ?(shards = 1) () =
   if jobs <= 1 then
     List.map
-      (fun prof -> fuzz ?budget ?telemetry ?timeseries ?memo ~shards prof)
+      (fun prof ->
+        fuzz ?budget ?telemetry ?timeseries ?memo ?compile ~shards prof)
       Dialect.all
   else begin
     (* each campaign records into a private collector on its own domain;
@@ -425,7 +428,8 @@ let fuzz_all ?budget ?telemetry ?timeseries ?memo ?(jobs = 1) ?(shards = 1) ()
         (fun pool ->
           Pool.run pool
             (List.map
-               (fun prof () -> fuzz ?budget ?timeseries ?memo ~shards prof)
+               (fun prof () ->
+                 fuzz ?budget ?timeseries ?memo ?compile ~shards prof)
                Dialect.all))
     in
     Option.iter

@@ -69,6 +69,7 @@ val fuzz :
   ?timeseries:Sqlfun_telemetry.Timeseries.cfg ->
   ?patterns:Pattern_id.t list ->
   ?memo:bool ->
+  ?compile:bool ->
   ?shards:int ->
   ?jobs:int ->
   Dialect.profile ->
@@ -80,6 +81,10 @@ val fuzz :
     [budget] cases whenever the patterns can supply them.
     [patterns] restricts the pattern set — the ablation knob. Seeds are
     executed first (sanity pass, not counted against the budget).
+    [memo] and [compile] (both default [true]) toggle the detector's
+    verdict memoization and closure compilation (see {!Detector.create});
+    both are throughput-only — verdicts, bugs, coverage and FP
+    signatures are bit-identical with either off.
     [telemetry] plugs in a shared collector/sink; without it a private
     null-sink collector still populates [timings] — verdicts and bug
     lists are bit-identical either way.
@@ -113,6 +118,7 @@ val fuzz_sharded :
   ?timeseries:Sqlfun_telemetry.Timeseries.cfg ->
   ?patterns:Pattern_id.t list ->
   ?memo:bool ->
+  ?compile:bool ->
   shards:int ->
   ?jobs:int ->
   Dialect.profile ->
@@ -127,6 +133,7 @@ val fuzz_all :
   ?telemetry:Sqlfun_telemetry.Telemetry.t ->
   ?timeseries:Sqlfun_telemetry.Timeseries.cfg ->
   ?memo:bool ->
+  ?compile:bool ->
   ?jobs:int ->
   ?shards:int ->
   unit ->

@@ -1,18 +1,21 @@
-type t = { tbl : (string, int) Hashtbl.t; mutable hits : int }
+(* Counters are int refs so the hot path ([hit] on an already-seen
+   point — millions of calls per campaign) is one hashtable lookup and
+   an in-place increment, not a find_opt/replace pair. *)
+type t = { tbl : (string, int ref) Hashtbl.t; mutable hits : int }
 
 let create () = { tbl = Hashtbl.create 256; hits = 0 }
 
 let hit t point =
   t.hits <- t.hits + 1;
   match Hashtbl.find_opt t.tbl point with
-  | Some n -> Hashtbl.replace t.tbl point (n + 1)
-  | None -> Hashtbl.add t.tbl point 1
+  | Some r -> incr r
+  | None -> Hashtbl.add t.tbl point (ref 1)
 
 let count t = Hashtbl.length t.tbl
 let total_hits t = t.hits
 
 let points t =
-  let l = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tbl [] in
+  let l = Hashtbl.fold (fun k v acc -> (k, !v) :: acc) t.tbl [] in
   List.sort (fun (a, _) (b, _) -> String.compare a b) l
 
 let mem t point = Hashtbl.mem t.tbl point
@@ -25,8 +28,8 @@ let merge_into ~dst src =
   Hashtbl.iter
     (fun k v ->
       match Hashtbl.find_opt dst.tbl k with
-      | Some n -> Hashtbl.replace dst.tbl k (n + v)
-      | None -> Hashtbl.add dst.tbl k v)
+      | Some r -> r := !r + !v
+      | None -> Hashtbl.add dst.tbl k (ref !v))
     src.tbl;
   dst.hits <- dst.hits + src.hits
 

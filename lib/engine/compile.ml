@@ -1,0 +1,633 @@
+(* Closure compilation of SOFT case statements.
+
+   A SOFT case family shares one statement skeleton and varies only the
+   boundary-literal leaves (Patterns.with_arg / literal_arg_variants).
+   [compile] lowers a supported statement once into a tree of closures
+   with *argument slots* at those literal positions; per case the
+   detector then fills a reused slot buffer (Ast_util.fold_slots) and
+   runs the closure — no AST re-walk, no per-node dispatch.
+
+   A slot holds the literal AST node itself (one of the six literal
+   constructors), not just a payload string: boundary-argument sets mix
+   NULL, integers, strings and hex blobs at one position, and carrying
+   the node lets all of them share a single compiled plan — the slot
+   closure dispatches on the constructor at run time, which is one
+   match against six immediate tags.
+
+   Soundness contract: a compiled node must be observably identical to
+   Interp.eval_expr on the same node — same value, same provenance, same
+   Fn_ctx.tick count and costs, same Coverage points/branches, same
+   Fault.check call, same Profile frames, and the same exceptions in the
+   same order. Slot payloads are parsed at *execution* time (exactly
+   where the interpreter parses them), so a malformed literal raises at
+   the same point in the same order. Anything outside the supported
+   shape — FROM clauses, WHERE, grouping, DISTINCT, ORDER BY/LIMIT,
+   star projections, aggregates — compiles to [Fallback] and keeps
+   going through the interpreter. *)
+
+open Sqlfun_value
+open Sqlfun_fault
+open Sqlfun_functions
+open Sqlfun_ast
+module Profile = Sqlfun_telemetry.Profile
+
+type cexpr = Interp.env -> Ast.expr array -> Fault.arg
+
+type plan = {
+  n_slots : int;
+  columns : string list;
+  projs : cexpr array;
+}
+
+type compiled = Plan of plan | Fallback
+
+let n_slots plan = plan.n_slots
+
+let err fmt = Printf.ksprintf (fun msg -> raise (Fn_ctx.Sql_error msg)) fmt
+
+(* In_list items: subquery items run the interpreter's exec_query (the
+   interpreter does not tick them as expressions); value items are
+   compiled closures. *)
+type citem = CQuery of Ast.query | CVal of cexpr
+
+let rec compile_expr ~registry ~slot (e : Ast.expr) : cexpr =
+  match e with
+  | Ast.Null | Ast.Bool_lit _ | Ast.Int_lit _ | Ast.Dec_lit _ | Ast.Str_lit _
+  | Ast.Hex_lit _ ->
+    (* a slot: the case's literal node is dispatched at execution time,
+       parsing payloads exactly where the interpreter would *)
+    let i = take_slot slot in
+    fun env slots ->
+      Fn_ctx.tick env.Interp.ctx;
+      let value =
+        match Array.unsafe_get slots i with
+        | Ast.Null -> Value.Null
+        | Ast.Bool_lit b -> Value.Bool b
+        | Ast.Int_lit s -> Interp.value_of_int_lit s
+        | Ast.Dec_lit s -> Interp.value_of_dec_lit s
+        | Ast.Str_lit s -> Value.Str s
+        | Ast.Hex_lit b -> Value.Blob b
+        | _ -> assert false (* fold_slots only yields literal leaves *)
+      in
+      { Fault.value; prov = Fault.Prov.Literal }
+  | Ast.Star ->
+    let r = { Fault.value = Value.Null; prov = Fault.Prov.Star } in
+    fun env _ ->
+      Fn_ctx.tick env.Interp.ctx;
+      r
+  | Ast.Column (_, name) ->
+    (* supported shapes have no FROM clause, so row is always absent *)
+    fun env _ ->
+      Fn_ctx.tick env.Interp.ctx;
+      err "no FROM clause: unknown column %s" name
+  | Ast.Call { fname = "CONVERT"; args = [ e1; Ast.Column (None, ty) ]; distinct }
+    ->
+    (* CONVERT's second argument is a type keyword, not a column; the
+       keyword is part of the skeleton, so it compiles to a constant
+       literal node (mirroring the interpreter's Str_lit rewrite). *)
+    let ca = compile_expr ~registry ~slot e1 in
+    let ty_const =
+      let r = { Fault.value = Value.Str ty; prov = Fault.Prov.Literal } in
+      fun env _ ->
+        Fn_ctx.tick env.Interp.ctx;
+        r
+    in
+    compile_call ~registry "CONVERT" [| ca; ty_const |] distinct
+  | Ast.Call { fname; args; distinct } ->
+    let cargs =
+      Array.of_list (List.map (compile_expr ~registry ~slot) args)
+    in
+    compile_call ~registry fname cargs distinct
+  | Ast.Cast (e1, ty) ->
+    let ce = compile_expr ~registry ~slot e1 in
+    fun env slots ->
+      Fn_ctx.tick env.Interp.ctx;
+      let inner = ce env slots in
+      if inner.Fault.prov = Fault.Prov.Star then err "cannot cast '*'";
+      { Fault.value = Fn_ctx.cast_value env.Interp.ctx inner.Fault.value ty;
+        prov = Fault.Prov.Cast }
+  | Ast.Unop (Ast.Neg, e1) ->
+    let ce = compile_expr ~registry ~slot e1 in
+    fun env slots ->
+      Fn_ctx.tick env.Interp.ctx;
+      (match (ce env slots).Fault.value with
+       | Value.Null -> ret Value.Null
+       | Value.Int i ->
+         (match Sqlfun_num.Checked_int.neg i with
+          | Some r -> ret (Value.Int r)
+          | None ->
+            ret
+              (Value.Dec
+                 (Sqlfun_num.Decimal.neg (Sqlfun_num.Decimal.of_int64 i))))
+       | Value.Dec d -> ret (Value.Dec (Sqlfun_num.Decimal.neg d))
+       | Value.Float f -> ret (Value.Float (-.f))
+       | v -> ret (Interp.arith env.Interp.ctx Ast.Sub (Value.Int 0L) v))
+  | Ast.Unop (Ast.Not, e1) ->
+    let ce = compile_expr ~registry ~slot e1 in
+    fun env slots ->
+      Fn_ctx.tick env.Interp.ctx;
+      (match Interp.truthiness (ce env slots).Fault.value with
+       | None -> ret Value.Null
+       | Some b -> ret (Value.Bool (not b)))
+  | Ast.Unop (Ast.Bit_not, e1) ->
+    let ce = compile_expr ~registry ~slot e1 in
+    fun env slots ->
+      Fn_ctx.tick env.Interp.ctx;
+      (match (ce env slots).Fault.value with
+       | Value.Null -> ret Value.Null
+       | Value.Int i -> ret (Value.Int (Int64.lognot i))
+       | v ->
+         (match Fn_ctx.cast_value env.Interp.ctx v Ast.T_bigint with
+          | Value.Int i -> ret (Value.Int (Int64.lognot i))
+          | _ -> err "bad operand for ~"))
+  | Ast.Binop (op, a, b) ->
+    let ca = compile_expr ~registry ~slot a in
+    let cb = compile_expr ~registry ~slot b in
+    compile_binop op ca cb
+  | Ast.Row es ->
+    let ces =
+      Array.of_list (List.map (compile_expr ~registry ~slot) es)
+    in
+    fun env slots ->
+      Fn_ctx.tick env.Interp.ctx;
+      ret (Value.Row (eval_values ces env slots))
+  | Ast.Array_lit es ->
+    let ces =
+      Array.of_list (List.map (compile_expr ~registry ~slot) es)
+    in
+    fun env slots ->
+      Fn_ctx.tick env.Interp.ctx;
+      ret (Value.Arr (eval_values ces env slots))
+  | Ast.Case { operand; branches; else_ } ->
+    let coperand = Option.map (compile_expr ~registry ~slot) operand in
+    let cbranches =
+      Array.of_list
+        (List.map
+           (fun (w, t) ->
+             let cw = compile_expr ~registry ~slot w in
+             (cw, compile_expr ~registry ~slot t))
+           branches)
+    in
+    let celse = Option.map (compile_expr ~registry ~slot) else_ in
+    let nb = Array.length cbranches in
+    fun env slots ->
+      Fn_ctx.tick env.Interp.ctx;
+      let rec first_match pred i =
+        if i >= nb then None
+        else begin
+          let cw, ct = Array.unsafe_get cbranches i in
+          if pred (cw env slots).Fault.value then Some ct
+          else first_match pred (i + 1)
+        end
+      in
+      let matched =
+        match coperand with
+        | Some cop ->
+          let v = (cop env slots).Fault.value in
+          first_match (fun w -> Value.equal v w) 0
+        | None ->
+          first_match (fun w -> Interp.truthiness w = Some true) 0
+      in
+      (match matched with
+       | Some ct -> ret (ct env slots).Fault.value
+       | None ->
+         (match celse with
+          | Some ce -> ret (ce env slots).Fault.value
+          | None -> ret Value.Null))
+  | Ast.In_list (e1, items) ->
+    let ce = compile_expr ~registry ~slot e1 in
+    let citems =
+      List.map
+        (fun item ->
+          match item with
+          | Ast.Subquery q -> CQuery q
+          | _ -> CVal (compile_expr ~registry ~slot item))
+        items
+    in
+    fun env slots ->
+      Fn_ctx.tick env.Interp.ctx;
+      let v = (ce env slots).Fault.value in
+      if Value.is_null v then ret Value.Null
+      else begin
+        let vals =
+          List.concat_map
+            (fun item ->
+              match item with
+              | CQuery q ->
+                let rs = Interp.exec_query env q in
+                List.concat_map (fun r -> r) rs.Interp.rows
+              | CVal ci -> [ (ci env slots).Fault.value ])
+            citems
+        in
+        let any_null = List.exists Value.is_null vals in
+        if List.exists (fun u -> Value.equal u v) vals then
+          ret (Value.Bool true)
+        else if any_null then ret Value.Null
+        else ret (Value.Bool false)
+      end
+  | Ast.Is_null (e1, negated) ->
+    let ce = compile_expr ~registry ~slot e1 in
+    fun env slots ->
+      Fn_ctx.tick env.Interp.ctx;
+      let isnull = Value.is_null (ce env slots).Fault.value in
+      ret (Value.Bool (if negated then not isnull else isnull))
+  | Ast.Between (e1, lo, hi) ->
+    let ce = compile_expr ~registry ~slot e1 in
+    let clo = compile_expr ~registry ~slot lo in
+    let chi = compile_expr ~registry ~slot hi in
+    fun env slots ->
+      Fn_ctx.tick env.Interp.ctx;
+      let v = (ce env slots).Fault.value in
+      let lo_v = (clo env slots).Fault.value in
+      let hi_v = (chi env slots).Fault.value in
+      if Value.is_null v || Value.is_null lo_v || Value.is_null hi_v then
+        ret Value.Null
+      else
+        (match (Value.compare_values v lo_v, Value.compare_values v hi_v) with
+         | Some c1, Some c2 -> ret (Value.Bool (c1 >= 0 && c2 <= 0))
+         | _, _ -> err "BETWEEN: incomparable types")
+  | Ast.Subquery q ->
+    fun env _ ->
+      Fn_ctx.tick env.Interp.ctx;
+      let rs = Interp.exec_query env q in
+      (match rs.Interp.rows with
+       | [] -> { Fault.value = Value.Null; prov = Fault.Prov.Subquery }
+       | [ v ] :: _ -> { Fault.value = v; prov = Fault.Prov.Subquery }
+       | (_ :: _ :: _) :: _ -> err "scalar subquery returned more than one column"
+       | [] :: _ -> err "scalar subquery returned no columns")
+  | Ast.Exists q ->
+    fun env _ ->
+      Fn_ctx.tick env.Interp.ctx;
+      let rs = Interp.exec_query env q in
+      ret (Value.Bool (rs.Interp.rows <> []))
+
+and take_slot slot =
+  let i = !slot in
+  slot := i + 1;
+  i
+
+and ret value = { Fault.value; prov = Fault.Prov.Operator }
+
+(* Left-to-right argument evaluation into a list, without the List.map
+   closure of the interpreter's hot path. *)
+and eval_args (cargs : cexpr array) env slots =
+  let n = Array.length cargs in
+  let rec go i =
+    if i = n then []
+    else begin
+      let a = (Array.unsafe_get cargs i) env slots in
+      let rest = go (i + 1) in
+      a :: rest
+    end
+  in
+  go 0
+
+and eval_values (ces : cexpr array) env slots =
+  let n = Array.length ces in
+  let rec go i =
+    if i = n then []
+    else begin
+      let v = ((Array.unsafe_get ces i) env slots).Fault.value in
+      let rest = go (i + 1) in
+      v :: rest
+    end
+  in
+  go 0
+
+and compile_call ~registry fname (cargs : cexpr array) distinct : cexpr =
+  (* the registry mapping is per dialect profile and identical across
+     engine restarts, so the spec can be resolved at compile time; the
+     coverage point and provenance strings are precomputed so the per-
+     call path allocates neither *)
+  let prov = Fault.Prov.Func (String.uppercase_ascii fname) in
+  let body : Interp.env -> Ast.expr array -> Fault.arg =
+    match Registry.find registry fname with
+    | Some ({ Func_sig.kind = Func_sig.Scalar _; _ } as spec)
+      when not distinct ->
+      let point = "fn/" ^ spec.Func_sig.name in
+      fun env slots ->
+        let args = eval_args cargs env slots in
+        { Fault.value = Registry.invoke_spec env.Interp.ctx ~point spec args;
+          prov }
+    | Some { Func_sig.kind = Func_sig.Aggregate _; _ } ->
+      (* bare-SELECT aggregate over one conceptual row, as in the
+         interpreter; make_aggregate re-runs its own point/fault hooks *)
+      fun env slots ->
+        let args = eval_args cargs env slots in
+        let inst =
+          Registry.make_aggregate env.Interp.ctx env.Interp.registry fname
+            ~distinct
+        in
+        inst.Func_sig.step args;
+        { Fault.value = inst.Func_sig.final (); prov }
+    | Some { Func_sig.kind = Func_sig.Scalar _; _ } | None ->
+      (* DISTINCT on a scalar, or an unknown function: both error at
+         runtime *after* argument evaluation, in interpreter order *)
+      fun env slots ->
+        let args = eval_args cargs env slots in
+        if distinct then err "%s does not accept DISTINCT" fname;
+        { Fault.value =
+            Registry.invoke_scalar env.Interp.ctx env.Interp.registry fname
+              args;
+          prov }
+  in
+  fun env slots ->
+    Fn_ctx.tick env.Interp.ctx;
+    Profile.enter_fn env.Interp.profile fname Profile.Eval;
+    (match body env slots with
+     | r ->
+       Profile.exit env.Interp.profile;
+       r
+     | exception e ->
+       Profile.exit env.Interp.profile;
+       raise e)
+
+and compile_binop op (ca : cexpr) (cb : cexpr) : cexpr =
+  match op with
+  | Ast.And ->
+    fun env slots ->
+      Fn_ctx.tick env.Interp.ctx;
+      (match Interp.truthiness (ca env slots).Fault.value with
+       | Some false -> ret (Value.Bool false)
+       | va ->
+         (match (va, Interp.truthiness (cb env slots).Fault.value) with
+          | Some x, Some y -> ret (Value.Bool (x && y))
+          | None, Some false | Some false, None -> ret (Value.Bool false)
+          | _, _ -> ret Value.Null))
+  | Ast.Or ->
+    fun env slots ->
+      Fn_ctx.tick env.Interp.ctx;
+      (match Interp.truthiness (ca env slots).Fault.value with
+       | Some true -> ret (Value.Bool true)
+       | va ->
+         (match (va, Interp.truthiness (cb env slots).Fault.value) with
+          | Some x, Some y -> ret (Value.Bool (x || y))
+          | None, Some true | Some true, None -> ret (Value.Bool true)
+          | _, _ -> ret Value.Null))
+  | Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+    let decide =
+      match op with
+      | Ast.Eq -> fun c -> c = 0
+      | Ast.Neq -> fun c -> c <> 0
+      | Ast.Lt -> fun c -> c < 0
+      | Ast.Le -> fun c -> c <= 0
+      | Ast.Gt -> fun c -> c > 0
+      | _ -> fun c -> c >= 0
+    in
+    fun env slots ->
+      Fn_ctx.tick env.Interp.ctx;
+      let va = (ca env slots).Fault.value in
+      let vb = (cb env slots).Fault.value in
+      if Value.is_null va || Value.is_null vb then ret Value.Null
+      else
+        (match Value.compare_values va vb with
+         | Some c -> ret (Value.Bool (decide c))
+         | None ->
+           err "cannot compare %s with %s"
+             (Value.ty_name (Value.type_of va))
+             (Value.ty_name (Value.type_of vb)))
+  | Ast.Like ->
+    fun env slots ->
+      Fn_ctx.tick env.Interp.ctx;
+      let va = (ca env slots).Fault.value in
+      let vb = (cb env slots).Fault.value in
+      if Value.is_null va || Value.is_null vb then ret Value.Null
+      else
+        ret
+          (Value.Bool
+             (Interp.like_match ~pattern:(Value.to_display vb)
+                (Value.to_display va)))
+  | Ast.Concat ->
+    fun env slots ->
+      Fn_ctx.tick env.Interp.ctx;
+      let va = (ca env slots).Fault.value in
+      let vb = (cb env slots).Fault.value in
+      if Value.is_null va || Value.is_null vb then ret Value.Null
+      else begin
+        let sa = Value.to_display va and sb = Value.to_display vb in
+        Fn_ctx.alloc_check env.Interp.ctx (String.length sa + String.length sb);
+        ret (Value.Str (sa ^ sb))
+      end
+  | Ast.Bit_and | Ast.Bit_or | Ast.Bit_xor | Ast.Shift_l | Ast.Shift_r ->
+    fun env slots ->
+      Fn_ctx.tick env.Interp.ctx;
+      let va = (ca env slots).Fault.value in
+      let vb = (cb env slots).Fault.value in
+      if Value.is_null va || Value.is_null vb then ret Value.Null
+      else begin
+        let as_i v =
+          match Fn_ctx.cast_value env.Interp.ctx v Ast.T_bigint with
+          | Value.Int i -> i
+          | _ -> err "bad operand for bit operation"
+        in
+        ret (Value.Int (Interp.bitop op (as_i va) (as_i vb)))
+      end
+  | Ast.Add | Ast.Sub ->
+    fun env slots ->
+      Fn_ctx.tick env.Interp.ctx;
+      let va = (ca env slots).Fault.value in
+      let vb = (cb env slots).Fault.value in
+      if Value.is_null va || Value.is_null vb then ret Value.Null
+      else begin
+        match (Interp.datetime_of_value va, vb, va, Interp.datetime_of_value vb)
+        with
+        | Some dt, Value.Interval iv, _, _ ->
+          ret
+            (Interp.temporal_shift env.Interp.ctx dt iv
+               (if op = Ast.Add then 1 else -1))
+        | _, _, Value.Interval iv, Some dt when op = Ast.Add ->
+          ret (Interp.temporal_shift env.Interp.ctx dt iv 1)
+        | _ -> ret (Interp.arith env.Interp.ctx op va vb)
+      end
+  | Ast.Mul | Ast.Div | Ast.Mod ->
+    fun env slots ->
+      Fn_ctx.tick env.Interp.ctx;
+      let va = (ca env slots).Fault.value in
+      let vb = (cb env slots).Fault.value in
+      if Value.is_null va || Value.is_null vb then ret Value.Null
+      else ret (Interp.arith env.Interp.ctx op va vb)
+
+(* ----- statement compilation ----- *)
+
+let has_aggregate ~registry e =
+  List.exists
+    (fun (c : Ast.call) -> Registry.is_aggregate registry c.Ast.fname)
+    (Interp.top_level_calls e)
+
+let compile ~registry (stmt : Ast.stmt) : compiled =
+  match stmt with
+  | Ast.Select_stmt
+      { Ast.body =
+          Ast.Body_select
+            ({ Ast.sel_distinct = false;
+               from = None;
+               where = None;
+               group_by = [];
+               having = None;
+               _ } as sel);
+        order_by = [];
+        limit = None }
+    when List.for_all
+           (function Ast.Proj_star -> false | Ast.Proj_expr _ -> true)
+           sel.Ast.projection ->
+    let exprs =
+      List.filter_map
+        (function Ast.Proj_expr (e, _) -> Some e | Ast.Proj_star -> None)
+        sel.Ast.projection
+    in
+    if List.exists (has_aggregate ~registry) exprs then Fallback
+    else begin
+      let slot = ref 0 in
+      let projs =
+        Array.of_list (List.map (compile_expr ~registry ~slot) exprs)
+      in
+      let columns =
+        List.mapi
+          (fun i item ->
+            match item with
+            | Ast.Proj_expr (_, Some alias) -> alias
+            | Ast.Proj_expr (e, None) ->
+              (match e with
+               | Ast.Column (_, n) -> n
+               | _ -> Printf.sprintf "col%d" (i + 1))
+            | Ast.Proj_star -> assert false)
+          sel.Ast.projection
+      in
+      Plan { n_slots = !slot; columns; projs }
+    end
+  | _ -> Fallback
+
+let exec plan (env : Interp.env) (slots : Ast.expr array) : Interp.outcome =
+  Interp.Rows
+    (Profile.with_phase env.Interp.profile Profile.Eval (fun () ->
+         (* mirrors exec_select's entry tick for the plain no-FROM path *)
+         Fn_ctx.tick env.Interp.ctx;
+         let n = Array.length plan.projs in
+         let rec go i =
+           if i = n then []
+           else begin
+             let v = ((Array.unsafe_get plan.projs i) env slots).Fault.value in
+             let rest = go (i + 1) in
+             v :: rest
+           end
+         in
+         { Interp.columns = plan.columns; rows = [ go 0 ] }))
+
+(* ----- per-detector plan cache ----- *)
+
+module Cache = struct
+  (* Keyed by skeleton fingerprint, guarded by equal_skeleton. Admits
+     every probed skeleton (there is no churn to defend against) but
+     defers the compile itself to the third sighting — see [entry].
+
+     Two filters run BEFORE the fingerprint walk, because on a fast
+     interpreter the probe itself is the cost to beat:
+     - a shallow shape test ([plan_shaped]) turns away everything
+       [compile] would reject anyway (DDL, FROM/WHERE/ORDER BY/LIMIT,
+       star projections) without walking the tree;
+     - [fingerprint_skeleton] aborts on subqueries ([None]): their case
+       families vary interior literals, so each statement would compile
+       to a plan that is never reused while its full-interior hash is
+       the most expensive to compute. *)
+  type entry = { rep : Ast.stmt; plan : compiled }
+
+  type t = {
+    tbl : (int, entry list) Hashtbl.t;
+        (* only skeletons seen at least twice get an entry (and hence a
+           compiled plan and a retained representative statement) *)
+    seen : (int, int) Hashtbl.t;
+        (* sighting counts for not-yet-admitted fingerprints —
+           deliberately NOT the statements themselves. Campaigns carry
+           tens of thousands of single-use and two-use skeletons (e.g.
+           P2.1 bakes the CAST target type into the skeleton, and most
+           shared families have 2-3 members); compiling a plan that is
+           reused once roughly breaks even on CPU and loses on the
+           megabytes of closures and representative ASTs promoted into
+           the major heap, whose GC cost swamps the compiled win. Only
+           a skeleton's third sighting compiles — the 400-odd big
+           pool-driven families (tens of thousands of cases) clear that
+           bar immediately and they are where compilation pays. A
+           fingerprint collision here only delays a family's compile by
+           a case or two — the per-use [equal_skeleton] guard on [rep]
+           keeps reuse sound. *)
+    mutable last : entry option;
+        (* most-recently used entry. Patterns emit a case family as a
+           consecutive run, so checking the previous case's skeleton
+           first — one cheap structural walk, no hashing, no bucket
+           scan — resolves the overwhelming majority of lookups.
+           [last] only ever holds admitted (hence subquery-free,
+           plan-shaped) entries, so the equality walk exits fast on
+           shape mismatches. *)
+  }
+
+  type lookup =
+    | Skip
+        (** not plan-shaped, unshareable, or first sight of this
+            skeleton (compilation deferred): run the interpreter *)
+    | Found of compiled  (** cache hit *)
+    | Added of compiled  (** compiled and admitted now (third sighting) *)
+
+  let create () : t =
+    { tbl = Hashtbl.create 512; seen = Hashtbl.create 4096; last = None }
+
+  (* shallow: one pattern match plus a scan of the projection list *)
+  let plan_shaped = function
+    | Ast.Select_stmt
+        { Ast.body =
+            Ast.Body_select
+              { Ast.sel_distinct = false;
+                from = None;
+                where = None;
+                group_by = [];
+                having = None;
+                projection;
+                _ };
+          order_by = [];
+          limit = None } ->
+      List.for_all
+        (function Ast.Proj_expr _ -> true | Ast.Proj_star -> false)
+        projection
+    | _ -> false
+
+  let get t ~registry stmt =
+    match t.last with
+    | Some e when Ast_util.equal_skeleton e.rep stmt -> Found e.plan
+    | _ ->
+      if not (plan_shaped stmt) then Skip
+      else
+        (match Ast_util.fingerprint_skeleton stmt with
+         | None -> Skip
+         | Some fp64 ->
+           let fp = Int64.to_int fp64 in
+           let entries =
+             match Hashtbl.find_opt t.tbl fp with Some l -> l | None -> []
+           in
+           (match
+              List.find_opt
+                (fun e -> Ast_util.equal_skeleton e.rep stmt)
+                entries
+            with
+            | Some e ->
+              t.last <- Some e;
+              Found e.plan
+            | None ->
+              let sightings =
+                match Hashtbl.find_opt t.seen fp with
+                | Some n -> n + 1
+                | None -> 1
+              in
+              if sightings >= 3 then begin
+                (* repeat sightings prove the family is worth a plan *)
+                Hashtbl.remove t.seen fp;
+                let e = { rep = stmt; plan = compile ~registry stmt } in
+                Hashtbl.replace t.tbl fp (e :: entries);
+                t.last <- Some e;
+                Added e.plan
+              end
+              else begin
+                Hashtbl.replace t.seen fp sightings;
+                Skip
+              end))
+
+  let size t = Hashtbl.fold (fun _ l acc -> acc + List.length l) t.tbl 0
+end

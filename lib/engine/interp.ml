@@ -378,20 +378,30 @@ and eval_call env ~row fname arg_exprs distinct =
 
 and eval_call_body env ~row fname arg_exprs distinct =
   let args = List.map (eval_expr env ~row) arg_exprs in
-  if distinct && not (Registry.is_aggregate env.registry fname) then
-    err "%s does not accept DISTINCT" fname;
-  if Registry.is_aggregate env.registry fname then begin
-    (* An aggregate without GROUP BY context: aggregate over a single
-       conceptual row (SELECT COUNT(1) with no table). The executor
-       handles grouped evaluation; reaching here means a bare SELECT. *)
-    let inst = Registry.make_aggregate env.ctx env.registry fname ~distinct in
-    inst.Func_sig.step args;
-    { Fault.value = inst.Func_sig.final ();
-      prov = Fault.Prov.Func (String.uppercase_ascii fname) }
-  end
-  else
-    { Fault.value = Registry.invoke_scalar env.ctx env.registry fname args;
-      prov = Fault.Prov.Func (String.uppercase_ascii fname) }
+  (* one cached resolution replaces the is_aggregate probes, the
+     invoke-time lookup and the per-call uppercase/"fn/" allocations *)
+  match Registry.resolve env.registry fname with
+  | None ->
+    (* error precedence as before the resolve cache: DISTINCT on a
+       non-aggregate (known or not) rejects first *)
+    if distinct then err "%s does not accept DISTINCT" fname
+    else err "unknown function %s" (String.uppercase_ascii fname)
+  | Some r ->
+    let spec = r.Registry.r_spec in
+    (match spec.Func_sig.kind with
+     | Func_sig.Aggregate _ ->
+       (* An aggregate without GROUP BY context: aggregate over a single
+          conceptual row (SELECT COUNT(1) with no table). The executor
+          handles grouped evaluation; reaching here means a bare SELECT.
+          [make_aggregate_spec] records the coverage point itself. *)
+       let inst = Registry.make_aggregate_spec env.ctx spec ~distinct in
+       inst.Func_sig.step args;
+       { Fault.value = inst.Func_sig.final (); prov = r.Registry.r_prov }
+     | Func_sig.Scalar _ ->
+       if distinct then err "%s does not accept DISTINCT" fname;
+       { Fault.value =
+           Registry.invoke_spec env.ctx ~point:r.Registry.r_point spec args;
+         prov = r.Registry.r_prov })
 
 and eval_binop env ~row op a b =
   let ret ?(prov = Fault.Prov.Operator) value = { Fault.value; prov } in

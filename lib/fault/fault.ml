@@ -181,9 +181,23 @@ let disarm rt = rt.armed <- false
 let is_armed rt = rt.armed
 let specs rt = rt.all
 
+(* [check] runs once per function invocation; registry callers pass the
+   spec's canonical (already-uppercase) name, so the uppercase copy
+   would be a dead allocation on the hottest path — scan first, copy
+   only when a lowercase byte is actually present *)
+let has_lower s =
+  let n = String.length s in
+  let rec go i =
+    i < n
+    && (let c = String.unsafe_get s i in
+        (c >= 'a' && c <= 'z') || go (i + 1))
+  in
+  go 0
+
 let check rt ~func args =
   if rt.armed then
-    match Hashtbl.find_opt rt.by_func (String.uppercase_ascii func) with
+    let key = if has_lower func then String.uppercase_ascii func else func in
+    match Hashtbl.find_opt rt.by_func key with
     | None -> ()
     | Some specs ->
       List.iter

@@ -193,8 +193,16 @@ let range_fn =
       else if span > Int64.of_int ctx.Fn_ctx.limits.max_collection then
         raise (Fn_ctx.Resource_limit "RANGE too large")
       else begin
-        let n = Int64.to_int span in
-        Value.Arr (List.init n (fun i -> Value.Int (Int64.add lo (Int64.of_int i))))
+        (* build descending so the list comes out ascending in one pass —
+           [List.init] at this size goes tail-recursive and pays a second
+           full pass (and a second list) in [List.rev]; boundary
+           arguments make n ~10^5..10^6, so the halved allocation is
+           measurable campaign-wide *)
+        let rec build i acc =
+          if Int64.compare i lo < 0 then acc
+          else build (Int64.pred i) (Value.Int i :: acc)
+        in
+        Value.Arr (build (Int64.pred hi) [])
       end)
 
 (* ----- maps ----- *)

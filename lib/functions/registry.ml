@@ -1,11 +1,30 @@
 open Sqlfun_value
 open Sqlfun_fault
 
-type t = { tbl : (string, Func_sig.t) Hashtbl.t }
+type resolved = {
+  r_spec : Func_sig.t;
+  r_point : string;  (* "fn/" ^ spec.name, built once *)
+  r_prov : Fault.Prov.t;  (* Prov.Func spec.name, built once *)
+}
 
-let create () = { tbl = Hashtbl.create 128 }
+type t = {
+  tbl : (string, Func_sig.t) Hashtbl.t;
+  resolved : (string, resolved option) Hashtbl.t;
+      (* raw statement spelling -> resolution, filled lazily. The
+         uppercase normalization, the "fn/NAME" coverage-point string
+         and the provenance constructor are all per-name constants, but
+         the interpreter used to rebuild them on every call — at
+         millions of calls per campaign the allocations dominated the
+         lookup. A registry is built per engine (one per shard), so the
+         cache is single-domain. [None] caches unknown spellings. *)
+}
 
-let add t spec = Hashtbl.replace t.tbl spec.Func_sig.name spec
+let create () = { tbl = Hashtbl.create 128; resolved = Hashtbl.create 256 }
+
+let add t spec =
+  Hashtbl.replace t.tbl spec.Func_sig.name spec;
+  (* a later add could turn a cached miss (or a stale spec) live *)
+  Hashtbl.reset t.resolved
 
 let of_list specs =
   let t = create () in
@@ -53,15 +72,32 @@ let lookup t name =
   | Some spec -> spec
   | None -> err "unknown function %s" (String.uppercase_ascii name)
 
+let resolve t name =
+  match Hashtbl.find_opt t.resolved name with
+  | Some r -> r
+  | None ->
+    let r =
+      match find t name with
+      | Some spec ->
+        Some
+          {
+            r_spec = spec;
+            r_point = "fn/" ^ spec.Func_sig.name;
+            r_prov = Fault.Prov.Func spec.Func_sig.name;
+          }
+      | None -> None
+    in
+    Hashtbl.add t.resolved name r;
+    r
+
 let has_star args = List.exists (fun a -> a.Fault.prov = Fault.Prov.Star) args
 let has_null args =
   List.exists
     (fun a -> Value.is_null a.Fault.value && a.Fault.prov <> Fault.Prov.Star)
     args
 
-let invoke_scalar ctx t name args =
-  let spec = lookup t name in
-  Fn_ctx.point ctx ("fn/" ^ spec.Func_sig.name);
+let invoke_spec ctx ~point spec args =
+  Fn_ctx.point ctx point;
   (* Injected flaws fire before the generic guards, as in a real DBMS where
      the buggy path runs before (or instead of) the validation. *)
   Fault.check ctx.Fn_ctx.fault ~func:spec.Func_sig.name args;
@@ -90,13 +126,17 @@ let invoke_scalar ctx t name args =
    | Func_sig.Aggregate _ ->
      err "aggregate function %s used in scalar context" spec.Func_sig.name)
 
-let is_aggregate t name =
-  match find t name with
-  | Some { Func_sig.kind = Func_sig.Aggregate _; _ } -> true
-  | Some { Func_sig.kind = Func_sig.Scalar _; _ } | None -> false
+let invoke_scalar ctx t name args =
+  match resolve t name with
+  | Some r -> invoke_spec ctx ~point:r.r_point r.r_spec args
+  | None -> err "unknown function %s" (String.uppercase_ascii name)
 
-let make_aggregate ctx t name ~distinct =
-  let spec = lookup t name in
+let is_aggregate t name =
+  match resolve t name with
+  | Some { r_spec = { Func_sig.kind = Func_sig.Aggregate _; _ }; _ } -> true
+  | Some _ | None -> false
+
+let make_aggregate_spec ctx spec ~distinct =
   match spec.Func_sig.kind with
   | Func_sig.Aggregate make ->
     Fn_ctx.point ctx ("fn/" ^ spec.Func_sig.name);
@@ -121,3 +161,6 @@ let make_aggregate ctx t name ~distinct =
     in
     { Func_sig.step; final = inst.Func_sig.final }
   | Func_sig.Scalar _ -> err "%s is not an aggregate function" spec.Func_sig.name
+
+let make_aggregate ctx t name ~distinct =
+  make_aggregate_spec ctx (lookup t name) ~distinct

@@ -277,6 +277,12 @@ type t = {
   mutable memo_hits : int;
   mutable memo_misses : int;
   mutable memo_collisions : int;
+  (* plan-compilation counters: hits reuse a cached compiled plan,
+     misses compile one, fallbacks execute through the interpreter
+     because the statement shape is outside the compiled subset *)
+  mutable compile_hits : int;
+  mutable compile_misses : int;
+  mutable compile_fallbacks : int;
   (* sink flushers, run on campaign end and on the crash/restart path so
      abnormal termination cannot truncate a JSONL stream mid-campaign *)
   mutable flushers : (unit -> unit) list;
@@ -291,6 +297,9 @@ let create ?(sink = Null) () =
     memo_hits = 0;
     memo_misses = 0;
     memo_collisions = 0;
+    compile_hits = 0;
+    compile_misses = 0;
+    compile_fallbacks = 0;
     flushers = [];
   }
 
@@ -416,6 +425,23 @@ let memo_hit_rate t =
   if looked_up = 0 then 0.
   else float_of_int t.memo_hits /. float_of_int looked_up
 
+(* ----- plan-compilation counters ----- *)
+
+let compile_hit t = t.compile_hits <- t.compile_hits + 1
+let compile_miss t = t.compile_misses <- t.compile_misses + 1
+let compile_fallback t = t.compile_fallbacks <- t.compile_fallbacks + 1
+
+type compile_counts = { c_hits : int; c_misses : int; c_fallbacks : int }
+
+let compile_counts t =
+  { c_hits = t.compile_hits; c_misses = t.compile_misses;
+    c_fallbacks = t.compile_fallbacks }
+
+let compile_hit_rate t =
+  let looked_up = t.compile_hits + t.compile_misses in
+  if looked_up = 0 then 0.
+  else float_of_int t.compile_hits /. float_of_int looked_up
+
 (* ----- merging (shard -> campaign aggregation) ----- *)
 
 let merge_into ~dst src =
@@ -439,7 +465,10 @@ let merge_into ~dst src =
     src.verdicts;
   dst.memo_hits <- dst.memo_hits + src.memo_hits;
   dst.memo_misses <- dst.memo_misses + src.memo_misses;
-  dst.memo_collisions <- dst.memo_collisions + src.memo_collisions
+  dst.memo_collisions <- dst.memo_collisions + src.memo_collisions;
+  dst.compile_hits <- dst.compile_hits + src.compile_hits;
+  dst.compile_misses <- dst.compile_misses + src.compile_misses;
+  dst.compile_fallbacks <- dst.compile_fallbacks + src.compile_fallbacks
 
 let merge a b =
   let t = create () in
@@ -473,14 +502,19 @@ type stage_timing = {
 let stage_timings t =
   Hashtbl.fold
     (fun _ a acc ->
+      (* a percentile is the upper bound of a log2 bucket, which for a
+         long span (bucket 31 is already ~4.3s) can exceed every sample
+         ever recorded; the observed max is a tighter upper bound, so
+         clamp to it *)
+      let pct q = Stdlib.min (Histogram.percentile a.hist q) a.max_ns in
       {
         stage = a.agg_stage;
         calls = a.calls;
         total_ns = a.total_ns;
         max_ns = a.max_ns;
-        p50_ns = Histogram.percentile a.hist 0.50;
-        p90_ns = Histogram.percentile a.hist 0.90;
-        p99_ns = Histogram.percentile a.hist 0.99;
+        p50_ns = pct 0.50;
+        p90_ns = pct 0.90;
+        p99_ns = pct 0.99;
       }
       :: acc)
     t.stages []
@@ -559,10 +593,20 @@ let memo_to_json t =
       ("hit_rate", Json.Float (memo_hit_rate t));
     ]
 
+let compile_to_json t =
+  Json.Obj
+    [
+      ("hits", Json.Int t.compile_hits);
+      ("misses", Json.Int t.compile_misses);
+      ("fallbacks", Json.Int t.compile_fallbacks);
+      ("hit_rate", Json.Float (compile_hit_rate t));
+    ]
+
 let snapshot_json t =
   Json.Obj
     [
       ("stages", stages_to_json t);
       ("verdicts", verdicts_to_json t);
       ("memo", memo_to_json t);
+      ("compile", compile_to_json t);
     ]

@@ -175,6 +175,28 @@ val memo_counts : t -> memo_counts
 val memo_hit_rate : t -> float
 (** [hits / (hits + misses)]; [0.] before any lookup. *)
 
+(** {1 Plan-compilation counters}
+
+    The detector's closure-compilation path records every case here: a
+    {e hit} reused a cached compiled plan, a {e miss} compiled one, and
+    a {e fallback} ran through the interpreter — either the shallow
+    shape/shareability pre-filter turned the statement away before the
+    cache (no hit or miss counted), or a probed statement compiled to
+    [Fallback] (counted as a hit or miss {e and} a fallback). Like the
+    memoization counters, these are throughput metadata, not
+    determinism-bearing totals. *)
+
+val compile_hit : t -> unit
+val compile_miss : t -> unit
+val compile_fallback : t -> unit
+
+type compile_counts = { c_hits : int; c_misses : int; c_fallbacks : int }
+
+val compile_counts : t -> compile_counts
+
+val compile_hit_rate : t -> float
+(** [hits / (hits + misses)]; [0.] before any probe. *)
+
 val reclassify_verdict :
   t ->
   dialect:string ->
@@ -219,7 +241,9 @@ type stage_timing = {
 }
 
 val stage_timings : t -> stage_timing list
-(** Sorted by total time, descending. *)
+(** Sorted by total time, descending. Percentiles are log2-bucket upper
+    bounds clamped to the observed [max_ns], so a long span (seconds)
+    never reports a quantile beyond any recorded sample. *)
 
 type verdict_counts = {
   dialect : string;
@@ -243,9 +267,13 @@ val verdicts_to_json : t -> Json.t
 val memo_to_json : t -> Json.t
 (** [{"hits": ..., "misses": ..., "collisions": ..., "hit_rate": ...}]. *)
 
+val compile_to_json : t -> Json.t
+(** [{"hits": ..., "misses": ..., "fallbacks": ..., "hit_rate": ...}]. *)
+
 val snapshot_json : t -> Json.t
-(** [{"stages": ..., "verdicts": ..., "memo": ...}] — the generic part
-    of a campaign snapshot; callers add their own run-level fields. *)
+(** [{"stages": ..., "verdicts": ..., "memo": ..., "compile": ...}] —
+    the generic part of a campaign snapshot; callers add their own
+    run-level fields. *)
 
 (** {1 Histograms}
 

@@ -374,6 +374,61 @@ let test_memo_campaign_identical () =
   Alcotest.(check int) "no-memo memoizes nothing" 0
     off.Soft.Soft_runner.cases_memoized
 
+let test_compile_campaign_identical () =
+  (* the compile-soundness bar, over every dialect: closure-compiled
+     execution must be behaviour-invisible — identical verdict JSON,
+     coverage sets, and fault sites with compilation on vs off. Only
+     throughput metadata (timings, plan-cache counters) may differ. *)
+  let open Sqlfun_telemetry in
+  let deterministic_keys =
+    [ "totals"; "verdicts"; "bugs"; "fp_signatures"; "families"; "coverage" ]
+  in
+  List.iter
+    (fun prof ->
+      let name = prof.Dialect.id in
+      let on = Soft.Soft_runner.fuzz ~budget:2_000 ~compile:true prof in
+      let off = Soft.Soft_runner.fuzz ~budget:2_000 ~compile:false prof in
+      let jon = Soft.Report.campaign_to_json on
+      and joff = Soft.Report.campaign_to_json off in
+      List.iter
+        (fun key ->
+          let get j =
+            match Json.member key j with
+            | Some v -> Json.to_string v
+            | None -> Alcotest.failf "%s: report lacks %S" name key
+          in
+          Alcotest.(check string)
+            (Printf.sprintf "%s: %s identical" name key)
+            (get joff) (get jon))
+        deterministic_keys;
+      Alcotest.(check (list (pair string int)))
+        (name ^ ": coverage points identical")
+        (Sqlfun_coverage.Coverage.points off.Soft.Soft_runner.coverage)
+        (Sqlfun_coverage.Coverage.points on.Soft.Soft_runner.coverage);
+      let sites (r : Soft.Soft_runner.result) =
+        List.map
+          (fun (b : Soft.Detector.found_bug) ->
+            (b.Soft.Detector.spec.Fault.site, b.Soft.Detector.case_number))
+          r.Soft.Soft_runner.bugs
+      in
+      Alcotest.(check (list (pair string int)))
+        (name ^ ": fault sites identical")
+        (sites off) (sites on);
+      (* the property is vacuous unless compiled plans actually ran *)
+      let counts = Telemetry.compile_counts on.Soft.Soft_runner.telemetry in
+      Alcotest.(check bool)
+        (name ^ ": compiled plans were reused")
+        true
+        (counts.Telemetry.c_hits > 0);
+      let counts_off =
+        Telemetry.compile_counts off.Soft.Soft_runner.telemetry
+      in
+      Alcotest.(check int)
+        (name ^ ": compile-off never probes the plan cache")
+        0
+        (counts_off.Telemetry.c_hits + counts_off.Telemetry.c_misses))
+    Dialect.all
+
 (* ----- baselines ----- *)
 
 let test_baselines_generate_valid_statements () =
@@ -446,6 +501,8 @@ let suite =
       Alcotest.test_case "collision guard" `Quick test_collision_guard;
       Alcotest.test_case "memoized campaign identical" `Slow
         test_memo_campaign_identical;
+      Alcotest.test_case "compiled campaign identical (all dialects)" `Slow
+        test_compile_campaign_identical;
       Alcotest.test_case "SOFT beats baselines (mariadb)" `Slow
         test_soft_beats_baselines_on_mariadb;
       Alcotest.test_case "baselines generate valid statements" `Quick

@@ -163,6 +163,37 @@ let test_histogram_bucket_edges () =
   add h2 max_int;
   Alcotest.(check int) "p50 of {max_int}" (1 lsl 48) (percentile h2 0.5)
 
+let test_long_span_percentile_clamp () =
+  (* Regression: a single long stage span (a multi-second campaign) used
+     to report its percentile as the log2-bucket upper bound — e.g. a
+     13.35 s span answered p50 = 2^34 ns, and a ~3 s one answered the
+     infamous 4294967296 (2^32). stage_timings now clamps every
+     percentile to the observed max. *)
+  let t = Telemetry.create () in
+  let thirteen_s = 13_350_000_000 in
+  Telemetry.record_stage t ~stage:"campaign" thirteen_s;
+  (match Telemetry.stage_timings t with
+   | [ s ] ->
+     Alcotest.(check int) "max is the sample" thirteen_s s.Telemetry.max_ns;
+     Alcotest.(check int) "p50 clamped to max" thirteen_s s.Telemetry.p50_ns;
+     Alcotest.(check int) "p90 clamped to max" thirteen_s s.Telemetry.p90_ns;
+     Alcotest.(check int) "p99 clamped to max" thirteen_s s.Telemetry.p99_ns
+   | l -> Alcotest.failf "expected one stage, got %d" (List.length l));
+  (* mixed spans: the clamp caps at the max without disturbing
+     percentiles that already sit below it *)
+  let t2 = Telemetry.create () in
+  Telemetry.record_stage t2 ~stage:"campaign" 3_000_000_000;
+  Telemetry.record_stage t2 ~stage:"campaign" 5_000_000_000;
+  (match Telemetry.stage_timings t2 with
+   | [ s ] ->
+     (* 3 s sits in bucket [2^31, 2^32): its upper bound is below the
+        5 s max, so p50 keeps the histogram estimate *)
+     Alcotest.(check int) "p50 keeps bucket estimate" 4_294_967_296
+       s.Telemetry.p50_ns;
+     Alcotest.(check int) "p99 clamped to max" 5_000_000_000
+       s.Telemetry.p99_ns
+   | l -> Alcotest.failf "expected one stage, got %d" (List.length l))
+
 let test_verdict_class_roundtrip () =
   List.iter
     (fun c ->
@@ -582,6 +613,8 @@ let suite =
         test_histogram_single_value;
       Alcotest.test_case "histogram bucket edges" `Quick
         test_histogram_bucket_edges;
+      Alcotest.test_case "long-span percentile clamp" `Quick
+        test_long_span_percentile_clamp;
       Alcotest.test_case "verdict class round-trip" `Quick
         test_verdict_class_roundtrip;
       Alcotest.test_case "event jsonl round-trip" `Quick
