@@ -56,6 +56,15 @@ type campaign_timing = {
          baseline carries instrumentation the ~memo:false run doesn't) *)
   wall_s_nomemo : float;      (* same sequential sweep, ~memo:false *)
   memo_deterministic : bool;
+  wall_s_nocompact : float;   (* same sequential sweep, ~compact:false *)
+  compact_deterministic : bool;
+  per_dialect : (string * float * int) list;
+      (* (dialect, wall_s, cases) of each baseline campaign — the
+         per-dialect ns/case denominators *)
+  prof_boxed : Profile.t;
+      (* merged attribution of the compact-off sweep ("before") *)
+  prof_compact : Profile.t;
+      (* merged attribution of a plain default sweep ("after") *)
   parallel : parallel_run option;
       (* [None] when the host has one core: a jobs>1 rerun there only
          measures domain coordination overhead, and reporting its ratio
@@ -97,6 +106,7 @@ let campaign tel =
      debt of the previous one, skewing every ratio in one direction *)
   Gc.compact ();
   let t0 = Unix.gettimeofday () in
+  let dialect_walls = ref [] in
   let results =
     List.map
       (fun prof ->
@@ -108,7 +118,13 @@ let campaign tel =
             emit = (fun s -> snaps := s :: !snaps);
           }
         in
+        let tc0 = Unix.gettimeofday () in
         let r = Soft.Soft_runner.fuzz ~telemetry:tel ~timeseries:cfg prof in
+        dialect_walls :=
+          ( prof.Dialect.id,
+            Unix.gettimeofday () -. tc0,
+            r.Soft.Soft_runner.cases_executed )
+          :: !dialect_walls;
         Profile.merge_into ~dst:agg_profile r.Soft.Soft_runner.profile;
         (* the shard-series snapshots give the within-campaign growth;
            shift them by the completed campaigns so the x axis is the
@@ -186,6 +202,35 @@ let campaign tel =
     (if memo_s > 0. then nomemo_s /. memo_s else 0.)
     (100. *. Telemetry.memo_hit_rate tel)
     (if memo_deterministic then "identical" else "DIVERGED");
+  (* the compact-representation before/after: a ~compact:false sweep
+     materializes every RANGE array and REPEAT/pad string eagerly — the
+     pre-PR-8 pipeline. Timed min-of-two like the memo legs; its merged
+     attribution profile is the "before" half of the hottest-function
+     table in the telemetry artifact (the plain memo leg is "after"). *)
+  let nocompact_results, kc1 =
+    timed_leg (Soft.Soft_runner.fuzz_all ~compact:false)
+  in
+  let nocompact_results2, kc2 =
+    timed_leg (Soft.Soft_runner.fuzz_all ~compact:false)
+  in
+  let nocompact_s = Float.min kc1 kc2 in
+  let compact_deterministic =
+    List.for_all2 same_result results nocompact_results
+    && List.for_all2 same_result results nocompact_results2
+  in
+  let merge_profiles rs =
+    let p = Profile.create () in
+    List.iter
+      (fun (r : Soft.Soft_runner.result) ->
+        Profile.merge_into ~dst:p r.Soft.Soft_runner.profile)
+      rs;
+    p
+  in
+  Printf.printf
+    "compact values: %.1f s with, %.1f s without (%.2fx, results %s)\n"
+    memo_s nocompact_s
+    (if memo_s > 0. then nocompact_s /. memo_s else 0.)
+    (if compact_deterministic then "identical" else "DIVERGED");
   let parallel =
     if cores <= 1 then begin
       Printf.printf
@@ -227,6 +272,11 @@ let campaign tel =
       wall_s_memo = memo_s;
       wall_s_nomemo = nomemo_s;
       memo_deterministic;
+      wall_s_nocompact = nocompact_s;
+      compact_deterministic;
+      per_dialect = List.rev !dialect_walls;
+      prof_boxed = merge_profiles nocompact_results;
+      prof_compact = merge_profiles memo_results;
       parallel;
       cores;
     },
@@ -457,9 +507,25 @@ let write_telemetry tel results timing obs ~ns_per_case_interp
     ~ns_per_case_compiled =
   let path = "BENCH_telemetry.json" in
   let campaign_json (r : Soft.Soft_runner.result) =
+    let wall_s =
+      match
+        List.find_opt
+          (fun (d, _, _) -> d = r.Soft.Soft_runner.dialect.Dialect.id)
+          timing.per_dialect
+      with
+      | Some (_, w, _) -> w
+      | None -> 0.
+    in
     Json.Obj
       [
         ("dialect", Json.Str r.Soft.Soft_runner.dialect.Dialect.id);
+        ("wall_s", Json.Float wall_s);
+        ( "ns_per_case",
+          Json.Float
+            (if r.Soft.Soft_runner.cases_executed = 0 then 0.
+             else
+               wall_s *. 1e9
+               /. float_of_int r.Soft.Soft_runner.cases_executed) );
         ("cases_executed", Json.Int r.Soft.Soft_runner.cases_executed);
         ("cases_memoized", Json.Int r.Soft.Soft_runner.cases_memoized);
         (* from the campaign's own counts — [r.telemetry] is the shared
@@ -526,10 +592,52 @@ let write_telemetry tel results timing obs ~ns_per_case_interp
           match timing.parallel with
           | Some p -> Json.Bool p.parallel_deterministic
           | None -> Json.Null );
+        ("wall_s_nocompact", Json.Float timing.wall_s_nocompact);
+        ( "compact_speedup",
+          Json.Float
+            (if timing.wall_s_memo > 0. then
+               timing.wall_s_nocompact /. timing.wall_s_memo
+             else 0.) );
+        ("compact_deterministic", Json.Bool timing.compact_deterministic);
+        (* the top-10 hottest dialect x function keys of the eager
+           ("boxed") sweep, with the self-time the same key costs once
+           compact representations are on — the per-function receipt for
+           the compact_speedup headline *)
+        ( "hot_functions_self_ms",
+          Json.Arr
+            (List.map
+               (fun (ft : Profile.fn_total) ->
+                 let self_ms p =
+                   let ns =
+                     List.fold_left
+                       (fun acc (r : Profile.row) ->
+                         if
+                           r.Profile.r_dialect = ft.Profile.ft_dialect
+                           && r.Profile.r_func = ft.Profile.ft_func
+                         then acc + r.Profile.r_self_ns
+                         else acc)
+                       0 (Profile.rows p)
+                   in
+                   float_of_int ns /. 1e6
+                 in
+                 let before = float_of_int ft.Profile.ft_self_ns /. 1e6 in
+                 let after = self_ms timing.prof_compact in
+                 Json.Obj
+                   [
+                     ("dialect", Json.Str ft.Profile.ft_dialect);
+                     ("func", Json.Str ft.Profile.ft_func);
+                     ("self_ms_boxed", Json.Float before);
+                     ("self_ms_compact", Json.Float after);
+                     ( "speedup",
+                       Json.Float (if after > 0. then before /. after else 0.)
+                     );
+                   ])
+               (Profile.hottest ~n:10 timing.prof_boxed)) );
         ("stages", Telemetry.stages_to_json tel);
         ("verdicts", Telemetry.verdicts_to_json tel);
         ("memo", Telemetry.memo_to_json tel);
         ("compile", Telemetry.compile_to_json tel);
+        ("compact", Telemetry.compact_to_json tel);
         ("attribution", Profile.to_json ~top:10 obs.obs_profile);
         ( "coverage_curve",
           Json.Arr

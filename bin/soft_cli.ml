@@ -73,6 +73,15 @@ let no_compile_arg =
                  with compilation on or off; the flag exists to verify \
                  that and to time it.")
 
+let no_compact_arg =
+  Arg.(value & flag
+       & info [ "no-compact" ]
+           ~doc:"Disable compact value representations (RANGE results \
+                 and repeated/padded strings are materialized eagerly \
+                 instead of lazily). Verdicts, bug lists and FP \
+                 signatures are bit-identical with compaction on or \
+                 off; the flag exists to verify that and to time it.")
+
 let json_arg =
   Arg.(value & opt (some string) None
        & info [ "json" ] ~docv:"FILE"
@@ -179,8 +188,8 @@ let progress_renderer dialect_id =
     Mutex.unlock m
 
 let fuzz_cmd =
-  let run dialect budget jobs shards no_memo no_compile verbose report trace
-      json profile_out timeseries_out progress =
+  let run dialect budget jobs shards no_memo no_compile no_compact verbose
+      report trace json profile_out timeseries_out progress =
     match resolve_dialect dialect with
     | Error msg ->
       prerr_endline msg;
@@ -212,8 +221,8 @@ let fuzz_cmd =
           in
           let r =
             Soft.Soft_runner.fuzz ?budget ~telemetry:tel ?timeseries
-              ~memo:(not no_memo) ~compile:(not no_compile) ~shards ~jobs
-              prof
+              ~memo:(not no_memo) ~compile:(not no_compile)
+              ~compact:(not no_compact) ~shards ~jobs prof
           in
           if progress then prerr_newline ();
           Option.iter close_out ts_oc;
@@ -249,6 +258,9 @@ let fuzz_cmd =
              cc.Telemetry.c_misses
              (100. *. Telemetry.compile_hit_rate r.Soft.Soft_runner.telemetry)
              cc.Telemetry.c_fallbacks);
+          (let kc = Telemetry.compact_counts r.Soft.Soft_runner.telemetry in
+           Printf.printf "  compact values:       %d built, %d spilled\n"
+             kc.Telemetry.k_hits kc.Telemetry.k_spills);
           Printf.printf "  passed / clean errors: %d / %d\n" r.Soft.Soft_runner.passed
             r.Soft.Soft_runner.clean_errors;
           (* the paper's "7 false positives" counts unique reports, so both
@@ -279,8 +291,9 @@ let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Run a SOFT campaign against a simulated dialect")
     Term.(const run $ dialect_arg $ budget_arg 0 $ jobs_arg $ shards_arg
-          $ no_memo_arg $ no_compile_arg $ verbose $ report $ trace_arg
-          $ json_arg $ profile_arg $ timeseries_arg $ progress_arg)
+          $ no_memo_arg $ no_compile_arg $ no_compact_arg $ verbose
+          $ report $ trace_arg $ json_arg $ profile_arg $ timeseries_arg
+          $ progress_arg)
 
 let study_cmd =
   let run () =

@@ -38,6 +38,7 @@ type t = {
   cov : Coverage.t;
   tel : Telemetry.t;
   xprof : Profile.t;  (* execute-stage attribution profiler *)
+  compact : bool;  (* compact value representations in the engine *)
   mutable engine : Engine.t;
   mutable executed : int;
   mutable memoized : int;  (* how many of [executed] skipped the engine *)
@@ -60,11 +61,12 @@ type t = {
 (* Arming a fresh engine is the same work whether it is the initial start
    or a post-crash restart, so both are timed under the
    "restart-after-crash" stage. *)
-let fresh_engine tel cov xprof prof =
+let fresh_engine tel cov xprof ~compact prof =
   Telemetry.with_span tel ~dialect:prof.Dialect.id "restart-after-crash"
-    (fun () -> Dialect.make_engine ~cov ~armed:true ~profile:xprof prof)
+    (fun () -> Dialect.make_engine ~cov ~armed:true ~compact ~profile:xprof prof)
 
-let create ?cov ?telemetry ?profile ?(memo = true) ?(compile = true) prof =
+let create ?cov ?telemetry ?profile ?(memo = true) ?(compile = true)
+    ?(compact = true) prof =
   let cov = match cov with Some c -> c | None -> Coverage.create () in
   let tel = match telemetry with Some t -> t | None -> Telemetry.create () in
   let xprof = match profile with Some p -> p | None -> Profile.create () in
@@ -74,7 +76,8 @@ let create ?cov ?telemetry ?profile ?(memo = true) ?(compile = true) prof =
     cov;
     tel;
     xprof;
-    engine = fresh_engine tel cov xprof prof;
+    compact;
+    engine = fresh_engine tel cov xprof ~compact prof;
     executed = 0;
     memoized = 0;
     passed = 0;
@@ -96,7 +99,7 @@ let create ?cov ?telemetry ?profile ?(memo = true) ?(compile = true) prof =
    leading up to the crash. *)
 let restart t =
   Telemetry.flush t.tel;
-  t.engine <- fresh_engine t.tel t.cov t.xprof t.prof
+  t.engine <- fresh_engine t.tel t.cov t.xprof ~compact:t.compact t.prof
 
 let verdict_class = function
   | Passed -> Telemetry.Passed
@@ -386,8 +389,19 @@ let exec_classified t ?pattern ?case_number ~poc stmt =
     classify t ?pattern ?case_number ~poc (fun () ->
         exec_engine t ?pattern stmt)
   in
+  (* memo/compile partition: a skeleton-sharing family is the
+     compiler's — every case after the first is a plan-cache hit, and
+     its distinct boundary literals make verdict-cache hits rare, so
+     the per-case fingerprint+probe is pure overhead there. Memoize
+     only what the compiler does not own: seed replays and the
+     skeleton-varying families the compiler falls back on. *)
+  let compiler_owned =
+    match (t.plans, pattern) with
+    | Some _, Some p -> Pattern_id.shares_skeleton p
+    | _ -> false
+  in
   match t.memo with
-  | Some cache when cacheable stmt ->
+  | Some cache when cacheable stmt && not compiler_owned ->
     let fp = Sqlfun_ast.Ast_util.fingerprint stmt in
     (match Verdict_cache.find cache ~fp stmt with
      | Verdict_cache.Hit cached ->

@@ -31,6 +31,7 @@ val create :
   ?profile:Sqlfun_telemetry.Profile.t ->
   ?memo:bool ->
   ?compile:bool ->
+  ?compact:bool ->
   Dialect.profile ->
   t
 (** Builds an armed engine for the profile (restarted after each crash).
@@ -72,7 +73,19 @@ val create :
     coverage, fault sites, ticks, profile attribution); shapes outside
     the compiled subset fall back to the interpreter. Probes are counted
     on the telemetry collector
-    ({!Sqlfun_telemetry.Telemetry.compile_counts}). *)
+    ({!Sqlfun_telemetry.Telemetry.compile_counts}).
+
+    With both caches enabled they partition the case stream rather than
+    stack: skeleton-sharing pattern families (where
+    {!Pattern_id.shares_skeleton} holds) skip the verdict-memo probe
+    entirely — the compiler owns them, and distinct boundary literals
+    make memo hits rare there — while seed replays and skeleton-varying
+    families are memoized as before.
+
+    [compact] (default [true]) enables the compact value
+    representations ({!Sqlfun_value.Value.Range_arr}/[Rope_str]) inside
+    the engine; verdicts, coverage and fault sites are
+    representation-independent either way. *)
 
 val run_sql :
   t -> ?pattern:Pattern_id.t -> ?case_number:int -> string -> verdict

@@ -40,6 +40,7 @@ let campaign_to_markdown (r : Soft_runner.result) =
     (Printf.sprintf
        "- statements executed: %d\n\
         - cases memoized: %d (%.1f%% of executions)\n\
+        - compact values: %d built, %d spilled\n\
         - passed / clean errors: %d / %d\n\
         - resource false positives: %d (%d unique reports)\n\
         - functions triggered: %d\n\
@@ -51,6 +52,8 @@ let campaign_to_markdown (r : Soft_runner.result) =
           100.
           *. float_of_int r.Soft_runner.cases_memoized
           /. float_of_int r.Soft_runner.cases_executed)
+       (Telemetry.compact_counts r.Soft_runner.telemetry).Telemetry.k_hits
+       (Telemetry.compact_counts r.Soft_runner.telemetry).Telemetry.k_spills
        r.Soft_runner.passed
        r.Soft_runner.clean_errors r.Soft_runner.false_positives
        r.Soft_runner.unique_false_positives r.Soft_runner.functions_triggered
@@ -198,6 +201,10 @@ let campaign_to_json (r : Soft_runner.result) =
          reason: probes vary with shard count (each shard caches plans
          privately) while verdicts and bugs do not *)
       ("compile", Telemetry.compile_to_json r.Soft_runner.telemetry);
+      (* compact-representation counters are throughput metadata too:
+         construction/spill counts vary with the [--no-compact] knob
+         while verdicts and bugs do not *)
+      ("compact", Telemetry.compact_to_json r.Soft_runner.telemetry);
       ( "stages",
         Json.Arr (List.map Telemetry.stage_timing_to_json r.Soft_runner.timings)
       );

@@ -7,6 +7,7 @@ module Timeseries = Sqlfun_telemetry.Timeseries
 module Pool = Sqlfun_parallel.Pool
 module Chunk_queue = Sqlfun_parallel.Chunk_queue
 module Progress = Sqlfun_parallel.Progress
+module Value = Sqlfun_value.Value
 
 type result = {
   dialect : Dialect.profile;
@@ -133,9 +134,14 @@ let mk_result ~prof ~seeds ~tel ~cov ~profile ~cases_executed ~cases_memoized
 (* ----- the sequential path (shards = 1) ----- *)
 
 let fuzz_sequential ?budget ?cov ?telemetry ?timeseries
-    ?(patterns = Pattern_id.all) ?(memo = true) ?(compile = true) prof =
+    ?(patterns = Pattern_id.all) ?(memo = true) ?(compile = true)
+    ?(compact = true) prof =
   let tel = match telemetry with Some t -> t | None -> Telemetry.create () in
   let t0 = Telemetry.now_ns () in
+  (* compact hit/spill cells are domain-local; the whole sequential
+     campaign runs on this domain, so one before/after delta attributes
+     its compact activity exactly *)
+  let compact0 = Value.Compact.read () in
   (* the result record is built after the campaign span closes so the
      "campaign" stage itself shows up in [timings]; the flush guard runs
      even when a case raises, so streaming sinks survive an abnormal
@@ -147,7 +153,9 @@ let fuzz_sequential ?budget ?cov ?telemetry ?timeseries
     let seeds =
       Collector.collect ~telemetry:tel ~registry ~suite:prof.Dialect.seeds ()
     in
-    let detector = Detector.create ?cov ~telemetry:tel ~memo ~compile prof in
+    let detector =
+      Detector.create ?cov ~telemetry:tel ~memo ~compile ~compact prof
+    in
     let progress = Progress.create 1 in
     let recorder =
       Option.map
@@ -177,6 +185,9 @@ let fuzz_sequential ?budget ?cov ?telemetry ?timeseries
     Option.iter Timeseries.finalize recorder;
     (seeds, detector)
   in
+  let cdelta = Value.Compact.since compact0 in
+  Telemetry.compact_add tel ~hits:cdelta.Value.Compact.hits
+    ~spills:cdelta.Value.Compact.spills;
   Option.iter
     (fun cfg ->
       let memo_c = Telemetry.memo_counts tel in
@@ -228,8 +239,8 @@ type shard_work =
   | Gen_case of Patterns.case
 
 let fuzz_sharded ?budget ?cov ?telemetry ?timeseries
-    ?(patterns = Pattern_id.all) ?(memo = true) ?(compile = true) ~shards
-    ?jobs prof =
+    ?(patterns = Pattern_id.all) ?(memo = true) ?(compile = true)
+    ?(compact = true) ~shards ?jobs prof =
   let shards = Stdlib.max 1 shards in
   let jobs =
     match jobs with
@@ -260,14 +271,19 @@ let fuzz_sharded ?budget ?cov ?telemetry ?timeseries
     in
     let worker w () =
       (* engines are armed inside the worker domain, so even startup
-         cost parallelises; detector [s] only ever runs on this domain *)
+         cost parallelises; detector [s] only ever runs on this domain.
+         Compact hit/spill cells are domain-local, so a before/after
+         delta taken inside the worker attributes exactly this worker's
+         compact activity; it is credited to the worker's first owned
+         shard's collector (totals merge shard-wise afterwards). *)
+      let compact0 = Value.Compact.read () in
       let dets =
         List.filter (fun s -> s mod jobs = w) (List.init shards Fun.id)
         |> List.map (fun s ->
                let det =
                  Detector.create ~cov:shard_covs.(s)
                    ~telemetry:shard_tels.(s) ~profile:shard_profiles.(s)
-                   ~memo ~compile prof
+                   ~memo ~compile ~compact prof
                in
                let recorder =
                  Option.map
@@ -284,6 +300,12 @@ let fuzz_sharded ?budget ?cov ?telemetry ?timeseries
           List.iter
             (fun (_, _, recorder) -> Option.iter Timeseries.finalize recorder)
             dets;
+          (match dets with
+           | (s, _, _) :: _ ->
+             let d = Value.Compact.since compact0 in
+             Telemetry.compact_add shard_tels.(s)
+               ~hits:d.Value.Compact.hits ~spills:d.Value.Compact.spills
+           | [] -> ());
           List.map (fun (s, det, _) -> (s, det)) dets
         | Some chunk ->
           Array.iter
@@ -400,20 +422,21 @@ let fuzz_sharded ?budget ?cov ?telemetry ?timeseries
     ~fp_signatures ~known_crashes:(sum Detector.known_crashes) ~bugs
 
 let fuzz ?budget ?cov ?telemetry ?timeseries ?patterns ?memo ?compile
-    ?(shards = 1) ?jobs prof =
+    ?compact ?(shards = 1) ?jobs prof =
   if shards <= 1 then
     fuzz_sequential ?budget ?cov ?telemetry ?timeseries ?patterns ?memo
-      ?compile prof
+      ?compile ?compact prof
   else
     fuzz_sharded ?budget ?cov ?telemetry ?timeseries ?patterns ?memo ?compile
-      ~shards ?jobs prof
+      ?compact ~shards ?jobs prof
 
-let fuzz_all ?budget ?telemetry ?timeseries ?memo ?compile ?(jobs = 1)
-    ?(shards = 1) () =
+let fuzz_all ?budget ?telemetry ?timeseries ?memo ?compile ?compact
+    ?(jobs = 1) ?(shards = 1) () =
   if jobs <= 1 then
     List.map
       (fun prof ->
-        fuzz ?budget ?telemetry ?timeseries ?memo ?compile ~shards prof)
+        fuzz ?budget ?telemetry ?timeseries ?memo ?compile ?compact ~shards
+          prof)
       Dialect.all
   else begin
     (* each campaign records into a private collector on its own domain;
@@ -429,7 +452,7 @@ let fuzz_all ?budget ?telemetry ?timeseries ?memo ?compile ?(jobs = 1)
           Pool.run pool
             (List.map
                (fun prof () ->
-                 fuzz ?budget ?timeseries ?memo ?compile ~shards prof)
+                 fuzz ?budget ?timeseries ?memo ?compile ?compact ~shards prof)
                Dialect.all))
     in
     Option.iter

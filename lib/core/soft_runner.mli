@@ -70,6 +70,7 @@ val fuzz :
   ?patterns:Pattern_id.t list ->
   ?memo:bool ->
   ?compile:bool ->
+  ?compact:bool ->
   ?shards:int ->
   ?jobs:int ->
   Dialect.profile ->
@@ -81,10 +82,14 @@ val fuzz :
     [budget] cases whenever the patterns can supply them.
     [patterns] restricts the pattern set — the ablation knob. Seeds are
     executed first (sanity pass, not counted against the budget).
-    [memo] and [compile] (both default [true]) toggle the detector's
-    verdict memoization and closure compilation (see {!Detector.create});
-    both are throughput-only — verdicts, bugs, coverage and FP
-    signatures are bit-identical with either off.
+    [memo], [compile] and [compact] (all default [true]) toggle the
+    detector's verdict memoization, closure compilation and compact
+    value representations (see {!Detector.create}); all three are
+    throughput-only — verdicts, bugs, coverage and FP signatures are
+    bit-identical with any of them off. Compact construction/spill
+    counts are credited to the campaign collector
+    ({!Sqlfun_telemetry.Telemetry.compact_counts}) once per campaign
+    side (per worker domain under sharding).
     [telemetry] plugs in a shared collector/sink; without it a private
     null-sink collector still populates [timings] — verdicts and bug
     lists are bit-identical either way.
@@ -119,6 +124,7 @@ val fuzz_sharded :
   ?patterns:Pattern_id.t list ->
   ?memo:bool ->
   ?compile:bool ->
+  ?compact:bool ->
   shards:int ->
   ?jobs:int ->
   Dialect.profile ->
@@ -134,6 +140,7 @@ val fuzz_all :
   ?timeseries:Sqlfun_telemetry.Timeseries.cfg ->
   ?memo:bool ->
   ?compile:bool ->
+  ?compact:bool ->
   ?jobs:int ->
   ?shards:int ->
   unit ->

@@ -404,9 +404,19 @@ and compile_binop op (ca : cexpr) (cb : cexpr) : cexpr =
       let vb = (cb env slots).Fault.value in
       if Value.is_null va || Value.is_null vb then ret Value.Null
       else begin
-        let sa = Value.to_display va and sb = Value.to_display vb in
-        Fn_ctx.alloc_check env.Interp.ctx (String.length sa + String.length sb);
-        ret (Value.Str (sa ^ sb))
+        (* mirror of the interpreter's Concat, compact fast path included *)
+        match (Value.str_bytes va, Value.str_bytes vb) with
+        | Some la, Some lb
+          when env.Interp.ctx.Fn_ctx.compact
+               && la + lb >= Value.Compact.min_str_bytes ->
+          Fn_ctx.alloc_check env.Interp.ctx (la + lb);
+          (match Value.rope_concat va vb with
+           | Some v -> ret v
+           | None -> assert false (* both operands are strings *))
+        | _ ->
+          let sa = Value.to_display va and sb = Value.to_display vb in
+          Fn_ctx.alloc_check env.Interp.ctx (String.length sa + String.length sb);
+          ret (Value.Str (sa ^ sb))
       end
   | Ast.Bit_and | Ast.Bit_or | Ast.Bit_xor | Ast.Shift_l | Ast.Shift_r ->
     fun env slots ->

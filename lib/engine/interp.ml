@@ -67,10 +67,13 @@ let value_of_dec_lit s =
 
 let strictness ctx = ctx.Fn_ctx.cast_cfg.Cast.strictness
 
-let num_coerce ctx v =
+let rec num_coerce ctx v =
   (* coerce a scalar to the numeric tower for arithmetic *)
   match v with
   | Value.Int _ | Value.Dec _ | Value.Float _ -> v
+  (* a rope is a string: parse its flat spelling (a range falls through
+     to the catch-all and errors as ARRAY, exactly like a boxed array) *)
+  | Value.Rope_str _ -> num_coerce ctx (Value.view v)
   | Value.Bool b -> Value.Int (if b then 1L else 0L)
   | Value.Str s ->
     (match strictness ctx with
@@ -233,6 +236,9 @@ let truthiness = function
   | Value.Float f -> Some (f <> 0.0)
   | Value.Dec d -> Some (not (Decimal.is_zero d))
   | Value.Str s -> Some (s <> "" && s <> "0")
+  (* a multi-byte rope can neither be "" nor "0": no flatten needed *)
+  | Value.Rope_str r ->
+    Some (r.Value.rp_bytes > 1 || Value.rope_flatten r <> "0")
   | _ -> Some true
 
 (* ----- evaluation ----- *)
@@ -456,9 +462,21 @@ and eval_binop env ~row op a b =
     let vb = (eval_expr env ~row b).Fault.value in
     if Value.is_null va || Value.is_null vb then ret Value.Null
     else begin
-      let sa = Value.to_display va and sb = Value.to_display vb in
-      Fn_ctx.alloc_check env.ctx (String.length sa + String.length sb);
-      ret (Value.Str (sa ^ sb))
+      match (Value.str_bytes va, Value.str_bytes vb) with
+      | Some la, Some lb
+        when env.ctx.Fn_ctx.compact
+             && la + lb >= Value.Compact.min_str_bytes ->
+        (* both operands are strings, so the byte total — and the cap
+           check it feeds — is exactly the flat concatenation's; the
+           result stays compact *)
+        Fn_ctx.alloc_check env.ctx (la + lb);
+        (match Value.rope_concat va vb with
+         | Some v -> ret v
+         | None -> assert false (* both operands are strings *))
+      | _ ->
+        let sa = Value.to_display va and sb = Value.to_display vb in
+        Fn_ctx.alloc_check env.ctx (String.length sa + String.length sb);
+        ret (Value.Str (sa ^ sb))
     end
   | Ast.Bit_and | Ast.Bit_or | Ast.Bit_xor | Ast.Shift_l | Ast.Shift_r ->
     let va = (eval_expr env ~row a).Fault.value in
@@ -858,6 +876,7 @@ and value_to_literal (v : Value.t) : Ast.expr =
     Ast.call "MAP_FROM_ARRAYS"
       [ Ast.Array_lit (List.map (fun (k, _) -> value_to_literal k) kvs);
         Ast.Array_lit (List.map (fun (_, v) -> value_to_literal v) kvs) ]
+  | Value.Range_arr _ | Value.Rope_str _ -> value_to_literal (Value.view v)
 
 and exec_body env (body : Ast.body) : result_set =
   match body with

@@ -87,6 +87,9 @@ let contains_substring hay needle =
 let string_payload v =
   match v with
   | Value.Str s | Value.Blob s -> Some s
+  (* a rope IS a string payload: the injected bug must fire on the same
+     arguments whether the producer handed it flat or compact *)
+  | Value.Rope_str r -> Some (Value.rope_flatten r)
   | Value.Json j -> Some (Sqlfun_data.Json.to_string j)
   | _ -> None
 
@@ -96,9 +99,13 @@ let rec eval_arg_cond c a =
   | Is_star -> a.prov = Prov.Star
   | Is_empty_string -> a.value = Value.Str ""
   | Str_len_ge n ->
-    (match string_payload a.value with
-     | Some s -> String.length s >= n
-     | None -> false)
+    (* length-only condition: answered in O(1) for ropes, no flatten *)
+    (match Value.str_bytes a.value with
+     | Some len -> len >= n
+     | None ->
+       (match string_payload a.value with
+        | Some s -> String.length s >= n
+        | None -> false))
   | Str_contains sub ->
     (match string_payload a.value with
      | Some s -> contains_substring s sub

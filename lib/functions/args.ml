@@ -6,21 +6,30 @@ open Sqlfun_ast
 
 let err fmt = Printf.ksprintf (fun msg -> raise (Fn_ctx.Sql_error msg)) fmt
 
-let value args i =
+(* The argument value as the evaluator produced it — possibly a compact
+   representation (range array, rope string). Only the accessors below
+   that provably treat compact and boxed spellings identically may use
+   it; everything else goes through {!value}, which normalizes. *)
+let raw args i =
   match List.nth_opt args i with
   | Some a ->
     if a.Fault.prov = Fault.Prov.Star then err "improper use of '*' as argument %d" (i + 1)
     else a.Fault.value
   | None -> err "missing argument %d" (i + 1)
 
+(* Normalization choke point: every consumer reached from here sees the
+   boxed spelling, so the function implementations' pattern matches are
+   representation-blind by construction. *)
+let value args i = Value.view (raw args i)
+
 let value_opt args i =
   match List.nth_opt args i with
-  | Some a when a.Fault.prov <> Fault.Prov.Star -> Some a.Fault.value
+  | Some a when a.Fault.prov <> Fault.Prov.Star -> Some (Value.view a.Fault.value)
   | Some _ | None -> None
 
 let reject_containers what v =
   match v with
-  | Value.Arr _ | Value.Map _ | Value.Row _ ->
+  | Value.Arr _ | Value.Map _ | Value.Row _ | Value.Range_arr _ ->
     err "cannot coerce %s to %s" (Value.ty_name (Value.type_of v)) what
   | _ -> v
 
@@ -140,3 +149,34 @@ let small_int ctx args i =
   if v > Int64.of_int max_int || v < Int64.of_int min_int then
     err "argument %d out of range" (i + 1)
   else Int64.to_int v
+
+(* ----- compact-preserving accessors -----
+
+   These mirror {!str}/{!array} exactly — same errors, same coverage
+   points — but keep a compact argument compact so the O(1) fast paths
+   in the hot functions (LENGTH, ARRAY_LENGTH, REPEAT chains, slicing)
+   never force a materialization. *)
+
+let str_value ctx args i =
+  match
+    Fn_ctx.cast_value ctx (reject_containers "a string" (raw args i)) Ast.T_text
+  with
+  | Value.Null -> err "unexpected NULL argument %d" (i + 1)
+  | Value.Str _ as v -> v
+  | Value.Rope_str _ as v -> v  (* T_text is an identity cast on ropes *)
+  | v -> Value.Str (Value.to_display v)
+
+let str_byte_length ctx args i =
+  match Value.str_bytes (str_value ctx args i) with
+  | Some n -> n
+  | None -> assert false (* str_value only returns string values *)
+
+let array_length ctx args i =
+  match raw args i with
+  | Value.Range_arr r -> r.Value.rg_len
+  | _ -> List.length (array ctx args i)
+
+let array_value ctx args i =
+  match raw args i with
+  | (Value.Arr _ | Value.Range_arr _) as v -> v
+  | _ -> Value.Arr (array ctx args i)

@@ -8,9 +8,17 @@ open Sqlfun_fault
 open Sqlfun_data
 
 val value : Fault.arg list -> int -> Value.t
-(** @raise Fn_ctx.Sql_error when the index is out of range. *)
+(** The argument, normalized through {!Value.view} so function bodies
+    only ever match boxed spellings (a compact range/rope argument is
+    materialized here).
+    @raise Fn_ctx.Sql_error when the index is out of range. *)
 
 val value_opt : Fault.arg list -> int -> Value.t option
+
+val raw : Fault.arg list -> int -> Value.t
+(** Like {!value} but without the normalization: may return a compact
+    [Range_arr]/[Rope_str]. Only for accessors/implementations that
+    provably treat the compact and boxed spellings identically. *)
 
 val str : Fn_ctx.t -> Fault.arg list -> int -> string
 val int_ : Fn_ctx.t -> Fault.arg list -> int -> int64
@@ -31,3 +39,18 @@ val xpath : Fn_ctx.t -> Fault.arg list -> int -> Xml_doc.step list
 
 val small_int : Fn_ctx.t -> Fault.arg list -> int -> int
 (** Like {!int_} but also requires the value to fit in [int]. *)
+
+val str_value : Fn_ctx.t -> Fault.arg list -> int -> Value.t
+(** Like {!str} — same casts, errors and coverage points — but returns
+    the string as a [Value.t], keeping a rope argument compact. Always
+    [Str] or [Rope_str]. *)
+
+val str_byte_length : Fn_ctx.t -> Fault.arg list -> int -> int
+(** The byte length {!str} would observe, in O(1) for rope arguments. *)
+
+val array_length : Fn_ctx.t -> Fault.arg list -> int -> int
+(** The length {!array} would observe, in O(1) for range arrays. *)
+
+val array_value : Fn_ctx.t -> Fault.arg list -> int -> Value.t
+(** Like {!array} but as a [Value.t], keeping a range argument compact.
+    Always [Arr] or [Range_arr]. *)

@@ -11,7 +11,7 @@ let map_scalar = Func_sig.scalar ~category:"map"
 let array_length_fn =
   arr_scalar "ARRAY_LENGTH" ~min_args:1 ~max_args:(Some 1)
     ~hints:[ Func_sig.H_array ] ~examples:[ "ARRAY_LENGTH(ARRAY[1, 2])" ]
-    (fun ctx args -> Value.Int (Int64.of_int (List.length (Args.array ctx args 0))))
+    (fun ctx args -> Value.Int (Int64.of_int (Args.array_length ctx args 0)))
 
 let array_append_fn =
   arr_scalar "ARRAY_APPEND" ~min_args:2 ~max_args:(Some 2)
@@ -65,43 +65,62 @@ let array_element_fn =
     ~hints:[ Func_sig.H_array; Func_sig.H_int ]
     ~examples:[ "ARRAY_ELEMENT(ARRAY[1, 2], 1)" ]
     (fun ctx args ->
-      let vs = Args.array ctx args 0 in
+      let arr = Args.array_value ctx args 0 in
       let i = Args.small_int ctx args 1 in
       (* 1-based, negative indexes from the back (ClickHouse) *)
-      let n = List.length vs in
-      let idx = if Fn_ctx.branch ctx "array-elem/neg" (i < 0) then n + i else i - 1 in
-      if idx < 0 then Value.Null
-      else
-        match List.nth_opt vs idx with
-        | Some v -> v
-        | None -> Value.Null)
+      match arr with
+      | Value.Range_arr r ->
+        let n = r.Value.rg_len in
+        let idx = if Fn_ctx.branch ctx "array-elem/neg" (i < 0) then n + i else i - 1 in
+        if idx < 0 || idx >= n then Value.Null else Value.range_nth r idx
+      | Value.Arr vs ->
+        let n = List.length vs in
+        let idx = if Fn_ctx.branch ctx "array-elem/neg" (i < 0) then n + i else i - 1 in
+        if idx < 0 then Value.Null
+        else
+          (match List.nth_opt vs idx with
+           | Some v -> v
+           | None -> Value.Null)
+      | _ -> assert false (* array_value returns Arr or Range_arr *))
 
 let array_slice_fn =
   arr_scalar "ARRAY_SLICE" ~min_args:3 ~max_args:(Some 3)
     ~hints:[ Func_sig.H_array; Func_sig.H_int; Func_sig.H_int ]
     ~examples:[ "ARRAY_SLICE(ARRAY[1, 2, 3], 1, 2)" ]
     (fun ctx args ->
-      let vs = Args.array ctx args 0 in
+      let arr = Args.array_value ctx args 0 in
       let start = Args.small_int ctx args 1 in
       let len = Args.small_int ctx args 2 in
       if start < 1 then err "ARRAY_SLICE: start must be >= 1";
       if len < 0 then err "ARRAY_SLICE: negative length";
-      let rec take n = function
-        | [] -> []
-        | _ when n = 0 -> []
-        | x :: rest -> x :: take (n - 1) rest
-      in
-      let rec drop n = function
-        | l when n = 0 -> l
-        | [] -> []
-        | _ :: rest -> drop (n - 1) rest
-      in
-      Value.Arr (take len (drop (start - 1) vs)))
+      match arr with
+      | Value.Range_arr r ->
+        (* O(1): a slice of an arithmetic sequence is one *)
+        let avail = r.Value.rg_len - (start - 1) in
+        let take = Stdlib.min len (Stdlib.max 0 avail) in
+        if take = 0 then Value.Arr []
+        else Value.range_slice r ~offset:(start - 1) ~len:take
+      | Value.Arr vs ->
+        (* single pass (the old take-of-drop walked the prefix twice):
+           skip below the window, collect inside it, stop at its end *)
+        let rec slice i acc = function
+          | [] -> List.rev acc
+          | v :: rest ->
+            if i < start - 1 then slice (i + 1) acc rest
+            else if i - (start - 1) < len then slice (i + 1) (v :: acc) rest
+            else List.rev acc
+        in
+        Value.Arr (slice 0 [] vs)
+      | _ -> assert false (* array_value returns Arr or Range_arr *))
 
 let array_reverse_fn =
   arr_scalar "ARRAY_REVERSE" ~min_args:1 ~max_args:(Some 1)
     ~hints:[ Func_sig.H_array ] ~examples:[ "ARRAY_REVERSE(ARRAY[1, 2])" ]
-    (fun ctx args -> Value.Arr (List.rev (Args.array ctx args 0)))
+    (fun ctx args ->
+      match Args.array_value ctx args 0 with
+      | Value.Range_arr r -> Value.range_rev r  (* O(1): flip first/step *)
+      | Value.Arr vs -> Value.Arr (List.rev vs)
+      | _ -> assert false (* array_value returns Arr or Range_arr *))
 
 let array_distinct_fn =
   arr_scalar "ARRAY_DISTINCT" ~min_args:1 ~max_args:(Some 1)
@@ -139,15 +158,20 @@ let array_extremum name keep =
   arr_scalar name ~min_args:1 ~max_args:(Some 1) ~hints:[ Func_sig.H_array ]
     ~examples:[ Printf.sprintf "%s(ARRAY[1, 2])" name ]
     (fun ctx args ->
-      match Args.array ctx args 0 with
-      | [] -> Value.Null
-      | first :: rest ->
+      match Args.array_value ctx args 0 with
+      | Value.Range_arr r ->
+        (* O(1): a monotone sequence's extrema are its endpoints *)
+        let a = r.Value.rg_first and b = Value.range_last r in
+        Value.Int (if keep (Int64.compare b a) then b else a)
+      | Value.Arr [] -> Value.Null
+      | Value.Arr (first :: rest) ->
         List.fold_left
           (fun best v ->
             match Value.compare_values v best with
             | Some c -> if keep c then v else best
             | None -> err "%s: incomparable elements" name)
-          first rest)
+          first rest
+      | _ -> assert false (* array_value returns Arr or Range_arr *))
 
 let array_min_fn = array_extremum "ARRAY_MIN" (fun c -> c < 0)
 let array_max_fn = array_extremum "ARRAY_MAX" (fun c -> c > 0)
@@ -193,16 +217,21 @@ let range_fn =
       else if span > Int64.of_int ctx.Fn_ctx.limits.max_collection then
         raise (Fn_ctx.Resource_limit "RANGE too large")
       else begin
-        (* build descending so the list comes out ascending in one pass —
-           [List.init] at this size goes tail-recursive and pays a second
-           full pass (and a second list) in [List.rev]; boundary
-           arguments make n ~10^5..10^6, so the halved allocation is
-           measurable campaign-wide *)
-        let rec build i acc =
-          if Int64.compare i lo < 0 then acc
-          else build (Int64.pred i) (Value.Int i :: acc)
-        in
-        Value.Arr (build (Int64.pred hi) [])
+        let len = Int64.to_int span in
+        if ctx.Fn_ctx.compact && len >= Value.Compact.min_array_len then
+          (* O(1): the whole sequence is (first, step, len); cells
+             materialize only if a consumer genuinely walks them *)
+          Value.range_arr ~first:lo ~step:1L ~len
+        else begin
+          (* build descending so the list comes out ascending in one pass —
+             [List.init] at this size goes tail-recursive and pays a second
+             full pass (and a second list) in [List.rev] *)
+          let rec build i acc =
+            if Int64.compare i lo < 0 then acc
+            else build (Int64.pred i) (Value.Int i :: acc)
+          in
+          Value.Arr (build (Int64.pred hi) [])
+        end
       end)
 
 (* ----- maps ----- *)
@@ -236,12 +265,15 @@ let element_at_fn =
     ~hints:[ Func_sig.H_map; Func_sig.H_any ]
     ~examples:[ "ELEMENT_AT(MAP_FROM_ARRAYS(ARRAY['x'], ARRAY[1]), 'x')" ]
     (fun ctx args ->
-      match Args.value args 0 with
+      match Args.raw args 0 with
       | Value.Map kvs ->
         let key = Args.value args 1 in
         (match List.find_opt (fun (k, _) -> Value.equal k key) kvs with
          | Some (_, v) -> v
          | None -> Value.Null)
+      | Value.Range_arr r ->
+        let i = Args.small_int ctx args 1 in
+        if i < 1 || i > r.Value.rg_len then Value.Null else Value.range_nth r (i - 1)
       | Value.Arr vs ->
         let i = Args.small_int ctx args 1 in
         if i < 1 then Value.Null

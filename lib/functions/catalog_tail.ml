@@ -51,7 +51,7 @@ let lcase_fn =
 let octet_length_fn =
   str_scalar "OCTET_LENGTH" ~min_args:1 ~max_args:(Some 1)
     ~hints:[ Func_sig.H_str ] ~examples:[ "OCTET_LENGTH('ab')" ]
-    (fun ctx args -> Value.Int (Int64.of_int (String.length (Args.str ctx args 0))))
+    (fun ctx args -> Value.Int (Int64.of_int (Args.str_byte_length ctx args 0)))
 
 (* SUBSTRING_INDEX(s, delim, count): everything before the count-th
    occurrence of delim (negative count: from the right), MySQL. *)

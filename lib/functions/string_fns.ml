@@ -16,17 +16,24 @@ let scalar = Func_sig.scalar ~category:cat
 let length_fn =
   scalar "LENGTH" ~min_args:1 ~max_args:(Some 1) ~hints:[ Func_sig.H_str ]
     ~examples:[ "LENGTH('hello')" ]
-    (fun ctx args -> ret_int (Int64.of_int (String.length (Args.str ctx args 0))))
+    (fun ctx args -> ret_int (Int64.of_int (Args.str_byte_length ctx args 0)))
 
 let char_length_fn =
   scalar "CHAR_LENGTH" ~min_args:1 ~max_args:(Some 1) ~hints:[ Func_sig.H_str ]
     ~examples:[ "CHAR_LENGTH('hello')" ]
     (fun ctx args ->
-      (* count UTF-8 code points, not bytes *)
-      let s = Args.str ctx args 0 in
-      let count = ref 0 in
-      String.iter (fun c -> if Char.code c land 0xC0 <> 0x80 then incr count) s;
-      ret_int (Int64.of_int !count))
+      (* count UTF-8 code points, not bytes — the count is additive
+         across segment boundaries (a continuation byte classifies the
+         same wherever the split falls), so ropes measure per segment *)
+      let count_str s =
+        let count = ref 0 in
+        String.iter (fun c -> if Char.code c land 0xC0 <> 0x80 then incr count) s;
+        !count
+      in
+      match Args.str_value ctx args 0 with
+      | Value.Rope_str r -> ret_int (Int64.of_int (Value.rope_measure count_str r))
+      | Value.Str s -> ret_int (Int64.of_int (count_str s))
+      | _ -> assert false (* str_value returns Str or Rope_str *))
 
 let upper_fn =
   scalar "UPPER" ~min_args:1 ~max_args:(Some 1) ~hints:[ Func_sig.H_str ]
@@ -42,10 +49,30 @@ let concat_fn =
   scalar "CONCAT" ~min_args:1 ~max_args:None ~hints:[ Func_sig.H_str ]
     ~examples:[ "CONCAT('a', 'b', 'c')" ]
     (fun ctx args ->
-      let parts = List.mapi (fun i _ -> Args.str ctx args i) args in
-      let total = List.fold_left (fun acc s -> acc + String.length s) 0 parts in
+      let parts = List.mapi (fun i _ -> Args.str_value ctx args i) args in
+      let total =
+        List.fold_left
+          (fun acc p ->
+            match Value.str_bytes p with Some n -> acc + n | None -> acc)
+          0 parts
+      in
       Fn_ctx.alloc_check ctx total;
-      ret_str (String.concat "" parts))
+      if ctx.Fn_ctx.compact && total >= Value.Compact.min_str_bytes then
+        (* O(1) per part: chain the pieces as a rope; a rope part from
+           an inner REPEAT stays unflattened *)
+        List.fold_left
+          (fun acc p ->
+            match Value.rope_concat acc p with Some v -> v | None -> acc)
+          (Value.Str "") parts
+      else
+        ret_str
+          (String.concat ""
+             (List.map
+                (function
+                  | Value.Str s -> s
+                  | Value.Rope_str r -> Value.rope_flatten r
+                  | _ -> assert false)
+                parts)))
 
 let concat_ws_fn =
   scalar "CONCAT_WS" ~min_args:2 ~max_args:None
@@ -230,6 +257,10 @@ let repeat_fn =
              repeat loop this replaces ran zero iterations there, so
              the result is the empty string, not an error *)
           ret_str ""
+        else if ctx.Fn_ctx.compact && slen * n >= Value.Compact.min_str_bytes then
+          (* O(1): the result is (segment, count); bytes materialize
+             only if a consumer genuinely reads them *)
+          Value.str_rope_rep s n
         else begin
         let total = slen * n in
         (* doubling blit: one copy of [s], then the filled prefix copies
@@ -283,6 +314,27 @@ let pad_impl side ctx args =
   if Fn_ctx.branch ctx "pad/short" (target <= String.length s) then
     if target < 0 then ret_str "" else ret_str (String.sub s 0 target)
   else if pad = "" then ret_str s
+  else if ctx.Fn_ctx.compact && target >= Value.Compact.min_str_bytes then begin
+    (* O(1): filler = whole repetitions of [pad] plus a prefix remnant,
+       chained around [s] as a rope — same bytes the blit path writes *)
+    Fn_ctx.alloc_check ctx target;
+    let need = target - String.length s in
+    let plen = String.length pad in
+    let k = need / plen and rem = need mod plen in
+    let fill =
+      let repv = if k > 0 then Value.str_rope_rep pad k else Value.Str "" in
+      if rem = 0 then repv
+      else
+        match Value.rope_concat repv (Value.Str (String.sub pad 0 rem)) with
+        | Some v -> v
+        | None -> assert false (* rem > 0, so the result is nonempty *)
+    in
+    let sv = Value.Str s in
+    let a, b = match side with `Left -> (fill, sv) | `Right -> (sv, fill) in
+    match Value.rope_concat a b with
+    | Some v -> v
+    | None -> assert false (* target >= 1 byte total *)
+  end
   else begin
     Fn_ctx.alloc_check ctx target;
     let slen = String.length s in
@@ -332,7 +384,10 @@ let space_fn =
       else begin
         if n > Int64.of_int ctx.Fn_ctx.limits.max_string_bytes then
           raise (Fn_ctx.Resource_limit "SPACE result exceeds cap");
-        ret_str (String.make (Int64.to_int n) ' ')
+        let n = Int64.to_int n in
+        if ctx.Fn_ctx.compact && n >= Value.Compact.min_str_bytes then
+          Value.str_rope_rep " " n
+        else ret_str (String.make n ' ')
       end)
 
 let ascii_fn =
@@ -649,7 +704,7 @@ let contains_fn =
 let bit_length_fn =
   scalar "BIT_LENGTH" ~min_args:1 ~max_args:(Some 1) ~hints:[ Func_sig.H_str ]
     ~examples:[ "BIT_LENGTH('ab')" ]
-    (fun ctx args -> ret_int (Int64.of_int (8 * String.length (Args.str ctx args 0))))
+    (fun ctx args -> ret_int (Int64.of_int (8 * Args.str_byte_length ctx args 0)))
 
 let locate_fn =
   scalar "LOCATE" ~min_args:2 ~max_args:(Some 3)

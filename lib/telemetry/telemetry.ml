@@ -283,6 +283,12 @@ type t = {
   mutable compile_hits : int;
   mutable compile_misses : int;
   mutable compile_fallbacks : int;
+  (* compact-representation counters: hits built a compact value
+     (Range_arr/Rope_str) instead of materializing, spills materialized
+     one because a consumer genuinely needed the elements/bytes.
+     Throughput metadata only — never feeds a verdict. *)
+  mutable compact_hits : int;
+  mutable compact_spills : int;
   (* sink flushers, run on campaign end and on the crash/restart path so
      abnormal termination cannot truncate a JSONL stream mid-campaign *)
   mutable flushers : (unit -> unit) list;
@@ -300,6 +306,8 @@ let create ?(sink = Null) () =
     compile_hits = 0;
     compile_misses = 0;
     compile_fallbacks = 0;
+    compact_hits = 0;
+    compact_spills = 0;
     flushers = [];
   }
 
@@ -442,6 +450,17 @@ let compile_hit_rate t =
   if looked_up = 0 then 0.
   else float_of_int t.compile_hits /. float_of_int looked_up
 
+(* ----- compact-representation counters ----- *)
+
+let compact_add t ~hits ~spills =
+  t.compact_hits <- t.compact_hits + hits;
+  t.compact_spills <- t.compact_spills + spills
+
+type compact_counts = { k_hits : int; k_spills : int }
+
+let compact_counts t =
+  { k_hits = t.compact_hits; k_spills = t.compact_spills }
+
 (* ----- merging (shard -> campaign aggregation) ----- *)
 
 let merge_into ~dst src =
@@ -468,7 +487,9 @@ let merge_into ~dst src =
   dst.memo_collisions <- dst.memo_collisions + src.memo_collisions;
   dst.compile_hits <- dst.compile_hits + src.compile_hits;
   dst.compile_misses <- dst.compile_misses + src.compile_misses;
-  dst.compile_fallbacks <- dst.compile_fallbacks + src.compile_fallbacks
+  dst.compile_fallbacks <- dst.compile_fallbacks + src.compile_fallbacks;
+  dst.compact_hits <- dst.compact_hits + src.compact_hits;
+  dst.compact_spills <- dst.compact_spills + src.compact_spills
 
 let merge a b =
   let t = create () in
@@ -602,6 +623,13 @@ let compile_to_json t =
       ("hit_rate", Json.Float (compile_hit_rate t));
     ]
 
+let compact_to_json t =
+  Json.Obj
+    [
+      ("hits", Json.Int t.compact_hits);
+      ("spills", Json.Int t.compact_spills);
+    ]
+
 let snapshot_json t =
   Json.Obj
     [
@@ -609,4 +637,5 @@ let snapshot_json t =
       ("verdicts", verdicts_to_json t);
       ("memo", memo_to_json t);
       ("compile", compile_to_json t);
+      ("compact", compact_to_json t);
     ]

@@ -197,6 +197,17 @@ val compile_counts : t -> compile_counts
 val compile_hit_rate : t -> float
 (** [hits / (hits + misses)]; [0.] before any probe. *)
 
+val compact_add : t -> hits:int -> spills:int -> unit
+(** Credits a delta of compact-representation constructions (hits) and
+    materializations (spills) measured on an engine's domain (see
+    {!Sqlfun_value.Value.Compact}). Runners call this once per campaign
+    (or once per shard worker), not per case. Throughput metadata, not
+    determinism-bearing totals. *)
+
+type compact_counts = { k_hits : int; k_spills : int }
+
+val compact_counts : t -> compact_counts
+
 val reclassify_verdict :
   t ->
   dialect:string ->
@@ -270,10 +281,13 @@ val memo_to_json : t -> Json.t
 val compile_to_json : t -> Json.t
 (** [{"hits": ..., "misses": ..., "fallbacks": ..., "hit_rate": ...}]. *)
 
+val compact_to_json : t -> Json.t
+(** [{"hits": ..., "spills": ...}]. *)
+
 val snapshot_json : t -> Json.t
-(** [{"stages": ..., "verdicts": ..., "memo": ..., "compile": ...}] —
-    the generic part of a campaign snapshot; callers add their own
-    run-level fields. *)
+(** [{"stages": ..., "verdicts": ..., "memo": ..., "compile": ...,
+    "compact": ...}] — the generic part of a campaign snapshot; callers
+    add their own run-level fields. *)
 
 (** {1 Histograms}
 

@@ -75,7 +75,7 @@ let dec_of_string_lenient cfg s =
            | Error _ -> Some Decimal.zero)
         | None -> Some Decimal.zero))
 
-let to_int_target cfg target v =
+let rec to_int_target cfg target v =
   let lo, hi = int_bounds target in
   let from_dec d =
     match Decimal.to_int64 (Decimal.round ~scale:0 d) with
@@ -131,6 +131,8 @@ let to_int_target cfg target v =
   | Value.Json _ | Value.Arr _ | Value.Map _ | Value.Row _ | Value.Inet _
   | Value.Uuid _ | Value.Geom _ | Value.Xml _ ->
     Error (Unsupported (Value.ty_name (Value.type_of v) ^ " to integer"))
+  | Value.Range_arr _ | Value.Rope_str _ ->
+    to_int_target cfg target (Value.view v)
   | Value.Null -> Ok Value.Null
 
 let to_unsigned cfg v =
@@ -145,7 +147,7 @@ let to_unsigned cfg v =
 
 let max_decimal_precision = 65
 
-let to_decimal ?(precision_cap = max_decimal_precision) cfg spec v =
+let rec to_decimal ?(precision_cap = max_decimal_precision) cfg spec v =
   let fit d =
     match spec with
     | None -> Ok (Value.Dec d)
@@ -189,10 +191,12 @@ let to_decimal ?(precision_cap = max_decimal_precision) cfg spec v =
   | Value.Interval _ | Value.Json _ | Value.Arr _ | Value.Map _ | Value.Row _
   | Value.Inet _ | Value.Uuid _ | Value.Geom _ | Value.Xml _ ->
     Error (Unsupported (Value.ty_name (Value.type_of v) ^ " to DECIMAL"))
+  | Value.Range_arr _ | Value.Rope_str _ ->
+    to_decimal ~precision_cap cfg spec (Value.view v)
 
 (* ----- float target ----- *)
 
-let to_float_target cfg v =
+let rec to_float_target cfg v =
   match v with
   | Value.Float f -> Ok (Value.Float f)
   | Value.Int i -> Ok (Value.Float (Int64.to_float i))
@@ -216,6 +220,7 @@ let to_float_target cfg v =
   | Value.Interval _ | Value.Json _ | Value.Arr _ | Value.Map _ | Value.Row _
   | Value.Inet _ | Value.Uuid _ | Value.Geom _ | Value.Xml _ ->
     Error (Unsupported (Value.ty_name (Value.type_of v) ^ " to DOUBLE"))
+  | Value.Range_arr _ | Value.Rope_str _ -> to_float_target cfg (Value.view v)
 
 (* ----- string targets ----- *)
 
@@ -241,7 +246,7 @@ let int_to_date i =
     Calendar.make_date ~year:(i / 10000) ~month:(i mod 10000 / 100) ~day:(i mod 100)
   end
 
-let to_date cfg v =
+let rec to_date cfg v =
   match v with
   | Value.Date _ -> Ok v
   | Value.Datetime dt -> Ok (Value.Date dt.Calendar.date)
@@ -264,6 +269,7 @@ let to_date cfg v =
   | Value.Interval _ | Value.Json _ | Value.Arr _ | Value.Map _ | Value.Row _
   | Value.Inet _ | Value.Uuid _ | Value.Geom _ | Value.Xml _ ->
     Error (Unsupported (Value.ty_name (Value.type_of v) ^ " to DATE"))
+  | Value.Range_arr _ | Value.Rope_str _ -> to_date cfg (Value.view v)
 
 let to_time cfg v =
   match v with
@@ -331,6 +337,7 @@ let rec json_of_value v =
   | Value.Datetime _ | Value.Interval _ | Value.Inet _ | Value.Uuid _
   | Value.Geom _ | Value.Xml _ ->
     Some (Json.J_str (Value.to_display v))
+  | Value.Range_arr _ | Value.Rope_str _ -> json_of_value (Value.view v)
 
 let to_json cfg v =
   match v with
@@ -531,6 +538,25 @@ let rec to_array cfg elt_ty v =
   | _ -> Error (Unsupported (Value.ty_name (Value.type_of v) ^ " to ARRAY"))
 
 and dispatch cfg v target =
+  (* Compact head: identity casts keep the compact representation (the
+     boxed path would return the very same bytes/elements — a rope IS a
+     TEXT value, a range IS an ARRAY of in-range BIGINTs); every other
+     target sees the boxed spelling, so the per-target converters below
+     never meet a compact value and their verdicts cannot depend on the
+     representation. *)
+  match v with
+  | Value.Rope_str r ->
+    (match target with
+     | Ast.T_text | Ast.T_char None | Ast.T_varchar None -> Ok v
+     | (Ast.T_char (Some n) | Ast.T_varchar (Some n))
+       when n >= 0 && r.Value.rp_bytes <= n ->
+       Ok v
+     | _ -> dispatch cfg (Value.view v) target)
+  | Value.Range_arr _ ->
+    (match target with
+     | Ast.T_array_t Ast.T_bigint -> Ok v
+     | _ -> dispatch cfg (Value.view v) target)
+  | _ ->
   match target with
   | Ast.T_bool -> to_bool cfg v
   | Ast.T_smallint | Ast.T_int | Ast.T_bigint -> to_int_target cfg target v

@@ -1,6 +1,27 @@
 open Sqlfun_num
 open Sqlfun_data
 
+(* Two compact, lazily-materialized backings ride alongside the boxed
+   constructors (PR 8): [Range_arr] describes the arithmetic integer
+   sequences RANGE produces as first/step/length (O(1) to build where
+   the boxed list is O(n) — RANGE(1000000) used to allocate a million
+   cells per call), and [Rope_str] describes the REPEAT/LPAD/RPAD/
+   CONCAT-built strings as a repetition/concatenation tree over flat
+   segments (O(1) to build where the flat string is O(bytes)).
+
+   Soundness contract: a compact value is *observationally identical*
+   to its boxed spelling. Every function in this module that inspects
+   structure either handles the compact constructors with an O(1)
+   computation proven equal to the boxed one ([size_of], [depth_of],
+   [type_of], range-vs-range comparison), or materializes through
+   {!view} first. Compact values are only built above the
+   {!Compact.min_array_len}/{!Compact.min_str_bytes} thresholds and are
+   never empty, so sites that compare against small literal values
+   (e.g. [v = Str ""], [v = Arr []]) can never meet one. Spilling
+   mutates a cache in place — values are engine-local (one engine per
+   shard/domain), so the mutation is single-domain like the rest of the
+   engine state. *)
+
 type t =
   | Null
   | Bool of bool
@@ -21,6 +42,25 @@ type t =
   | Uuid of string
   | Geom of Geometry.t
   | Xml of Xml_doc.t list
+  | Range_arr of range_arr
+  | Rope_str of rope_str
+
+and range_arr = {
+  rg_first : int64;
+  rg_step : int64;  (* +1 or -1: RANGE only emits unit strides *)
+  rg_len : int;  (* >= 1: empty arrays stay boxed *)
+  mutable rg_spill : t list option;  (* cached boxed materialization *)
+}
+
+and rope_str = {
+  mutable rp_node : rope;  (* collapses to [R_leaf] on first flatten *)
+  rp_bytes : int;  (* total flat length, >= 1: "" stays boxed *)
+}
+
+and rope =
+  | R_leaf of string
+  | R_rep of string * int  (* segment repeated n times, segment <> "" *)
+  | R_cat of rope * rope
 
 type ty =
   | Ty_null
@@ -49,14 +89,14 @@ let type_of = function
   | Int _ -> Ty_int
   | Dec _ -> Ty_dec
   | Float _ -> Ty_float
-  | Str _ -> Ty_str
+  | Str _ | Rope_str _ -> Ty_str
   | Blob _ -> Ty_blob
   | Date _ -> Ty_date
   | Time _ -> Ty_time
   | Datetime _ -> Ty_datetime
   | Interval _ -> Ty_interval
   | Json _ -> Ty_json
-  | Arr _ -> Ty_array
+  | Arr _ | Range_arr _ -> Ty_array
   | Map _ -> Ty_map
   | Row _ -> Ty_row
   | Inet _ -> Ty_inet
@@ -87,6 +127,183 @@ let ty_name = function
 
 let is_null = function Null -> true | _ -> false
 
+(* ----- compact-representation accounting -----
+
+   Hit/spill counts live in domain-local cells: value code has no
+   context handle, and per-domain cells let the runner attribute a
+   campaign's counts to its own domains even when other campaigns run
+   concurrently on other domains (a process-global counter could not).
+   Counts are throughput metadata — they never feed a verdict. *)
+
+module Compact = struct
+  type counters = { hits : int; spills : int }
+
+  type cell = { mutable c_hits : int; mutable c_spills : int }
+
+  let key = Domain.DLS.new_key (fun () -> { c_hits = 0; c_spills = 0 })
+
+  let hit () =
+    let c = Domain.DLS.get key in
+    c.c_hits <- c.c_hits + 1
+
+  let spill () =
+    let c = Domain.DLS.get key in
+    c.c_spills <- c.c_spills + 1
+
+  let read () =
+    let c = Domain.DLS.get key in
+    { hits = c.c_hits; spills = c.c_spills }
+
+  let since c0 =
+    let c = read () in
+    { hits = c.hits - c0.hits; spills = c.spills - c0.spills }
+
+  (* Below these sizes the boxed representation is built directly: the
+     constant-factor win would be negligible, and keeping small values
+     boxed preserves every structural-equality comparison against small
+     literals (never-empty is the load-bearing half of the invariant). *)
+  let min_array_len = 256
+  let min_str_bytes = 4096
+end
+
+(* ----- range arrays ----- *)
+
+let range_arr ~first ~step ~len =
+  Compact.hit ();
+  Range_arr { rg_first = first; rg_step = step; rg_len = len; rg_spill = None }
+
+let range_nth r i = Int (Int64.add r.rg_first (Int64.mul r.rg_step (Int64.of_int i)))
+
+let range_last r =
+  Int64.add r.rg_first (Int64.mul r.rg_step (Int64.of_int (r.rg_len - 1)))
+
+let range_spill r =
+  match r.rg_spill with
+  | Some vs -> vs
+  | None ->
+    Compact.spill ();
+    (* build back-to-front so the list is one pass, no reversal *)
+    let vs = ref [] in
+    for i = r.rg_len - 1 downto 0 do
+      vs := range_nth r i :: !vs
+    done;
+    r.rg_spill <- Some !vs;
+    !vs
+
+let range_rev r =
+  Compact.hit ();
+  Range_arr
+    {
+      rg_first = range_last r;
+      rg_step = Int64.neg r.rg_step;
+      rg_len = r.rg_len;
+      rg_spill = None;
+    }
+
+(* [offset] 0-based, [len >= 1]; sub-ranges below the compact threshold
+   come back boxed so the size invariant survives slicing *)
+let range_slice r ~offset ~len =
+  let first =
+    Int64.add r.rg_first (Int64.mul r.rg_step (Int64.of_int offset))
+  in
+  if len >= Compact.min_array_len then
+    range_arr ~first ~step:r.rg_step ~len
+  else begin
+    let vs = ref [] in
+    for i = len - 1 downto 0 do
+      vs := Int (Int64.add first (Int64.mul r.rg_step (Int64.of_int i))) :: !vs
+    done;
+    Arr !vs
+  end
+
+(* ----- rope strings ----- *)
+
+let rec rope_blit node buf pos =
+  match node with
+  | R_leaf s ->
+    Bytes.blit_string s 0 buf pos (String.length s);
+    pos + String.length s
+  | R_rep (seg, n) ->
+    let sl = String.length seg in
+    let total = sl * n in
+    (* write the segment once, then double the filled prefix in place *)
+    Bytes.blit_string seg 0 buf pos sl;
+    let filled = ref sl in
+    while !filled < total do
+      let k = Stdlib.min !filled (total - !filled) in
+      Bytes.blit buf pos buf (pos + !filled) k;
+      filled := !filled + k
+    done;
+    pos + total
+  | R_cat (a, b) -> rope_blit b buf (rope_blit a buf pos)
+
+let rope_flatten r =
+  match r.rp_node with
+  | R_leaf s -> s
+  | node ->
+    Compact.spill ();
+    let buf = Bytes.create r.rp_bytes in
+    let wrote = rope_blit node buf 0 in
+    assert (wrote = r.rp_bytes);
+    let s = Bytes.unsafe_to_string buf in
+    r.rp_node <- R_leaf s;
+    s
+
+let str_rope_rep seg n =
+  Compact.hit ();
+  Rope_str { rp_node = R_rep (seg, n); rp_bytes = String.length seg * n }
+
+let rope_of_value = function
+  | Str s -> Some (R_leaf s, String.length s)
+  | Rope_str r -> Some (r.rp_node, r.rp_bytes)
+  | Null | Bool _ | Int _ | Dec _ | Float _ | Blob _ | Date _ | Time _
+  | Datetime _ | Interval _ | Json _ | Arr _ | Map _ | Row _ | Inet _
+  | Uuid _ | Geom _ | Xml _ | Range_arr _ ->
+    None
+
+let rope_concat a b =
+  match (rope_of_value a, rope_of_value b) with
+  | Some (na, la), Some (nb, lb) when la + lb > 0 ->
+    Compact.hit ();
+    Some (Rope_str { rp_node = R_cat (na, nb); rp_bytes = la + lb })
+  | _ -> None
+
+(* Sums a per-segment measure without flattening: exact for any measure
+   that is additive across concatenation (byte length, UTF-8 character
+   count — a continuation byte stays a continuation byte wherever the
+   segment boundary falls). *)
+let rope_measure f r =
+  let rec go = function
+    | R_leaf s -> f s
+    | R_rep (seg, n) -> n * f seg
+    | R_cat (a, b) -> go a + go b
+  in
+  go r.rp_node
+
+let str_bytes = function
+  | Str s -> Some (String.length s)
+  | Rope_str r -> Some r.rp_bytes
+  | Null | Bool _ | Int _ | Dec _ | Float _ | Blob _ | Date _ | Time _
+  | Datetime _ | Interval _ | Json _ | Arr _ | Map _ | Row _ | Inet _
+  | Uuid _ | Geom _ | Xml _ | Range_arr _ ->
+    None
+
+let arr_length = function
+  | Arr vs -> Some (List.length vs)
+  | Range_arr r -> Some r.rg_len
+  | Null | Bool _ | Int _ | Dec _ | Float _ | Str _ | Blob _ | Date _
+  | Time _ | Datetime _ | Interval _ | Json _ | Map _ | Row _ | Inet _
+  | Uuid _ | Geom _ | Xml _ | Rope_str _ ->
+    None
+
+(* Shallow normalization: the boxed spelling of the top constructor.
+   Elements of a spilled range are plain [Int]s, so one level suffices
+   for arrays; a flattened rope is a plain string. *)
+let view = function
+  | Range_arr r -> Arr (range_spill r)
+  | Rope_str r -> Str (rope_flatten r)
+  | v -> v
+
 let float_display f =
   if Float.is_nan f then "NaN"
   else if f = Float.infinity then "Infinity"
@@ -108,6 +325,7 @@ let rec to_display = function
   | Dec d -> Decimal.to_string d
   | Float f -> float_display f
   | Str s -> s
+  | Rope_str r -> rope_flatten r
   | Blob b -> blob_display b
   | Date d -> Calendar.date_to_string d
   | Time t -> Calendar.time_to_string t
@@ -116,6 +334,7 @@ let rec to_display = function
     Printf.sprintf "INTERVAL %Ld %s" amount (Calendar.unit_to_string unit_)
   | Json j -> Json.to_string j
   | Arr vs -> "[" ^ String.concat ", " (List.map to_display vs) ^ "]"
+  | Range_arr r -> to_display (Arr (range_spill r))
   | Map kvs ->
     "{"
     ^ String.concat ", "
@@ -134,7 +353,7 @@ let as_dec = function
   | Bool b -> Some (if b then Decimal.one else Decimal.zero)
   | Null | Float _ | Str _ | Blob _ | Date _ | Time _ | Datetime _
   | Interval _ | Json _ | Arr _ | Map _ | Row _ | Inet _ | Uuid _ | Geom _
-  | Xml _ ->
+  | Xml _ | Range_arr _ | Rope_str _ ->
     None
 
 let as_float = function
@@ -143,12 +362,34 @@ let as_float = function
   | Float f -> Some f
   | Bool b -> Some (if b then 1.0 else 0.0)
   | Null | Str _ | Blob _ | Date _ | Time _ | Datetime _ | Interval _
-  | Json _ | Arr _ | Map _ | Row _ | Inet _ | Uuid _ | Geom _ | Xml _ ->
+  | Json _ | Arr _ | Map _ | Row _ | Inet _ | Uuid _ | Geom _ | Xml _
+  | Range_arr _ | Rope_str _ ->
     None
+
+(* O(1) lexicographic comparison of two arithmetic sequences, equal by
+   construction to [compare_lists] over their spilled elements: the
+   firsts decide, then (equal firsts) a length-1 sequence is a strict
+   prefix, then the second elements — i.e. the steps — decide, and with
+   equal steps the whole shorter sequence is a prefix so length
+   decides. *)
+let compare_ranges x y =
+  let c = Int64.compare x.rg_first y.rg_first in
+  if c <> 0 then Some c
+  else if x.rg_len = 1 || y.rg_len = 1 then
+    if x.rg_len = y.rg_len then Some 0
+    else Some (if x.rg_len < y.rg_len then -1 else 1)
+  else
+    let c = Int64.compare x.rg_step y.rg_step in
+    if c <> 0 then Some c
+    else if x.rg_len = y.rg_len then Some 0
+    else Some (if x.rg_len < y.rg_len then -1 else 1)
 
 let rec compare_values a b =
   match (a, b) with
   | Null, _ | _, Null -> None
+  | Range_arr x, Range_arr y -> compare_ranges x y
+  | (Range_arr _ | Rope_str _), _ | _, (Range_arr _ | Rope_str _) ->
+    compare_values (view a) (view b)
   | Bool x, Bool y -> Some (compare x y)
   | Int x, Int y -> Some (Int64.compare x y)
   | Str x, Str y -> Some (String.compare x y)
@@ -201,12 +442,14 @@ let rec size_of = function
   | Float _ -> 8
   | Dec d -> Decimal.precision d + 4
   | Str s | Blob s | Uuid s -> String.length s
+  | Rope_str r -> r.rp_bytes  (* = String.length of the flat string *)
   | Date _ -> 4
   | Time _ -> 4
   | Datetime _ -> 8
   | Interval _ -> 12
   | Json j -> String.length (Json.to_string j)
   | Arr vs | Row vs -> List.fold_left (fun acc v -> acc + size_of v) 8 vs
+  | Range_arr r -> 8 + (8 * r.rg_len)  (* = the boxed fold: 8 + 8/element *)
   | Map kvs ->
     List.fold_left (fun acc (k, v) -> acc + size_of k + size_of v) 8 kvs
   | Inet _ -> 16
@@ -215,7 +458,8 @@ let rec size_of = function
 
 let rec depth_of = function
   | Null | Bool _ | Int _ | Dec _ | Float _ | Str _ | Blob _ | Date _
-  | Time _ | Datetime _ | Interval _ | Inet _ | Uuid _ | Geom _ ->
+  | Time _ | Datetime _ | Interval _ | Inet _ | Uuid _ | Geom _
+  | Rope_str _ ->
     1
   | Json j -> Json.depth j
   | Xml nodes ->
@@ -223,6 +467,7 @@ let rec depth_of = function
   | Arr [] | Row [] | Map [] -> 1
   | Arr vs | Row vs ->
     1 + List.fold_left (fun m v -> Stdlib.max m (depth_of v)) 0 vs
+  | Range_arr _ -> 2  (* nonempty array of scalars, exactly the boxed depth *)
   | Map kvs ->
     1 + List.fold_left (fun m (_, v) -> Stdlib.max m (depth_of v)) 0 kvs
 

@@ -515,6 +515,69 @@ let test_tail_array_cond () =
   check "CHARSET('abc')" "utf8mb4";
   check "CHARSET(UNHEX('41'))" "binary"
 
+(* ----- compact representations ----- *)
+
+let no_compact_engine =
+  lazy
+    (Engine.create ~registry:(All_fns.registry ()) ~compact:false
+       ~cast_cfg:{ Cast.strictness = Cast.Strict; json_max_depth = Some 512 }
+       ~dialect:"unit-nocompact" ())
+
+let eval_boxed expr =
+  match Engine.eval_expr_sql (Lazy.force no_compact_engine) expr with
+  | Ok v -> Value.to_display v
+  | Error err -> "!" ^ Engine.error_to_string err
+
+(* the default engine builds compact values on these shapes; the
+   no-compact engine materializes eagerly — every display must agree *)
+let test_compact_observational () =
+  List.iter
+    (fun expr -> Alcotest.(check string) expr (eval_boxed expr) (eval expr))
+    [
+      "RANGE(500)";
+      "ARRAY_REVERSE(RANGE(300))";
+      "ARRAY_SLICE(RANGE(1000), 5, 600)";
+      "ARRAY_SLICE(RANGE(1000), 900, 500)";
+      "ELEMENT_AT(RANGE(2000), 1999)";
+      "ARRAY_ELEMENT(RANGE(2000), -1)";
+      "ARRAY_MIN(RANGE(5000))";
+      "ARRAY_MAX(RANGE(5000))";
+      "ARRAY_LENGTH(RANGE(5000))";
+      "REPEAT('ab', 3000)";
+      "LENGTH(REPEAT('ab', 3000))";
+      "CHAR_LENGTH(REPEAT('\xc3\xa9', 3000))";
+      "LPAD('x', 5000, 'ab')";
+      "RPAD('x', 5000, 'yz')";
+      "LENGTH(SPACE(5000))";
+      "CONCAT(REPEAT('a', 3000), REPEAT('b', 3000))";
+      "UPPER(REPEAT('ab', 3000))";
+      "SUBSTRING(REPEAT('abc', 2000), 5999, 4)";
+      "REVERSE(REPEAT('ab', 2500))";
+    ]
+
+(* spill paths exactly at the resource caps: at-cap succeeds through
+   the compact path with the same totals the boxed path enforces, one
+   past the cap raises the same resource error *)
+let test_compact_resource_boundaries () =
+  check "ARRAY_LENGTH(RANGE(1000000))" "1000000";
+  check_err "RANGE(1000001)";
+  check "ELEMENT_AT(RANGE(1000000), 1000000)" "999999";
+  check "ARRAY_MIN(RANGE(1000000))" "0";
+  check "ARRAY_MAX(RANGE(1000000))" "999999";
+  check "ARRAY_LENGTH(ARRAY_SLICE(RANGE(1000000), 2, 999999))" "999999";
+  check "LENGTH(REPEAT('ab', 4000000))" "8000000";
+  check_err "REPEAT('ab', 4000001)";
+  check "LENGTH(LPAD('x', 8000000, 'ab'))" "8000000";
+  check_err "LPAD('x', 8000001, 'ab')";
+  check "LENGTH(SPACE(8000000))" "8000000";
+  check_err "SPACE(8000001)";
+  (* the no-compact engine enforces the identical boundaries *)
+  Alcotest.(check string) "boxed at-cap repeat" "8000000"
+    (eval_boxed "LENGTH(REPEAT('ab', 4000000))");
+  Alcotest.(check bool) "boxed over-cap repeat errors" true
+    (String.length (eval_boxed "REPEAT('ab', 4000001)") > 0
+     && (eval_boxed "REPEAT('ab', 4000001)").[0] = '!')
+
 let suite =
   ( "functions",
     [
@@ -543,4 +606,8 @@ let suite =
       Alcotest.test_case "tail: json" `Quick test_tail_json;
       Alcotest.test_case "tail: array/cond/cast" `Quick test_tail_array_cond;
       Alcotest.test_case "null propagation" `Quick test_null_propagation;
+      Alcotest.test_case "compact observational equality" `Quick
+        test_compact_observational;
+      Alcotest.test_case "compact resource boundaries" `Quick
+        test_compact_resource_boundaries;
     ] )

@@ -369,25 +369,97 @@ let test_memo_campaign_identical () =
     off.Soft.Soft_runner.functions_triggered;
   Alcotest.(check int) "branches covered" on.Soft.Soft_runner.branches_covered
     off.Soft.Soft_runner.branches_covered;
+  (* with compilation on, the memo/compile partition hands the
+     skeleton-sharing families to the plan cache and memoizes only the
+     compiler-fallback streams — non-vacuity of the memo machinery is
+     checked on the pure-memo configuration, where it still covers
+     every cacheable statement *)
+  let pure =
+    Soft.Soft_runner.fuzz ~budget:3_000 ~memo:true ~compile:false prof
+  in
   Alcotest.(check bool) "memoized some cases" true
-    (on.Soft.Soft_runner.cases_memoized > 0);
+    (pure.Soft.Soft_runner.cases_memoized > 0);
   Alcotest.(check int) "no-memo memoizes nothing" 0
     off.Soft.Soft_runner.cases_memoized
 
 let test_compile_campaign_identical () =
   (* the compile-soundness bar, over every dialect: closure-compiled
      execution must be behaviour-invisible — identical verdict JSON,
-     coverage sets, and fault sites with compilation on vs off. Only
-     throughput metadata (timings, plan-cache counters) may differ. *)
+     coverage point sets, and fault sites with compilation on vs off.
+     Only throughput metadata may differ: timings, plan-cache counters,
+     and coverage hit counts — the memo/compile partition memoizes
+     skeleton-sharing families only when the plan cache is off, and a
+     memo replay skips the duplicate hit-count increments a re-execution
+     would record. *)
   let open Sqlfun_telemetry in
   let deterministic_keys =
-    [ "totals"; "verdicts"; "bugs"; "fp_signatures"; "families"; "coverage" ]
+    [ "totals"; "verdicts"; "bugs"; "fp_signatures"; "families" ]
   in
   List.iter
     (fun prof ->
       let name = prof.Dialect.id in
       let on = Soft.Soft_runner.fuzz ~budget:2_000 ~compile:true prof in
       let off = Soft.Soft_runner.fuzz ~budget:2_000 ~compile:false prof in
+      let jon = Soft.Report.campaign_to_json on
+      and joff = Soft.Report.campaign_to_json off in
+      List.iter
+        (fun key ->
+          let get j =
+            match Json.member key j with
+            | Some v -> Json.to_string v
+            | None -> Alcotest.failf "%s: report lacks %S" name key
+          in
+          Alcotest.(check string)
+            (Printf.sprintf "%s: %s identical" name key)
+            (get joff) (get jon))
+        deterministic_keys;
+      let point_set (r : Soft.Soft_runner.result) =
+        List.map fst (Sqlfun_coverage.Coverage.points r.Soft.Soft_runner.coverage)
+      in
+      Alcotest.(check (list string))
+        (name ^ ": coverage point set identical")
+        (point_set off) (point_set on);
+      let sites (r : Soft.Soft_runner.result) =
+        List.map
+          (fun (b : Soft.Detector.found_bug) ->
+            (b.Soft.Detector.spec.Fault.site, b.Soft.Detector.case_number))
+          r.Soft.Soft_runner.bugs
+      in
+      Alcotest.(check (list (pair string int)))
+        (name ^ ": fault sites identical")
+        (sites off) (sites on);
+      (* the property is vacuous unless compiled plans actually ran *)
+      let counts = Telemetry.compile_counts on.Soft.Soft_runner.telemetry in
+      Alcotest.(check bool)
+        (name ^ ": compiled plans were reused")
+        true
+        (counts.Telemetry.c_hits > 0);
+      let counts_off =
+        Telemetry.compile_counts off.Soft.Soft_runner.telemetry
+      in
+      Alcotest.(check int)
+        (name ^ ": compile-off never probes the plan cache")
+        0
+        (counts_off.Telemetry.c_hits + counts_off.Telemetry.c_misses))
+    Dialect.all
+
+let test_compact_campaign_identical () =
+  (* the compact-representation soundness bar, over every dialect:
+     range-array and rope-string values must be behaviour-invisible.
+     Unlike memo/compile, compaction cannot even shift coverage hit
+     counts — every branch probe and tick survives on the compact
+     paths — so the full coverage JSON (hit counts included) is held
+     identical, not just the point set. *)
+  let open Sqlfun_telemetry in
+  let deterministic_keys =
+    [ "totals"; "verdicts"; "bugs"; "fp_signatures"; "families"; "coverage" ]
+  in
+  let total_hits = ref 0 in
+  List.iter
+    (fun prof ->
+      let name = prof.Dialect.id in
+      let on = Soft.Soft_runner.fuzz ~budget:2_000 ~compact:true prof in
+      let off = Soft.Soft_runner.fuzz ~budget:2_000 ~compact:false prof in
       let jon = Soft.Report.campaign_to_json on
       and joff = Soft.Report.campaign_to_json off in
       List.iter
@@ -414,20 +486,15 @@ let test_compile_campaign_identical () =
       Alcotest.(check (list (pair string int)))
         (name ^ ": fault sites identical")
         (sites off) (sites on);
-      (* the property is vacuous unless compiled plans actually ran *)
-      let counts = Telemetry.compile_counts on.Soft.Soft_runner.telemetry in
-      Alcotest.(check bool)
-        (name ^ ": compiled plans were reused")
-        true
-        (counts.Telemetry.c_hits > 0);
-      let counts_off =
-        Telemetry.compile_counts off.Soft.Soft_runner.telemetry
-      in
+      let kon = Telemetry.compact_counts on.Soft.Soft_runner.telemetry in
+      total_hits := !total_hits + kon.Telemetry.k_hits;
+      let koff = Telemetry.compact_counts off.Soft.Soft_runner.telemetry in
       Alcotest.(check int)
-        (name ^ ": compile-off never probes the plan cache")
-        0
-        (counts_off.Telemetry.c_hits + counts_off.Telemetry.c_misses))
-    Dialect.all
+        (name ^ ": compact-off builds no compact values")
+        0 koff.Telemetry.k_hits)
+    Dialect.all;
+  (* the property is vacuous unless compact values actually flowed *)
+  Alcotest.(check bool) "compact values were built" true (!total_hits > 0)
 
 (* ----- baselines ----- *)
 
@@ -503,6 +570,8 @@ let suite =
         test_memo_campaign_identical;
       Alcotest.test_case "compiled campaign identical (all dialects)" `Slow
         test_compile_campaign_identical;
+      Alcotest.test_case "compact campaign identical (all dialects)" `Slow
+        test_compact_campaign_identical;
       Alcotest.test_case "SOFT beats baselines (mariadb)" `Slow
         test_soft_beats_baselines_on_mariadb;
       Alcotest.test_case "baselines generate valid statements" `Quick
