@@ -58,6 +58,15 @@ type campaign_timing = {
   memo_deterministic : bool;
   wall_s_nocompact : float;   (* same sequential sweep, ~compact:false *)
   compact_deterministic : bool;
+  wall_s_stateful : float;
+      (* one full sweep with the stateful scenario stream on — the only
+         leg where the parse/storage fault stages are reachable; every
+         other leg pins ~stateful:false so its ratios stay comparable
+         with pre-scenario snapshots *)
+  stateful_scenarios : int;       (* scenarios executed across dialects *)
+  stateful_prereqs : int;         (* prerequisite statements across dialects *)
+  stateful_stages : Soft.Detector.stage_counts;
+      (* crash verdicts by occurrence stage, summed across dialects *)
   per_dialect : (string * float * int) list;
       (* (dialect, wall_s, cases) of each baseline campaign — the
          per-dialect ns/case denominators *)
@@ -119,7 +128,10 @@ let campaign tel =
           }
         in
         let tc0 = Unix.gettimeofday () in
-        let r = Soft.Soft_runner.fuzz ~telemetry:tel ~timeseries:cfg prof in
+        let r =
+          Soft.Soft_runner.fuzz ~telemetry:tel ~timeseries:cfg
+            ~stateful:false prof
+        in
         dialect_walls :=
           ( prof.Dialect.id,
             Unix.gettimeofday () -. tc0,
@@ -167,14 +179,22 @@ let campaign tel =
     let r = f () in
     (r, Unix.gettimeofday () -. t0)
   in
-  let nomemo_results, nm1 = timed_leg (Soft.Soft_runner.fuzz_all ~memo:false) in
+  let nomemo_results, nm1 =
+    timed_leg (Soft.Soft_runner.fuzz_all ~memo:false ~stateful:false)
+  in
   (* a plain memo-on sweep under the same conditions as the memo-off
      one (no shared collector, no timeseries recorders), so the memo
      ratio compares two like-for-like runs instead of reusing the
      instrumented observatory baseline *)
-  let memo_results, m1 = timed_leg (fun () -> Soft.Soft_runner.fuzz_all ()) in
-  let nomemo_results2, nm2 = timed_leg (Soft.Soft_runner.fuzz_all ~memo:false) in
-  let memo_results2, m2 = timed_leg (fun () -> Soft.Soft_runner.fuzz_all ()) in
+  let memo_results, m1 =
+    timed_leg (fun () -> Soft.Soft_runner.fuzz_all ~stateful:false ())
+  in
+  let nomemo_results2, nm2 =
+    timed_leg (Soft.Soft_runner.fuzz_all ~memo:false ~stateful:false)
+  in
+  let memo_results2, m2 =
+    timed_leg (fun () -> Soft.Soft_runner.fuzz_all ~stateful:false ())
+  in
   let nomemo_s = Float.min nm1 nm2 and memo_s = Float.min m1 m2 in
   let same_result (a : Soft.Soft_runner.result) (b : Soft.Soft_runner.result) =
     let bug_key (x : Soft.Detector.found_bug) =
@@ -208,10 +228,10 @@ let campaign tel =
      attribution profile is the "before" half of the hottest-function
      table in the telemetry artifact (the plain memo leg is "after"). *)
   let nocompact_results, kc1 =
-    timed_leg (Soft.Soft_runner.fuzz_all ~compact:false)
+    timed_leg (Soft.Soft_runner.fuzz_all ~compact:false ~stateful:false)
   in
   let nocompact_results2, kc2 =
-    timed_leg (Soft.Soft_runner.fuzz_all ~compact:false)
+    timed_leg (Soft.Soft_runner.fuzz_all ~compact:false ~stateful:false)
   in
   let nocompact_s = Float.min kc1 kc2 in
   let compact_deterministic =
@@ -231,6 +251,30 @@ let campaign tel =
     memo_s nocompact_s
     (if memo_s > 0. then nocompact_s /. memo_s else 0.)
     (if compact_deterministic then "identical" else "DIVERGED");
+  (* the stateful leg: scenario synthesis, prerequisite execution and
+     baseline restores all on — the campaign the default CLI runs *)
+  let stateful_results, stateful_s =
+    timed_leg (fun () -> Soft.Soft_runner.fuzz_all ())
+  in
+  let stateful_scenarios, stateful_prereqs, stateful_stages =
+    List.fold_left
+      (fun (sc, pr, st) (r : Soft.Soft_runner.result) ->
+        let sv = r.Soft.Soft_runner.stage_verdicts in
+        ( sc + r.Soft.Soft_runner.scenarios_executed,
+          pr + r.Soft.Soft_runner.prereq_statements,
+          {
+            Soft.Detector.parse = st.Soft.Detector.parse + sv.Soft.Detector.parse;
+            execute = st.Soft.Detector.execute + sv.Soft.Detector.execute;
+            storage = st.Soft.Detector.storage + sv.Soft.Detector.storage;
+          } ))
+      (0, 0, { Soft.Detector.parse = 0; execute = 0; storage = 0 })
+      stateful_results
+  in
+  Printf.printf
+    "stateful scenarios: %.1f s for the full sweep (%d scenarios, %d      prerequisite statements; crash verdicts parse %d / execute %d /      storage %d)\n"
+    stateful_s stateful_scenarios stateful_prereqs
+    stateful_stages.Soft.Detector.parse stateful_stages.Soft.Detector.execute
+    stateful_stages.Soft.Detector.storage;
   let parallel =
     if cores <= 1 then begin
       Printf.printf
@@ -248,7 +292,7 @@ let campaign tel =
          single-campaign runs. *)
       Gc.compact ();
       let t1 = Unix.gettimeofday () in
-      let par_results = Soft.Soft_runner.fuzz_all ~jobs () in
+      let par_results = Soft.Soft_runner.fuzz_all ~stateful:false ~jobs () in
       let par_s = Unix.gettimeofday () -. t1 in
       let deterministic = List.for_all2 same_result results par_results in
       Printf.printf
@@ -274,6 +318,10 @@ let campaign tel =
       memo_deterministic;
       wall_s_nocompact = nocompact_s;
       compact_deterministic;
+      wall_s_stateful = stateful_s;
+      stateful_scenarios;
+      stateful_prereqs;
+      stateful_stages;
       per_dialect = List.rev !dialect_walls;
       prof_boxed = merge_profiles nocompact_results;
       prof_compact = merge_profiles memo_results;
@@ -599,6 +647,18 @@ let write_telemetry tel results timing obs ~ns_per_case_interp
                timing.wall_s_nocompact /. timing.wall_s_memo
              else 0.) );
         ("compact_deterministic", Json.Bool timing.compact_deterministic);
+        ("wall_s_stateful", Json.Float timing.wall_s_stateful);
+        ("scenarios_executed", Json.Int timing.stateful_scenarios);
+        ("prereq_statements", Json.Int timing.stateful_prereqs);
+        ( "stateful_verdict_stages",
+          Json.Obj
+            [
+              ("parse", Json.Int timing.stateful_stages.Soft.Detector.parse);
+              ( "execute",
+                Json.Int timing.stateful_stages.Soft.Detector.execute );
+              ( "storage",
+                Json.Int timing.stateful_stages.Soft.Detector.storage );
+            ] );
         (* the top-10 hottest dialect x function keys of the eager
            ("boxed") sweep, with the self-time the same key costs once
            compact representations are on — the per-function receipt for

@@ -82,6 +82,16 @@ let no_compact_arg =
                  signatures are bit-identical with compaction on or \
                  off; the flag exists to verify that and to time it.")
 
+let no_stateful_arg =
+  Arg.(value & flag
+       & info [ "no-stateful" ]
+           ~doc:"Disable the synthesized stateful scenario stream \
+                 (prerequisite CREATE/INSERT statements before a probe). \
+                 With the flag the campaign is the historical \
+                 single-statement pipeline, bit-identical to releases \
+                 without scenario support; without it the parse- and \
+                 storage-stage fault sites become reachable.")
+
 let json_arg =
   Arg.(value & opt (some string) None
        & info [ "json" ] ~docv:"FILE"
@@ -188,8 +198,9 @@ let progress_renderer dialect_id =
     Mutex.unlock m
 
 let fuzz_cmd =
-  let run dialect budget jobs shards no_memo no_compile no_compact verbose
-      report trace json profile_out timeseries_out progress =
+  let run dialect budget jobs shards no_memo no_compile no_compact
+      no_stateful verbose report trace json profile_out timeseries_out
+      progress =
     match resolve_dialect dialect with
     | Error msg ->
       prerr_endline msg;
@@ -222,7 +233,8 @@ let fuzz_cmd =
           let r =
             Soft.Soft_runner.fuzz ?budget ~telemetry:tel ?timeseries
               ~memo:(not no_memo) ~compile:(not no_compile)
-              ~compact:(not no_compact) ~shards ~jobs prof
+              ~compact:(not no_compact) ~stateful:(not no_stateful) ~shards
+              ~jobs prof
           in
           if progress then prerr_newline ();
           Option.iter close_out ts_oc;
@@ -248,6 +260,16 @@ let fuzz_cmd =
           Printf.printf "  seeds collected:      %d\n" r.Soft.Soft_runner.seeds_collected;
           Printf.printf "  substitution slots:   %d\n" r.Soft.Soft_runner.positions;
           Printf.printf "  statements executed:  %d\n" r.Soft.Soft_runner.cases_executed;
+          if not no_stateful then begin
+            Printf.printf "  stateful scenarios:   %d (%d prereq statements)\n"
+              r.Soft.Soft_runner.scenarios_executed
+              r.Soft.Soft_runner.prereq_statements;
+            let sv = r.Soft.Soft_runner.stage_verdicts in
+            Printf.printf
+              "  crash verdicts by stage: parse %d / execute %d / storage %d\n"
+              sv.Soft.Detector.parse sv.Soft.Detector.execute
+              sv.Soft.Detector.storage
+          end;
           Printf.printf "  cases memoized:       %d (%.1f%% hit rate)\n"
             r.Soft.Soft_runner.cases_memoized
             (100. *. Telemetry.memo_hit_rate r.Soft.Soft_runner.telemetry);
@@ -291,9 +313,9 @@ let fuzz_cmd =
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Run a SOFT campaign against a simulated dialect")
     Term.(const run $ dialect_arg $ budget_arg 0 $ jobs_arg $ shards_arg
-          $ no_memo_arg $ no_compile_arg $ no_compact_arg $ verbose
-          $ report $ trace_arg $ json_arg $ profile_arg $ timeseries_arg
-          $ progress_arg)
+          $ no_memo_arg $ no_compile_arg $ no_compact_arg $ no_stateful_arg
+          $ verbose $ report $ trace_arg $ json_arg $ profile_arg
+          $ timeseries_arg $ progress_arg)
 
 let study_cmd =
   let run () =

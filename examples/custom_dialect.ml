@@ -37,6 +37,7 @@ let shout_bug =
     kind = Bug_kind.Hbof;
     pattern = Pattern_id.P1_2;
     status = Fault.Confirmed;
+    stage = Fault.Execute;
     trigger = Fault.Arg_at (1, Fault.All_of [ Fault.From_literal; Fault.Abs_int_ge 99999L ]);
     note = "bang buffer sized for at most 1000 repetitions";
   }

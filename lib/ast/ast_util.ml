@@ -443,9 +443,20 @@ let rec fp_stmt h = function
 
 let fingerprint stmt = Int64.of_int (fp_stmt fnv_basis stmt)
 
+(* A scenario's memo key covers its whole statement list: the same fold
+   as [fingerprint], length-terminated like every other sequence in the
+   serialization, so [stmts] and [stmts @ [s]] never collide trivially
+   and a single statement hashes differently as [s] vs [[s]]. *)
+let fingerprint_stmts stmts =
+  let h = List.fold_left fp_stmt fnv_basis stmts in
+  Int64.of_int (mix h (List.length stmts))
+
 (* The AST is strings/ints/bools/variants all the way down, so the
    polymorphic structural equality is exactly statement identity. *)
 let equal_stmt (a : Ast.stmt) (b : Ast.stmt) = a = b
+
+let equal_stmts (a : Ast.stmt list) (b : Ast.stmt list) =
+  List.compare_lengths a b = 0 && List.for_all2 equal_stmt a b
 
 (* ----- slot-normalized skeletons -----
 

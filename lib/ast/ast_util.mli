@@ -38,6 +38,16 @@ val equal_stmt : Ast.stmt -> Ast.stmt -> bool
 (** Structural equality of statements — the collision guard paired with
     {!fingerprint}. *)
 
+val fingerprint_stmts : Ast.stmt list -> int64
+(** Fingerprint of a whole statement list — the memo key for a stateful
+    scenario (prerequisites followed by the probe). Length-terminated:
+    a prefix never hashes equal to the full list, and a one-element
+    list hashes differently from {!fingerprint} of its element. *)
+
+val equal_stmts : Ast.stmt list -> Ast.stmt list -> bool
+(** Structural equality of statement lists — the collision guard paired
+    with {!fingerprint_stmts}. *)
+
 val fingerprint_skeleton : Ast.stmt -> int64 option
 (** Like {!fingerprint}, but literal leaves
     ([Null]/[Bool_lit]/[Int_lit]/[Dec_lit]/[Str_lit]/[Hex_lit]) are

@@ -47,6 +47,15 @@ type t = {
   mutable false_positives : int;
   mutable known_crashes : int;
   mutable dup_crashes : int;  (* Dup_bug verdicts, classified + replayed *)
+  mutable scenarios : int;  (* stateful scenarios run (prereqs <> []) *)
+  mutable prereq_stmts : int;  (* prerequisite statements admitted *)
+  (* crash-class verdicts (New/Dup/Known) attributed by occurrence
+     stage; a blown stack is execute-stage by definition *)
+  mutable stage_parse : int;
+  mutable stage_execute : int;
+  mutable stage_storage : int;
+  mutable baseline : Storage.snapshot;
+      (* the post-seed table state every scenario starts from *)
   sites : (string, unit) Hashtbl.t;
   fp_signatures : (string, unit) Hashtbl.t;
   fp_buf : Buffer.t;  (* reused across FP-signature normalizations *)
@@ -71,13 +80,14 @@ let create ?cov ?telemetry ?profile ?(memo = true) ?(compile = true)
   let tel = match telemetry with Some t -> t | None -> Telemetry.create () in
   let xprof = match profile with Some p -> p | None -> Profile.create () in
   Profile.set_dialect xprof prof.Dialect.id;
+  let engine = fresh_engine tel cov xprof ~compact prof in
   {
     prof;
     cov;
     tel;
     xprof;
     compact;
-    engine = fresh_engine tel cov xprof ~compact prof;
+    engine;
     executed = 0;
     memoized = 0;
     passed = 0;
@@ -85,6 +95,12 @@ let create ?cov ?telemetry ?profile ?(memo = true) ?(compile = true)
     false_positives = 0;
     known_crashes = 0;
     dup_crashes = 0;
+    scenarios = 0;
+    prereq_stmts = 0;
+    stage_parse = 0;
+    stage_execute = 0;
+    stage_storage = 0;
+    baseline = Storage.snapshot (Engine.catalog engine);
     sites = Hashtbl.create 64;
     fp_signatures = Hashtbl.create 16;
     fp_buf = Buffer.create 128;
@@ -96,10 +112,21 @@ let create ?cov ?telemetry ?profile ?(memo = true) ?(compile = true)
 
 (* A restart is the crash path: flush any streaming sinks first, so a
    campaign killed mid-restart cannot have silently swallowed the events
-   leading up to the crash. *)
+   leading up to the crash. The rebuilt engine re-loads the seed corpus,
+   and storage is then pinned to the baseline snapshot recorded at
+   [create]: a crash that killed the server mid-scenario (after its
+   CREATE/INSERT prerequisites ran) must not leak scenario tables — or
+   any seed-load drift — into the next case, so stateful PoCs replay
+   standalone against a cold engine. *)
 let restart t =
   Telemetry.flush t.tel;
-  t.engine <- fresh_engine t.tel t.cov t.xprof ~compact:t.compact t.prof
+  t.engine <- fresh_engine t.tel t.cov t.xprof ~compact:t.compact t.prof;
+  Storage.restore (Engine.catalog t.engine) t.baseline
+
+let count_stage t = function
+  | Fault.Parse -> t.stage_parse <- t.stage_parse + 1
+  | Fault.Execute -> t.stage_execute <- t.stage_execute + 1
+  | Fault.Storage -> t.stage_storage <- t.stage_storage + 1
 
 let verdict_class = function
   | Passed -> Telemetry.Passed
@@ -196,6 +223,7 @@ let classify t ?pattern ?case_number ~poc run =
       end
     | `Crashed spec ->
       restart t;
+      count_stage t spec.Fault.stage;
       if Hashtbl.mem t.sites spec.Fault.site then begin
         t.dup_crashes <- t.dup_crashes + 1;
         Dup_bug spec
@@ -212,6 +240,7 @@ let classify t ?pattern ?case_number ~poc run =
       end
     | `Blown ->
       restart t;
+      count_stage t Fault.Execute;
       t.known_crashes <- t.known_crashes + 1;
       Known_crash "stack exhausted (CVE-2015-5289 class)"
   in
@@ -226,11 +255,13 @@ let run_sql t ?pattern ?case_number sql =
 
 (* ----- verdict memoization -----
 
-   A verdict is a pure function of the statement: the session is reset
-   before every case (PR 2), campaign statements are SELECTs (the
-   collector filters on [Select_stmt]), and the engine's storage is
-   only ever reset — by a crash restart — never grown, between cases.
-   So a statement seen before can replay its recorded verdict without
+   A verdict is a pure function of the *statement list* it classifies,
+   because every scenario starts from the same engine state: the
+   session is reset at the top of [classify], and table state is always
+   the post-seed baseline — stateless probes never touch storage, a
+   stateful scenario restores the baseline when it completes, and a
+   crash rebuilds the engine and re-pins the baseline in [restart]. So
+   a statement list seen before can replay its recorded verdict without
    the engine round-trip, bit-identically:
 
    - counters, the FP-signature set (the first execution registered the
@@ -242,11 +273,14 @@ let run_sql t ?pattern ?case_number sql =
    - a cached crash still restarts the engine, exactly as the
      re-executed crash would have, so the engine lifecycle (and the
      arming coverage it records) is identical to an uncached run;
+   - a cached non-crash scenario skips its prerequisites entirely, so
+     there is nothing to restore — storage was never touched;
    - New-vs-Dup is re-derived from the [sites] table (and, across
      shards, from globally ordered case numbers), never replayed.
 
-   Only side-effect-free statements are cacheable: an INSERT must
-   execute every time it appears. *)
+   A *bare* DDL/DML statement (a seed replay outside any scenario) is
+   still not cacheable: only [run_scenario] pairs such statements with
+   the baseline-restore discipline that makes their verdicts pure. *)
 
 let cacheable = function
   | Sqlfun_ast.Ast.Select_stmt _ | Sqlfun_ast.Ast.Explain _ -> true
@@ -287,6 +321,7 @@ let replay t ?pattern ?case_number ~poc cached =
       (* a re-execution would have crashed and restarted — keep the
          engine lifecycle identical *)
       restart t;
+      count_stage t spec.Fault.stage;
       if Hashtbl.mem t.sites spec.Fault.site then begin
         t.dup_crashes <- t.dup_crashes + 1;
         Dup_bug spec
@@ -306,6 +341,7 @@ let replay t ?pattern ?case_number ~poc cached =
       end
     | C_blown ->
       restart t;
+      count_stage t Fault.Execute;
       t.known_crashes <- t.known_crashes + 1;
       Known_crash "stack exhausted (CVE-2015-5289 class)"
   in
@@ -403,7 +439,7 @@ let exec_classified t ?pattern ?case_number ~poc stmt =
   match t.memo with
   | Some cache when cacheable stmt && not compiler_owned ->
     let fp = Sqlfun_ast.Ast_util.fingerprint stmt in
-    (match Verdict_cache.find cache ~fp stmt with
+    (match Verdict_cache.find cache ~fp [ stmt ] with
      | Verdict_cache.Hit cached ->
        Telemetry.memo_hit t.tel;
        replay t ?pattern ?case_number ~poc cached
@@ -411,7 +447,7 @@ let exec_classified t ?pattern ?case_number ~poc stmt =
        if collided then Telemetry.memo_collision t.tel;
        Telemetry.memo_miss t.tel;
        let verdict = execute () in
-       if admit then Verdict_cache.add cache ~fp stmt (to_cached verdict);
+       if admit then Verdict_cache.add cache ~fp [ stmt ] (to_cached verdict);
        verdict)
   | Some _ | None -> execute ()
 
@@ -424,6 +460,68 @@ let run_case t ?case_number (case : Patterns.case) =
   exec_classified t ~pattern:case.Patterns.pattern ?case_number
     ~poc:(fun () -> Sqlfun_ast.Sql_pp.stmt case.Patterns.stmt)
     case.Patterns.stmt
+
+(* ----- stateful scenarios -----
+
+   One scenario = one case: the prerequisites and the probe execute as
+   a single classified round-trip (session reset once, at the top — a
+   session-state scenario depends on its prerequisites' effects being
+   visible to the probe). A clean prerequisite failure is the
+   scenario's verdict; a prerequisite crash is a found bug and the
+   probe never runs. Afterwards the engine's storage is returned to the
+   post-seed baseline: by [restart] if the scenario crashed, explicitly
+   otherwise, so no scenario observes another's tables. *)
+let run_scenario t ?case_number (sc : Patterns.scenario) =
+  match sc.Patterns.prereqs with
+  | [] -> run_case t ?case_number sc.Patterns.case
+  | prereqs ->
+    t.scenarios <- t.scenarios + 1;
+    t.prereq_stmts <- t.prereq_stmts + List.length prereqs;
+    let case = sc.Patterns.case in
+    let stmts = prereqs @ [ case.Patterns.stmt ] in
+    (* the PoC is the whole statement list: a stateful bug must replay
+       standalone from a cold engine *)
+    let poc () =
+      String.concat ";\n" (List.map Sqlfun_ast.Sql_pp.stmt stmts)
+    in
+    let pattern = case.Patterns.pattern in
+    let execute () =
+      let verdict =
+        classify t ~pattern ?case_number ~poc (fun () ->
+            let rec go = function
+              | [] -> Engine.exec_stmt t.engine case.Patterns.stmt
+              | p :: rest ->
+                (match Engine.exec_stmt t.engine p with
+                 | Ok _ -> go rest
+                 | Error _ as e -> e)
+            in
+            go prereqs)
+      in
+      (match verdict with
+       | New_bug _ | Dup_bug _ | Known_crash _ ->
+         (* the crash path already rebuilt the engine on the baseline *)
+         ()
+       | Passed | Clean_error _ | False_positive _ ->
+         Storage.restore (Engine.catalog t.engine) t.baseline);
+      verdict
+    in
+    (match t.memo with
+     | Some cache ->
+       let fp = Sqlfun_ast.Ast_util.fingerprint_stmts stmts in
+       (match Verdict_cache.find cache ~fp stmts with
+        | Verdict_cache.Hit cached ->
+          Telemetry.memo_hit t.tel;
+          (* a cached non-crash scenario never ran its prerequisites,
+             so storage is untouched and needs no restore; a cached
+             crash restarts (and re-baselines) inside [replay] *)
+          replay t ~pattern ?case_number ~poc cached
+        | Verdict_cache.Miss { collided; admit } ->
+          if collided then Telemetry.memo_collision t.tel;
+          Telemetry.memo_miss t.tel;
+          let verdict = execute () in
+          if admit then Verdict_cache.add cache ~fp stmts (to_cached verdict);
+          verdict)
+     | None -> execute ())
 
 let run_cases t ?budget cases =
   let limit = match budget with Some b -> b | None -> max_int in
@@ -481,6 +579,13 @@ let fp_signatures t =
   |> List.sort String.compare
 let known_crashes t = t.known_crashes
 let dup_crashes t = t.dup_crashes
+let scenarios_executed t = t.scenarios
+let prereq_statements t = t.prereq_stmts
+
+type stage_counts = { parse : int; execute : int; storage : int }
+
+let stage_verdicts t =
+  { parse = t.stage_parse; execute = t.stage_execute; storage = t.stage_storage }
 let bugs t = List.rev t.found
 let coverage t = t.cov
 let profile t = t.prof

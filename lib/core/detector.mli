@@ -100,6 +100,19 @@ val run_case : t -> ?case_number:int -> Patterns.case -> verdict
     output is bit-identical to a sequential run; plain callers omit
     it. *)
 
+val run_scenario : t -> ?case_number:int -> Patterns.scenario -> verdict
+(** One scenario = one case. A bare probe ([prereqs = []]) is exactly
+    {!run_case}. Otherwise: the session is reset once, the
+    prerequisites and the probe execute as a single classified
+    round-trip (so session-state probes see their prerequisites'
+    effects), and the engine's storage is returned to the post-seed
+    baseline afterwards — by the crash restart if the scenario crashed,
+    explicitly otherwise. A clean prerequisite failure is the
+    scenario's verdict; a prerequisite crash is a found bug whose PoC
+    is the whole statement list (replayable standalone from a cold
+    engine). Stateful scenarios are memoized under
+    {!Sqlfun_ast.Ast_util.fingerprint_stmts} over the whole list. *)
+
 val run_cases : t -> ?budget:int -> Patterns.case Seq.t -> int
 (** Executes cases until the sequence or the budget is exhausted; returns
     the number executed. *)
@@ -128,6 +141,24 @@ val known_crashes : t -> int
 val dup_crashes : t -> int
 (** [Dup_bug] verdicts recorded by this detector (classified and
     memo-replayed alike) — the campaign timeseries' dup-bug count. *)
+
+val scenarios_executed : t -> int
+(** Stateful scenarios admitted (prerequisites non-empty), memoized
+    replays included — one per {!run_scenario} call that was not a bare
+    probe. *)
+
+val prereq_statements : t -> int
+(** Prerequisite statements admitted across all stateful scenarios
+    (memoized replays count their prerequisites too — admission
+    bookkeeping is deterministic under memoization). *)
+
+type stage_counts = { parse : int; execute : int; storage : int }
+(** Crash-class verdicts (New/Dup/Known) attributed by the paper's
+    occurrence stage. Ledger bugs inside function implementations are
+    execute-stage; [@PARSE]/[@INSERT] staged specs are parse- and
+    storage-stage; a blown stack is execute-stage by definition. *)
+
+val stage_verdicts : t -> stage_counts
 
 val bugs : t -> found_bug list
 (** In discovery order. *)

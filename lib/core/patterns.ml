@@ -352,3 +352,235 @@ let generate ?telemetry ~registry ~seeds pattern =
 let all_cases ~registry ~seeds =
   seq_of_list Pattern_id.all
   |> Seq.concat_map (fun p -> generate ~registry ~seeds p)
+
+(* ----- stateful scenarios: prerequisite synthesis ----- *)
+
+type scenario = { prereqs : Ast.stmt list; case : case }
+
+let stateless c = { prereqs = []; case = c }
+
+(* Synthesized table shapes use one boundary-typed column [v]; the
+   table name is per-kind and fixed — safe to reuse across scenarios
+   because the detector restores the post-seed storage baseline after
+   every stateful scenario. *)
+let col ty =
+  { Ast.col_name = "v"; col_type = ty; col_not_null = false; col_default = None }
+
+let create_tbl name ty =
+  Ast.Create_table { tbl_name = name; columns = [ col ty ]; if_not_exists = false }
+
+let insert_into name e =
+  Ast.Insert { ins_table = name; ins_columns = []; rows = [ [ e ] ] }
+
+let select_from ?where e tbl =
+  let sel =
+    {
+      (Ast.simple_select [ Ast.Proj_expr (e, None) ]) with
+      Ast.from = Some (Ast.From_table (tbl, None));
+      where;
+    }
+  in
+  Ast.Select_stmt (Ast.query_of_select sel)
+
+let pool_literals () =
+  List.filter (fun e -> e <> Ast.Star) (Boundary_pool.all ())
+
+let nth_round l i = List.nth l (i mod List.length l)
+
+(* Kind A — stored boundary probe: the boundary literal travels through
+   the INSERT cast into a boundary-typed column, and the probe reads it
+   back through a function. The 35-nines literal is parse-stage ground
+   truth; 25/30-nines through a TEXT column are storage-stage ground
+   truth; everything else reaches the probed function at execute stage
+   with [Column] provenance. *)
+let scen_stored ~registry () =
+  let fns = unary_wrappers registry in
+  if fns = [] then Seq.empty
+  else
+    let tys =
+      [ Ast.T_text; Ast.T_decimal (Some (38, 10)); Ast.T_bigint; Ast.T_double ]
+    in
+    let lits = pool_literals () in
+    seq_of_list tys
+    |> Seq.concat_map (fun ty ->
+           seq_of_list lits
+           |> Seq.mapi (fun i lit ->
+                  let probe =
+                    select_from
+                      (Ast.call (nth_round fns i) [ Ast.Column (None, "v") ])
+                      "soft_sa"
+                  in
+                  {
+                    prereqs = [ create_tbl "soft_sa" ty; insert_into "soft_sa" lit ];
+                    case = case Pattern_id.P1_2 "scenario:stored" probe;
+                  }))
+
+(* Kind B — INSERT-position probe: the function expression sits inside
+   the probe's VALUES clause, so its boundary result crosses the cast
+   into the column and then the storage layer. *)
+let scen_insert_position ~registry seeds =
+  let donor_calls =
+    List.filter
+      (fun (c : Ast.call) ->
+        Registry.mem registry c.Ast.fname && c.Ast.args <> [])
+      (Collector.donors seeds)
+  in
+  let lits = pool_literals () in
+  seq_of_list donor_calls
+  |> Seq.concat_map (fun (donor : Ast.call) ->
+         seq_of_list lits
+         |> Seq.map (fun lit ->
+                let args = lit :: List.tl donor.Ast.args in
+                let probe =
+                  insert_into "soft_sb" (Ast.Call { donor with Ast.args })
+                in
+                {
+                  prereqs = [ create_tbl "soft_sb" Ast.T_text ];
+                  case = case Pattern_id.P1_2 "scenario:insert-position" probe;
+                }))
+
+(* Kind C — WHERE-position probe: the function expression gates a scan
+   of a prerequisite table. *)
+let scen_where_position ~registry seeds =
+  let donor_calls =
+    List.filter
+      (fun (c : Ast.call) ->
+        Registry.mem registry c.Ast.fname && c.Ast.args <> [])
+      (Collector.donors seeds)
+  in
+  let lits = pool_literals () in
+  seq_of_list donor_calls
+  |> Seq.concat_map (fun (donor : Ast.call) ->
+         seq_of_list lits
+         |> Seq.map (fun lit ->
+                let args = lit :: List.tl donor.Ast.args in
+                let probe =
+                  select_from
+                    ~where:(Ast.Is_null (Ast.Call { donor with Ast.args }, true))
+                    (Ast.Column (None, "v"))
+                    "soft_sc"
+                in
+                {
+                  prereqs =
+                    [
+                      create_tbl "soft_sc" Ast.T_text;
+                      insert_into "soft_sc" (Ast.str_lit "x");
+                    ];
+                  case = case Pattern_id.P1_2 "scenario:where-position" probe;
+                }))
+
+(* Kind D — session state: the prerequisite advances `Fn_ctx` session
+   state (insert counters, sequences) and the probe reads it back
+   through a wrapping function, in the P3.2 style. *)
+let scen_session ~registry () =
+  let fns = unary_wrappers registry in
+  if fns = [] then Seq.empty
+  else
+    let last_id =
+      if not (Registry.mem registry "LAST_INSERT_ID") then Seq.empty
+      else
+        seq_of_list (Boundary_pool.int_literals ())
+        |> Seq.mapi (fun i lit ->
+               let probe =
+                 Ast.select_expr
+                   (Ast.call (nth_round fns i) [ Ast.call "LAST_INSERT_ID" [] ])
+               in
+               {
+                 prereqs =
+                   [ create_tbl "soft_sd" Ast.T_bigint; insert_into "soft_sd" lit ];
+                 case = case Pattern_id.P3_2 "scenario:session" probe;
+               })
+    in
+    let sequences =
+      if
+        not (Registry.mem registry "NEXTVAL" && Registry.mem registry "LASTVAL")
+      then Seq.empty
+      else
+        seq_of_list fns
+        |> Seq.map (fun fn ->
+               let probe =
+                 Ast.select_expr
+                   (Ast.call fn [ Ast.call "LASTVAL" [ Ast.str_lit "soft_seq" ] ])
+               in
+               {
+                 prereqs =
+                   [
+                     Ast.select_expr
+                       (Ast.call "NEXTVAL" [ Ast.str_lit "soft_seq" ]);
+                   ];
+                 case = case Pattern_id.P3_2 "scenario:sequence" probe;
+               })
+    in
+    Seq.append last_id sequences
+
+(* Kind E — extreme-typed columns: CREATE declares a decimal wider or
+   deeper than any seed table, the INSERT drives a deep-scale value
+   through the implicit cast, and the probe re-casts what was stored.
+   Declared precision 40 is parse-stage ground truth; stored scale 18
+   is storage-stage ground truth. *)
+let scen_extreme_type () =
+  let nines n = String.make n '9' in
+  let tys = [ Ast.T_decimal (Some (40, 20)); Ast.T_decimal (Some (38, 18)) ] in
+  let lits =
+    [
+      Ast.Dec_lit ("0." ^ nines 18);
+      Ast.Dec_lit ("-0." ^ nines 18);
+      Ast.Dec_lit (nines 20 ^ "." ^ nines 18);
+      Ast.Int_lit (nines 35);
+      Ast.Dec_lit ("0.5");
+      Ast.Null;
+    ]
+  in
+  seq_of_list tys
+  |> Seq.concat_map (fun ty ->
+         seq_of_list lits
+         |> Seq.map (fun lit ->
+                let probe =
+                  select_from
+                    (Ast.Cast (Ast.Column (None, "v"), Ast.T_text))
+                    "soft_se"
+                in
+                {
+                  prereqs = [ create_tbl "soft_se" ty; insert_into "soft_se" lit ];
+                  case = case Pattern_id.P2_1 "scenario:extreme-type" probe;
+                }))
+
+(* Round-robin interleave so a budget-truncated prefix still samples
+   every scenario kind (and therefore every occurrence stage) early. *)
+let interleave (streams : 'a Seq.t list) : 'a Seq.t =
+  let rec go streams () =
+    let heads =
+      List.filter_map
+        (fun s -> match s () with Seq.Nil -> None | Seq.Cons (x, tl) -> Some (x, tl))
+        streams
+    in
+    if heads = [] then Seq.Nil
+    else
+      Seq.append
+        (List.to_seq (List.map fst heads))
+        (go (List.map snd heads))
+        ()
+  in
+  go streams
+
+let generate_scenarios ?telemetry ~registry ~seeds () =
+  let scenarios =
+    interleave
+      [
+        scen_stored ~registry ();
+        scen_insert_position ~registry seeds;
+        scen_where_position ~registry seeds;
+        scen_session ~registry ();
+        scen_extreme_type ();
+      ]
+  in
+  match telemetry with
+  | None -> scenarios
+  | Some t ->
+    Sqlfun_telemetry.Telemetry.time_seq t ~pattern:"scenario" ~stage:"generate"
+      scenarios
+
+let count_scenario_positions scenarios =
+  Seq.fold_left
+    (fun acc sc -> acc + List.length (positions sc.case.stmt))
+    0 scenarios

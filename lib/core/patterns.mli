@@ -37,3 +37,32 @@ val all_cases :
 val count_positions : Collector.seed list -> int
 (** Number of (call, argument) substitution slots across the seeds —
     reported by the CLI and exercised in tests. *)
+
+(** A stateful scenario: prerequisite statements (CREATE TABLE shapes
+    with boundary-typed columns, INSERTs carrying boundary literals,
+    session/sequence setups) followed by one probe case. The detector
+    executes the prerequisites, classifies the probe, and restores the
+    engine's post-seed storage baseline afterwards, so each scenario's
+    verdict is a pure function of its statement list. *)
+type scenario = { prereqs : Ast.stmt list; case : case }
+
+val stateless : case -> scenario
+(** A bare probe with no prerequisites — the historical unit of work. *)
+
+val generate_scenarios :
+  ?telemetry:Sqlfun_telemetry.Telemetry.t ->
+  registry:Registry.t ->
+  seeds:Collector.seed list ->
+  unit ->
+  scenario Seq.t
+(** The synthesized stateful stream, five kinds round-robin interleaved
+    (stored-boundary probes, INSERT-position and WHERE-position
+    substitutions, session/sequence state, extreme-typed columns) so a
+    budget-truncated prefix samples every kind — and therefore every
+    occurrence stage (parse / execute / storage) — early.
+    Deterministic: re-enumerating yields the identical stream. *)
+
+val count_scenario_positions : scenario Seq.t -> int
+(** Substitution slots across the scenario probes (INSERT/WHERE
+    expression positions included) — the stateful share of the CLI
+    "positions" line. Forces the sequence. *)

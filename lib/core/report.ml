@@ -39,6 +39,8 @@ let campaign_to_markdown (r : Soft_runner.result) =
   Buffer.add_string buf
     (Printf.sprintf
        "- statements executed: %d\n\
+        - stateful scenarios: %d (%d prerequisite statements)\n\
+        - crash verdicts by stage: parse %d / execute %d / storage %d\n\
         - cases memoized: %d (%.1f%% of executions)\n\
         - compact values: %d built, %d spilled\n\
         - passed / clean errors: %d / %d\n\
@@ -46,7 +48,12 @@ let campaign_to_markdown (r : Soft_runner.result) =
         - functions triggered: %d\n\
         - branch points covered: %d\n\
         - **bugs found: %d**\n\n"
-       r.Soft_runner.cases_executed r.Soft_runner.cases_memoized
+       r.Soft_runner.cases_executed r.Soft_runner.scenarios_executed
+       r.Soft_runner.prereq_statements
+       r.Soft_runner.stage_verdicts.Detector.parse
+       r.Soft_runner.stage_verdicts.Detector.execute
+       r.Soft_runner.stage_verdicts.Detector.storage
+       r.Soft_runner.cases_memoized
        (if r.Soft_runner.cases_executed = 0 then 0.
         else
           100.
@@ -175,6 +182,23 @@ let campaign_to_json (r : Soft_runner.result) =
             ("seeds_collected", Json.Int r.Soft_runner.seeds_collected);
             ("positions", Json.Int r.Soft_runner.positions);
             ("cases_executed", Json.Int r.Soft_runner.cases_executed);
+            (* scenario counters and stage attribution are verdict
+               facts, not throughput metadata: they are deterministic
+               in shard/job count and memo setting, so they live
+               INSIDE [totals] and the CI determinism diffs gate
+               them *)
+            ("scenarios_executed", Json.Int r.Soft_runner.scenarios_executed);
+            ("prereq_statements", Json.Int r.Soft_runner.prereq_statements);
+            ( "verdict_stages",
+              Json.Obj
+                [
+                  ( "parse",
+                    Json.Int r.Soft_runner.stage_verdicts.Detector.parse );
+                  ( "execute",
+                    Json.Int r.Soft_runner.stage_verdicts.Detector.execute );
+                  ( "storage",
+                    Json.Int r.Soft_runner.stage_verdicts.Detector.storage );
+                ] );
             ("passed", Json.Int r.Soft_runner.passed);
             ("clean_errors", Json.Int r.Soft_runner.clean_errors);
             ("false_positives", Json.Int r.Soft_runner.false_positives);

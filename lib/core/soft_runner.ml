@@ -15,6 +15,9 @@ type result = {
   positions : int;
   cases_executed : int;
   cases_memoized : int;
+  scenarios_executed : int;
+  prereq_statements : int;
+  stage_verdicts : Detector.stage_counts;
   passed : int;
   clean_errors : int;
   false_positives : int;
@@ -107,15 +110,19 @@ let probe_of det tel progress =
     p_shard_cases = (fun () -> Progress.read progress);
   }
 
-let mk_result ~prof ~seeds ~tel ~cov ~profile ~cases_executed ~cases_memoized
+let mk_result ~prof ~seeds ~tel ~cov ~profile ~positions ~cases_executed
+    ~cases_memoized ~scenarios_executed ~prereq_statements ~stage_verdicts
     ~passed ~clean_errors ~false_positives ~fp_signatures ~known_crashes ~bugs
     =
   {
     dialect = prof;
     seeds_collected = List.length seeds;
-    positions = Patterns.count_positions seeds;
+    positions;
     cases_executed;
     cases_memoized;
+    scenarios_executed;
+    prereq_statements;
+    stage_verdicts;
     passed;
     clean_errors;
     false_positives;
@@ -131,11 +138,38 @@ let mk_result ~prof ~seeds ~tel ~cov ~profile ~cases_executed ~cases_memoized
     profile;
   }
 
+(* The CLI "positions" line stays honest for stateful campaigns: the
+   seed substitution slots plus the slots in every synthesized scenario
+   probe (INSERT/WHERE expression positions included). Counted from a
+   fresh untimed enumeration — the streams are pure, so this is the
+   same set of probes the campaign draws from. *)
+let count_all_positions ~registry ~seeds ~stateful =
+  Patterns.count_positions seeds
+  + (if stateful then
+       Patterns.count_scenario_positions
+         (Patterns.generate_scenarios ~registry ~seeds ())
+     else 0)
+
+(* The budgeted streams both paths share: every pattern's stateless
+   cases (wrapped as bare scenarios) in paper order, then — by default —
+   the synthesized stateful stream as an eleventh source. With
+   [stateful:false] the shares revert to exactly the historical
+   stateless split. *)
+let scenario_streams ~tel ~registry ~seeds ~patterns ~stateful =
+  List.map
+    (fun p ->
+      Seq.map Patterns.stateless
+        (Patterns.generate ~telemetry:tel ~registry ~seeds p))
+    patterns
+  @ (if stateful then
+       [ Patterns.generate_scenarios ~telemetry:tel ~registry ~seeds () ]
+     else [])
+
 (* ----- the sequential path (shards = 1) ----- *)
 
 let fuzz_sequential ?budget ?cov ?telemetry ?timeseries
     ?(patterns = Pattern_id.all) ?(memo = true) ?(compile = true)
-    ?(compact = true) prof =
+    ?(compact = true) ?(stateful = true) prof =
   let tel = match telemetry with Some t -> t | None -> Telemetry.create () in
   let t0 = Telemetry.now_ns () in
   (* compact hit/spill cells are domain-local; the whole sequential
@@ -146,7 +180,7 @@ let fuzz_sequential ?budget ?cov ?telemetry ?timeseries
      "campaign" stage itself shows up in [timings]; the flush guard runs
      even when a case raises, so streaming sinks survive an abnormal
      termination with the campaign's tail intact *)
-  let seeds, detector =
+  let registry, seeds, detector =
     Fun.protect ~finally:(fun () -> Telemetry.flush tel) @@ fun () ->
     Telemetry.with_span tel ~dialect:prof.Dialect.id "campaign" @@ fun () ->
     let registry = Dialect.registry prof in
@@ -175,15 +209,12 @@ let fuzz_sequential ?budget ?cov ?telemetry ?timeseries
             tick ())
           seeds);
     emit_budgeted ~budget
-      ~streams:
-        (List.map
-           (fun p -> Patterns.generate ~telemetry:tel ~registry ~seeds p)
-           patterns)
-      ~emit:(fun case ->
-        ignore (Detector.run_case detector case);
+      ~streams:(scenario_streams ~tel ~registry ~seeds ~patterns ~stateful)
+      ~emit:(fun sc ->
+        ignore (Detector.run_scenario detector sc);
         tick ());
     Option.iter Timeseries.finalize recorder;
-    (seeds, detector)
+    (registry, seeds, detector)
   in
   let cdelta = Value.Compact.since compact0 in
   Telemetry.compact_add tel ~hits:cdelta.Value.Compact.hits
@@ -207,8 +238,12 @@ let fuzz_sequential ?budget ?cov ?telemetry ?timeseries
   mk_result ~prof ~seeds ~tel
     ~cov:(Detector.coverage detector)
     ~profile:(Detector.exec_profile detector)
+    ~positions:(count_all_positions ~registry ~seeds ~stateful)
     ~cases_executed:(Detector.executed detector)
     ~cases_memoized:(Detector.cases_memoized detector)
+    ~scenarios_executed:(Detector.scenarios_executed detector)
+    ~prereq_statements:(Detector.prereq_statements detector)
+    ~stage_verdicts:(Detector.stage_verdicts detector)
     ~passed:(Detector.passed detector)
     ~clean_errors:(Detector.clean_errors detector)
     ~false_positives:(Detector.false_positives detector)
@@ -236,11 +271,13 @@ let fuzz_sequential ?budget ?cov ?telemetry ?timeseries
 
 type shard_work =
   | Seed_stmt of Sqlfun_ast.Ast.stmt
-  | Gen_case of Patterns.case
+  | Gen_scenario of Patterns.scenario
+      (* one scenario is one atomic work item: its prerequisites and
+         probe never split across shards *)
 
 let fuzz_sharded ?budget ?cov ?telemetry ?timeseries
     ?(patterns = Pattern_id.all) ?(memo = true) ?(compile = true)
-    ?(compact = true) ~shards ?jobs prof =
+    ?(compact = true) ?(stateful = true) ~shards ?jobs prof =
   let shards = Stdlib.max 1 shards in
   let jobs =
     match jobs with
@@ -256,7 +293,7 @@ let fuzz_sharded ?budget ?cov ?telemetry ?timeseries
      order) into the campaign profile afterwards *)
   let shard_profiles = Array.init shards (fun _ -> Profile.create ()) in
   let progress = Progress.create shards in
-  let seeds, shard_covs, shard_tels, detectors =
+  let registry, seeds, shard_covs, shard_tels, detectors =
     Fun.protect ~finally:(fun () -> Telemetry.flush tel) @@ fun () ->
     Telemetry.with_span tel ~dialect "campaign" @@ fun () ->
     let registry = Dialect.registry prof in
@@ -316,7 +353,7 @@ let fuzz_sharded ?budget ?cov ?telemetry ?timeseries
               ignore
                 (match work with
                  | Seed_stmt stmt -> Detector.run_stmt det ~case_number stmt
-                 | Gen_case case -> Detector.run_case det ~case_number case);
+                 | Gen_scenario sc -> Detector.run_scenario det ~case_number sc);
               Progress.tick progress s;
               Option.iter Timeseries.tick recorder)
             chunk;
@@ -345,11 +382,8 @@ let fuzz_sharded ?budget ?cov ?telemetry ?timeseries
                   dispatch (Seed_stmt seed.Collector.stmt))
                 seeds);
           emit_budgeted ~budget
-            ~streams:
-              (List.map
-                 (fun p -> Patterns.generate ~telemetry:tel ~registry ~seeds p)
-                 patterns)
-            ~emit:(fun case -> dispatch (Gen_case case)));
+            ~streams:(scenario_streams ~tel ~registry ~seeds ~patterns ~stateful)
+            ~emit:(fun sc -> dispatch (Gen_scenario sc)));
       List.map Pool.await handles
     in
     let detectors = Array.make shards None in
@@ -361,7 +395,7 @@ let fuzz_sharded ?budget ?cov ?telemetry ?timeseries
         (function Some d -> d | None -> assert false (* every shard owned *))
         detectors
     in
-    (seeds, shard_covs, shard_tels, detectors)
+    (registry, seeds, shard_covs, shard_tels, detectors)
   in
   (* deterministic merge, in shard order *)
   Array.iter (fun c -> Coverage.merge_into ~dst:campaign_cov c) shard_covs;
@@ -413,30 +447,46 @@ let fuzz_sharded ?budget ?cov ?telemetry ?timeseries
            ~memo_misses:(sum_tel (fun c -> c.Telemetry.misses))
            ~shard_cases:(Progress.read progress)))
     timeseries;
+  let stage_verdicts =
+    Array.fold_left
+      (fun acc d ->
+        let sv = Detector.stage_verdicts d in
+        {
+          Detector.parse = acc.Detector.parse + sv.Detector.parse;
+          execute = acc.Detector.execute + sv.Detector.execute;
+          storage = acc.Detector.storage + sv.Detector.storage;
+        })
+      { Detector.parse = 0; execute = 0; storage = 0 }
+      detectors
+  in
   mk_result ~prof ~seeds ~tel ~cov:campaign_cov ~profile:campaign_profile
+    ~positions:(count_all_positions ~registry ~seeds ~stateful)
     ~cases_executed:(sum Detector.executed)
     ~cases_memoized:(sum Detector.cases_memoized)
+    ~scenarios_executed:(sum Detector.scenarios_executed)
+    ~prereq_statements:(sum Detector.prereq_statements)
+    ~stage_verdicts
     ~passed:(sum Detector.passed)
     ~clean_errors:(sum Detector.clean_errors)
     ~false_positives:(sum Detector.false_positives)
     ~fp_signatures ~known_crashes:(sum Detector.known_crashes) ~bugs
 
 let fuzz ?budget ?cov ?telemetry ?timeseries ?patterns ?memo ?compile
-    ?compact ?(shards = 1) ?jobs prof =
+    ?compact ?stateful ?(shards = 1) ?jobs prof =
   if shards <= 1 then
     fuzz_sequential ?budget ?cov ?telemetry ?timeseries ?patterns ?memo
-      ?compile ?compact prof
+      ?compile ?compact ?stateful prof
   else
     fuzz_sharded ?budget ?cov ?telemetry ?timeseries ?patterns ?memo ?compile
-      ?compact ~shards ?jobs prof
+      ?compact ?stateful ~shards ?jobs prof
 
 let fuzz_all ?budget ?telemetry ?timeseries ?memo ?compile ?compact
-    ?(jobs = 1) ?(shards = 1) () =
+    ?stateful ?(jobs = 1) ?(shards = 1) () =
   if jobs <= 1 then
     List.map
       (fun prof ->
-        fuzz ?budget ?telemetry ?timeseries ?memo ?compile ?compact ~shards
-          prof)
+        fuzz ?budget ?telemetry ?timeseries ?memo ?compile ?compact ?stateful
+          ~shards prof)
       Dialect.all
   else begin
     (* each campaign records into a private collector on its own domain;
@@ -452,7 +502,8 @@ let fuzz_all ?budget ?telemetry ?timeseries ?memo ?compile ?compact
           Pool.run pool
             (List.map
                (fun prof () ->
-                 fuzz ?budget ?timeseries ?memo ?compile ?compact ~shards prof)
+                 fuzz ?budget ?timeseries ?memo ?compile ?compact ?stateful
+                   ~shards prof)
                Dialect.all))
     in
     Option.iter

@@ -32,6 +32,16 @@ type result = {
           without an engine round-trip; throughput metadata — varies
           with shard count (each shard caches privately), unlike every
           verdict field *)
+  scenarios_executed : int;
+      (** of {!cases_executed}, how many were stateful scenarios
+          (non-empty prerequisite lists); deterministic in shard/job
+          count and memo setting *)
+  prereq_statements : int;
+      (** prerequisite statements admitted across those scenarios *)
+  stage_verdicts : Detector.stage_counts;
+      (** crash-class verdicts attributed to the paper's occurrence
+          stages (parse / execute / storage); deterministic in
+          shard/job count and memo setting *)
   passed : int;
   clean_errors : int;
   false_positives : int;
@@ -71,6 +81,7 @@ val fuzz :
   ?memo:bool ->
   ?compile:bool ->
   ?compact:bool ->
+  ?stateful:bool ->
   ?shards:int ->
   ?jobs:int ->
   Dialect.profile ->
@@ -86,7 +97,13 @@ val fuzz :
     detector's verdict memoization, closure compilation and compact
     value representations (see {!Detector.create}); all three are
     throughput-only — verdicts, bugs, coverage and FP signatures are
-    bit-identical with any of them off. Compact construction/spill
+    bit-identical with any of them off.
+    [stateful] (default [true]) appends the synthesized stateful
+    scenario stream ({!Patterns.generate_scenarios}) as one extra
+    budget stream; with [stateful:false] the campaign is bit-identical
+    to the historical single-statement pipeline (the stateless streams
+    never execute DDL/DML as cases, so the parse/storage fault stages
+    are unreachable and every staged counter is zero). Compact construction/spill
     counts are credited to the campaign collector
     ({!Sqlfun_telemetry.Telemetry.compact_counts}) once per campaign
     side (per worker domain under sharding).
@@ -125,6 +142,7 @@ val fuzz_sharded :
   ?memo:bool ->
   ?compile:bool ->
   ?compact:bool ->
+  ?stateful:bool ->
   shards:int ->
   ?jobs:int ->
   Dialect.profile ->
@@ -141,6 +159,7 @@ val fuzz_all :
   ?memo:bool ->
   ?compile:bool ->
   ?compact:bool ->
+  ?stateful:bool ->
   ?jobs:int ->
   ?shards:int ->
   unit ->

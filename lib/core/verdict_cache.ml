@@ -1,6 +1,7 @@
 open Sqlfun_ast
 
-(* Open-addressing table keyed on the statement fingerprint. The
+(* Open-addressing table keyed on the scenario fingerprint (a single
+   probe statement or a prerequisite list followed by its probe). The
    fingerprint is already a high-quality 63-bit hash, so slots are
    probed linearly from [fp land mask] with no re-hashing, and the keys
    live in an unboxed [int array].
@@ -26,8 +27,8 @@ type 'v lookup = Hit of 'v | Miss of { collided : bool; admit : bool }
 
 type 'v entry =
   | Empty
-  | Seen  (* fingerprint sighted once; statement not retained *)
-  | Full of { stmt : Ast.stmt; v : 'v }
+  | Seen  (* fingerprint sighted once; statements not retained *)
+  | Full of { stmts : Ast.stmt list; v : 'v }
 
 type 'v t = {
   mutable keys : int array;  (* valid where [entries] is not [Empty] *)
@@ -75,7 +76,7 @@ let maybe_grow t =
     t.entries <- entries
   end
 
-let find t ~fp stmt =
+let find t ~fp stmts =
   let fp = Int64.to_int fp in
   let i = probe t.keys t.entries fp in
   match t.entries.(i) with
@@ -87,11 +88,11 @@ let find t ~fp stmt =
     maybe_grow t;
     Miss { collided = false; admit = false }
   | Seen -> Miss { collided = false; admit = true }
-  | Full { stmt = cached; v } ->
-    if Ast_util.equal_stmt cached stmt then Hit v
+  | Full { stmts = cached; v } ->
+    if Ast_util.equal_stmts cached stmts then Hit v
     else Miss { collided = true; admit = false }
 
-let add t ~fp stmt v =
+let add t ~fp stmts v =
   let fp = Int64.to_int fp in
   let i = probe t.keys t.entries fp in
   (match t.entries.(i) with
@@ -101,7 +102,7 @@ let add t ~fp stmt v =
      t.full <- t.full + 1
    | Seen -> t.full <- t.full + 1
    | Full _ -> ());
-  t.entries.(i) <- Full { stmt; v };
+  t.entries.(i) <- Full { stmts; v };
   maybe_grow t
 
 let length t = t.full

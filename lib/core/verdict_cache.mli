@@ -1,10 +1,12 @@
 (** Fingerprint-keyed statement cache with a structural-equality
     collision guard and two-probe admission.
 
-    Keys are {!Sqlfun_ast.Ast_util.fingerprint} values in an
+    Keys are {!Sqlfun_ast.Ast_util.fingerprint} (stateless probe) or
+    {!Sqlfun_ast.Ast_util.fingerprint_stmts} (stateful scenario: the
+    prerequisite list followed by the probe) values in an
     open-addressing table (the fingerprint is the hash — no re-hashing,
     unboxed [int] keys). Every candidate hit is verified with
-    {!Sqlfun_ast.Ast_util.equal_stmt} before its value is returned, so
+    {!Sqlfun_ast.Ast_util.equal_stmts} before its value is returned, so
     a fingerprint collision can never replay the wrong entry — it
     surfaces as a miss with [collided = true] and the caller
     re-executes.
@@ -17,10 +19,12 @@
     would cost the major GC more than the cache saves; repeat-heavy
     statements reach [Full] and replay from the third sighting on.
 
-    The detector stores one cached verdict per admitted statement and
-    replays it on re-encounter (sound because a verdict is a pure
-    function of the statement: the session is reset before every case
-    and only side-effect-free statements are cached). *)
+    The detector stores one cached verdict per admitted statement list
+    and replays it on re-encounter (sound because a verdict is a pure
+    function of the statement list: the session is reset before every
+    scenario and table state is restored to the post-seed baseline
+    after every stateful scenario, so identical statement lists always
+    execute against identical engine state). *)
 
 type 'v t
 
@@ -34,16 +38,18 @@ type 'v lookup =
 
 val create : unit -> 'v t
 
-val find : 'v t -> fp:int64 -> Sqlfun_ast.Ast.stmt -> 'v lookup
-(** [fp] must be [Ast_util.fingerprint stmt]; it is taken as an argument
-    so callers hash once per statement. Records first sightings (see
-    admission above), so [find] mutates the table. *)
+val find : 'v t -> fp:int64 -> Sqlfun_ast.Ast.stmt list -> 'v lookup
+(** [fp] must be the list's fingerprint ([Ast_util.fingerprint stmt]
+    for a singleton probe, [Ast_util.fingerprint_stmts] for a scenario
+    list); it is taken as an argument so callers hash once per
+    scenario. Records first sightings (see admission above), so [find]
+    mutates the table. *)
 
-val add : 'v t -> fp:int64 -> Sqlfun_ast.Ast.stmt -> 'v -> unit
-(** Caches the statement's verdict. Normally called after a {!find}
-    returning [admit = true]; a direct [add] (tests, hand-fed caches)
-    fills the slot immediately, and re-adding a fingerprint replaces
-    the entry. *)
+val add : 'v t -> fp:int64 -> Sqlfun_ast.Ast.stmt list -> 'v -> unit
+(** Caches the statement list's verdict. Normally called after a
+    {!find} returning [admit = true]; a direct [add] (tests, hand-fed
+    caches) fills the slot immediately, and re-adding a fingerprint
+    replaces the entry. *)
 
 val length : 'v t -> int
 (** Number of cached ([Full]) entries. *)

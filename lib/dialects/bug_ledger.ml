@@ -11,7 +11,8 @@ open Sqlfun_fault
 open Sqlfun_value.Value
 open Triggers
 
-let bug ~d ~f ~cat ~k ~p ?(st = Fault.Fixed) ~t ~note slug =
+let bug ~d ~f ~cat ~k ~p ?(st = Fault.Fixed) ?(stage = Fault.Execute) ~t ~note
+    slug =
   {
     Fault.site = Printf.sprintf "%s/%s/%s" d (String.lowercase_ascii f) slug;
     dialect = d;
@@ -20,6 +21,7 @@ let bug ~d ~f ~cat ~k ~p ?(st = Fault.Fixed) ~t ~note slug =
     kind = k;
     pattern = p;
     status = st;
+    stage;
     trigger = t;
     note;
   }
@@ -608,6 +610,102 @@ let virtuoso =
 let all = postgresql @ mysql @ mariadb @ clickhouse @ monetdb @ duckdb @ virtuoso
 
 let for_dialect d = List.filter (fun s -> s.Fault.dialect = d) all
+
+(* ----- Occurrence-stage ground truth (stateful scenarios) -----
+
+   The paper's bug study splits PoCs by *occurrence stage*: parse,
+   execute, storage. Every Table-4 bug above is an execute-stage fault
+   inside a function implementation; the stateful scenario pipeline adds
+   the other two stages, and these specs are their ground truth. They
+   live outside [all] on purpose — Table 4 reproduces the paper's 132
+   rows exactly, and the per-dialect / per-kind / per-family count tests
+   pin that.
+
+   The pseudo-function names route the specs: ["@PARSE"] is consulted by
+   the engine while analyzing a DDL/DML statement (arguments are the
+   statement's literal tokens with [From_literal] provenance plus its
+   declared decimal precisions with [From_cast] provenance), ["@INSERT"]
+   when a cast row is appended to a table (arguments are the stored cell
+   values with [Column] provenance).
+
+   Trigger thresholds are chosen so the armed seed-corpus load can never
+   fire them (seed literals are short, seed columns are DECIMAL(10,2)):
+   parse digit-run specs need a 33+ char run (only the 35-nines boundary
+   literal), parse precision specs need a declared precision >= 40,
+   storage text specs need a 24+ run in a stored cell, and storage
+   decimal specs need a stored scale >= 15. *)
+
+let parse_digit_run d ~k ~run ~note =
+  bug ~d ~f:"@PARSE" ~cat:"parser" ~k ~p:Pattern_id.P1_2 ~st:confirmed
+    ~stage:Fault.Parse
+    ~t:(Fault.Any_arg (All_of [ From_literal; Type_is Ty_str; Has_char_run run ]))
+    ~note "literal-digit-run"
+
+let parse_decl_precision d ~k ~prec ~note =
+  bug ~d ~f:"@PARSE" ~cat:"parser" ~k ~p:Pattern_id.P2_1 ~st:confirmed
+    ~stage:Fault.Parse
+    ~t:(Fault.Any_arg (All_of [ From_cast; Abs_int_ge (Int64.of_int prec) ]))
+    ~note "decl-precision"
+
+let storage_text_run d ~k ~run ~note =
+  bug ~d ~f:"@INSERT" ~cat:"storage" ~k ~p:Pattern_id.P1_2 ~st:confirmed
+    ~stage:Fault.Storage
+    ~t:(Fault.Any_arg (All_of [ Type_is Ty_str; Has_char_run run ]))
+    ~note "cell-digit-run"
+
+let storage_deep_scale d ~k ~scale ~note =
+  bug ~d ~f:"@INSERT" ~cat:"storage" ~k ~p:Pattern_id.P2_1 ~st:confirmed
+    ~stage:Fault.Storage
+    ~t:(Fault.Any_arg (All_of [ Type_is Ty_dec; Scale_ge scale ]))
+    ~note "cell-deep-scale"
+
+let staged =
+  [
+    parse_digit_run "postgresql" ~k:Bug_kind.Hbof ~run:33
+      ~note:"the scanner copies oversized numeric tokens into a fixed \
+             NUMERIC digit buffer";
+    storage_deep_scale "postgresql" ~k:Bug_kind.Af ~scale:15
+      ~note:"the tuple serializer asserts on numeric cells whose dscale \
+             exceeds the page header field";
+    parse_decl_precision "mysql" ~k:Bug_kind.Gbof ~prec:40
+      ~note:"column definitions beyond the supported decimal precision \
+             overflow the global dd column descriptor";
+    storage_text_run "mysql" ~k:Bug_kind.Hbof ~run:24
+      ~note:"the row format packs long same-byte runs through a \
+             run-length encoder with an off-by-one carry";
+    parse_digit_run "mariadb" ~k:Bug_kind.Segv ~run:33
+      ~note:"the lexer rescans oversized integer tokens past the token \
+             buffer terminator";
+    storage_text_run "mariadb" ~k:Bug_kind.Npd ~run:24
+      ~note:"the page compressor takes the nil dictionary path for \
+             maximal-run text cells";
+    parse_decl_precision "clickhouse" ~k:Bug_kind.Af ~prec:40
+      ~note:"CREATE with Decimal precision beyond P76/2 trips a debug \
+             assertion in the type factory";
+    storage_deep_scale "clickhouse" ~k:Bug_kind.Segv ~scale:15
+      ~note:"the columnar writer indexes the scale lookup table past \
+             its end for deep-scale decimals";
+    parse_digit_run "monetdb" ~k:Bug_kind.Gbof ~run:34
+      ~note:"the MAL parser renders huge numeric atoms into a global \
+             format buffer";
+    storage_text_run "monetdb" ~k:Bug_kind.Hbof ~run:24
+      ~note:"the string heap deduplicator hashes repeated-byte cells \
+             past the candidate list";
+    parse_decl_precision "duckdb" ~k:Bug_kind.Af ~prec:40
+      ~note:"DECIMAL widths beyond 38 digits fail the internal \
+             Hugeint width invariant";
+    storage_text_run "duckdb" ~k:Bug_kind.Segv ~run:24
+      ~note:"the vector FSST compressor dereferences a stale symbol \
+             table on maximal-run strings";
+    parse_digit_run "virtuoso" ~k:Bug_kind.Npd ~run:33
+      ~note:"numeric tokens past the box length yield a nil numeric box \
+             that the parser then dereferences";
+    storage_deep_scale "virtuoso" ~k:Bug_kind.Uaf ~scale:15
+      ~note:"deep-scale numeric boxes are freed by the cast path and \
+             reused by the row writer";
+  ]
+
+let staged_for_dialect d = List.filter (fun s -> s.Fault.dialect = d) staged
 
 (** Expected totals, used by tests and the bench harness. Dialect, family,
     and status totals match both Table 4 and the §7.3 summary. Kind totals

@@ -61,7 +61,10 @@ let load_seeds engine p =
        p.seeds)
 
 let make_engine ?cov ?(armed = false) ?limits ?compact ?profile:prof p =
-  let fault = Sqlfun_fault.Fault.make (Bug_ledger.for_dialect p.id) in
+  let fault =
+    Sqlfun_fault.Fault.make
+      (Bug_ledger.for_dialect p.id @ Bug_ledger.staged_for_dialect p.id)
+  in
   if armed then Sqlfun_fault.Fault.arm fault;
   let cast_cfg =
     { Cast.strictness = p.strictness; json_max_depth = p.json_max_depth }

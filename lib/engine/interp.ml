@@ -1079,7 +1079,53 @@ let rec plan_of_stmt (stmt : Ast.stmt) : string list =
   | Ast.Drop_table { drop_name; _ } -> [ "DropTable " ^ drop_name ]
   | Ast.Explain inner -> "Explain" :: List.map (fun l -> "  " ^ l) (plan_of_stmt inner)
 
+(* ----- occurrence-stage fault sites ----- *)
+
+(* Parse-stage analysis of a DDL/DML statement. The fault arguments are
+   what the scanner/analyzer of a real server works on before any
+   evaluation: the statement's literal tokens (their spelling, [Literal]
+   provenance) and its declared decimal precisions ([Cast] provenance).
+   SELECT and EXPLAIN never reach this — their injected faults live at
+   the execute stage inside function implementations, which keeps the
+   historical stateless stream byte-identical. *)
+let parse_stage_args stmt =
+  let args =
+    Ast_util.fold_stmt_exprs
+      (fun acc e ->
+        match e with
+        | Ast.Int_lit s | Ast.Dec_lit s | Ast.Str_lit s ->
+          { Fault.value = Value.Str s; prov = Fault.Prov.Literal } :: acc
+        | _ -> acc)
+      [] stmt
+  in
+  match stmt with
+  | Ast.Create_table { columns; _ } ->
+    List.fold_left
+      (fun acc (c : Ast.column_def) ->
+        match c.Ast.col_type with
+        | Ast.T_decimal (Some (p, _)) ->
+          { Fault.value = Value.Int (Int64.of_int p); prov = Fault.Prov.Cast }
+          :: acc
+        | _ -> acc)
+      args columns
+  | _ -> args
+
+let parse_stage_check env stmt =
+  match stmt with
+  | Ast.Select_stmt _ | Ast.Explain _ -> ()
+  | Ast.Create_table _ | Ast.Insert _ | Ast.Drop_table _ ->
+    Profile.with_phase env.profile Profile.Parse (fun () ->
+        Fault.check_at env.ctx.Fn_ctx.fault ~stage:Fault.Parse ~func:"@PARSE"
+          (parse_stage_args stmt))
+
+(* Storage-stage check on a fully cast row, at the moment it is handed
+   to the storage layer — the simulated row serializer / page writer. *)
+let storage_stage_check env cast_row =
+  Fault.check_at env.ctx.Fn_ctx.fault ~stage:Fault.Storage ~func:"@INSERT"
+    (List.map (fun v -> { Fault.value = v; prov = Fault.Prov.Column }) cast_row)
+
 let exec_stmt env (stmt : Ast.stmt) : outcome =
+  parse_stage_check env stmt;
   match stmt with
   | Ast.Explain inner ->
     (* EXPLAIN renders the plan without executing: pure [plan] time *)
@@ -1161,6 +1207,7 @@ let exec_stmt env (stmt : Ast.stmt) : outcome =
                else Fn_ctx.cast_value env.ctx v col.Storage.col_type)
              t.Storage.columns full_row
          in
+         storage_stage_check env cast_row;
          Storage.append_row t cast_row
        in
        List.iter insert_one rows;

@@ -86,6 +86,26 @@ let drop_table c ~name ~if_exists =
 
 let append_row t row = t.rows <- t.rows @ [ row ]
 
+(* A snapshot is pure data (no reference to the source catalog), so it
+   survives an engine rebuild: the detector captures the post-seed
+   baseline once and restores it into whatever catalog is current.
+   Sharing the [rows] list is safe because [append_row] replaces the
+   list instead of mutating it. *)
+type snapshot = (string * string * column list * Value.t list list) list
+
+let snapshot c =
+  Hashtbl.fold
+    (fun key t acc -> (key, t.tbl_name, t.columns, t.rows) :: acc)
+    c.tables []
+  |> List.sort (fun (a, _, _, _) (b, _, _, _) -> String.compare a b)
+
+let restore c snap =
+  Hashtbl.reset c.tables;
+  List.iter
+    (fun (key, tbl_name, columns, rows) ->
+      Hashtbl.add c.tables key { tbl_name; columns; rows })
+    snap
+
 let column_index t name =
   let k = norm name in
   let rec go i = function

@@ -36,3 +36,16 @@ val drop_table : catalog -> name:string -> if_exists:bool -> (unit, string) resu
 val append_row : table -> Value.t list -> unit
 
 val column_index : table -> string -> int option
+
+type snapshot
+(** An immutable copy of a catalog's table set. Pure data: it holds no
+    reference to the source catalog, so it can be restored into a
+    different catalog (e.g. after a crash-restart rebuilt the engine). *)
+
+val snapshot : catalog -> snapshot
+(** O(tables): row lists are shared, not copied — sound because
+    {!append_row} replaces a table's row list rather than mutating it. *)
+
+val restore : catalog -> snapshot -> unit
+(** Resets the catalog to exactly the snapshotted table set, discarding
+    any tables created or rows appended since. *)

@@ -58,6 +58,19 @@ type cond =
 
 type status = Confirmed | Fixed
 
+(* The paper's "occurrence stage" dimension: where in the statement
+   lifecycle the defect fires. [Execute] is the classic function-eval
+   site (every ledger bug before the stateful refactor); [Parse] fires
+   while a DDL/DML statement's literals and type declarations are being
+   analyzed, before any evaluation; [Storage] fires when a cast row is
+   handed to the storage layer. *)
+type stage = Parse | Execute | Storage
+
+let stage_to_string = function
+  | Parse -> "parse"
+  | Execute -> "execute"
+  | Storage -> "storage"
+
 type spec = {
   site : string;
   dialect : string;
@@ -66,6 +79,7 @@ type spec = {
   kind : Bug_kind.t;
   pattern : Pattern_id.t;
   status : status;
+  stage : stage;
   trigger : cond;
   note : string;
 }
@@ -201,14 +215,20 @@ let has_lower s =
   in
   go 0
 
-let check rt ~func args =
+let check_at rt ~stage ~func args =
   if rt.armed then
     let key = if has_lower func then String.uppercase_ascii func else func in
     match Hashtbl.find_opt rt.by_func key with
     | None -> ()
     | Some specs ->
       List.iter
-        (fun spec -> if eval_cond spec.trigger args then raise (Crash spec))
+        (fun spec ->
+          if spec.stage = stage && eval_cond spec.trigger args then
+            raise (Crash spec))
         specs
+
+(* Function implementations call [check] directly: by construction that
+   is the execute stage, so the historic signature stays intact. *)
+let check rt ~func args = check_at rt ~stage:Execute ~func args
 
 let status_to_string = function Confirmed -> "Confirmed" | Fixed -> "Fixed"

@@ -68,6 +68,15 @@ type cond =
 
 type status = Confirmed | Fixed
 
+(** The paper's "occurrence stage": where in the statement lifecycle the
+    defect fires. [Execute] is the classic function-evaluation site;
+    [Parse] fires during DDL/DML statement analysis (literal tokens and
+    declared types, before any evaluation); [Storage] fires when a cast
+    row reaches the storage layer. *)
+type stage = Parse | Execute | Storage
+
+val stage_to_string : stage -> string
+
 type spec = {
   site : string;           (** unique id, e.g. ["mysql/avg/decimal-digits"] *)
   dialect : string;
@@ -76,6 +85,7 @@ type spec = {
   kind : Bug_kind.t;
   pattern : Pattern_id.t;  (** the pattern the paper credits for this bug *)
   status : status;
+  stage : stage;
   trigger : cond;
   note : string;
 }
@@ -97,6 +107,13 @@ val eval_arg_cond : arg_cond -> arg -> bool
 val eval_cond : cond -> arg list -> bool
 
 val check : runtime -> func:string -> arg list -> unit
-(** Raises {!Crash} when armed and a spec for [func] triggers. *)
+(** Raises {!Crash} when armed and an [Execute]-stage spec for [func]
+    triggers. Function implementations call this; by construction that
+    is the execute stage. *)
+
+val check_at : runtime -> stage:stage -> func:string -> arg list -> unit
+(** Stage-explicit variant of {!check}: only specs declared at [stage]
+    are consulted. The engine calls this with [Parse] at DDL/DML
+    statement analysis and [Storage] when appending a cast row. *)
 
 val status_to_string : status -> string

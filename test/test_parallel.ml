@@ -256,6 +256,9 @@ let result_key (r : Soft.Soft_runner.result) =
       r.Soft.Soft_runner.unique_false_positives,
       r.Soft.Soft_runner.fp_signatures,
       r.Soft.Soft_runner.known_crashes ),
+    ( r.Soft.Soft_runner.scenarios_executed,
+      r.Soft.Soft_runner.prereq_statements,
+      r.Soft.Soft_runner.stage_verdicts ),
     ( List.map bug_key r.Soft.Soft_runner.bugs,
       r.Soft.Soft_runner.functions_triggered,
       r.Soft.Soft_runner.branches_covered,
@@ -335,6 +338,30 @@ let test_memo_invariant_under_sharding () =
         (verdict_key baseline.Soft.Soft_runner.telemetry
         = verdict_key r.Soft.Soft_runner.telemetry))
     [ (1, 1); (2, 2) ]
+
+let test_stateful_sharded_deterministic () =
+  (* the stateful gating regression: a scenario is one atomic work item,
+     so sequential vs jobs=2/shards=2 must agree on every deterministic
+     field — scenario counters and per-stage verdict attribution
+     included — and the campaign must surface verdicts from all three
+     occurrence stages *)
+  let prof = Dialect.find_exn "duckdb" in
+  let seq = Soft.Soft_runner.fuzz ~budget:2000 ~shards:1 ~jobs:1 prof in
+  let par = Soft.Soft_runner.fuzz ~budget:2000 ~shards:2 ~jobs:2 prof in
+  Alcotest.(check bool) "scenarios ran" true
+    (seq.Soft.Soft_runner.scenarios_executed > 0);
+  let sv = seq.Soft.Soft_runner.stage_verdicts in
+  Alcotest.(check bool) "parse-stage verdicts surfaced" true
+    (sv.Soft.Detector.parse > 0);
+  Alcotest.(check bool) "execute-stage verdicts surfaced" true
+    (sv.Soft.Detector.execute > 0);
+  Alcotest.(check bool) "storage-stage verdicts surfaced" true
+    (sv.Soft.Detector.storage > 0);
+  Alcotest.(check bool) "sharded stateful run matches sequential" true
+    (result_key seq = result_key par);
+  Alcotest.(check bool) "verdict counters agree" true
+    (verdict_key seq.Soft.Soft_runner.telemetry
+    = verdict_key par.Soft.Soft_runner.telemetry)
 
 let test_timeseries_final_snapshot_shard_invariant () =
   (* the campaign-final timeseries snapshot (shard = -1) is computed
@@ -418,6 +445,8 @@ let suite =
         test_sharded_campaign_deterministic;
       Alcotest.test_case "more shards than jobs" `Slow
         test_more_shards_than_jobs;
+      Alcotest.test_case "stateful campaign shard-deterministic" `Slow
+        test_stateful_sharded_deterministic;
       Alcotest.test_case "memo invariant under sharding" `Slow
         test_memo_invariant_under_sharding;
       Alcotest.test_case "timeseries final snapshot shard-invariant" `Slow

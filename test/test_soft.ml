@@ -323,20 +323,222 @@ let test_collision_guard () =
   let a = parse_exn "SELECT LENGTH('a')" in
   let b = parse_exn "SELECT UPPER('z')" in
   let fp = 42L in
-  Soft.Verdict_cache.add cache ~fp a "verdict-of-a";
-  (match Soft.Verdict_cache.find cache ~fp b with
+  Soft.Verdict_cache.add cache ~fp [ a ] "verdict-of-a";
+  (match Soft.Verdict_cache.find cache ~fp [ b ] with
    | Soft.Verdict_cache.Miss { collided = true; _ } -> ()
    | Soft.Verdict_cache.Miss { collided = false; _ } ->
      Alcotest.fail "collision not flagged"
    | Soft.Verdict_cache.Hit _ ->
      Alcotest.fail "collision replayed the wrong statement's verdict");
-  (match Soft.Verdict_cache.find cache ~fp a with
+  (match Soft.Verdict_cache.find cache ~fp [ a ] with
    | Soft.Verdict_cache.Hit v -> Alcotest.(check string) "hit" "verdict-of-a" v
    | Soft.Verdict_cache.Miss _ -> Alcotest.fail "expected a hit");
-  Soft.Verdict_cache.add cache ~fp b "verdict-of-b";
-  match Soft.Verdict_cache.find cache ~fp b with
+  Soft.Verdict_cache.add cache ~fp [ b ] "verdict-of-b";
+  (match Soft.Verdict_cache.find cache ~fp [ b ] with
   | Soft.Verdict_cache.Hit v -> Alcotest.(check string) "hit b" "verdict-of-b" v
-  | Soft.Verdict_cache.Miss _ -> Alcotest.fail "expected a hit after add"
+  | Soft.Verdict_cache.Miss _ -> Alcotest.fail "expected a hit after add");
+  (* the list guard is not prefix-blind: a two-statement list under the
+     same fingerprint is a collision against the cached singleton *)
+  match Soft.Verdict_cache.find cache ~fp [ b; a ] with
+  | Soft.Verdict_cache.Miss { collided = true; _ } -> ()
+  | Soft.Verdict_cache.Miss { collided = false; _ } ->
+    Alcotest.fail "list-length collision not flagged"
+  | Soft.Verdict_cache.Hit _ ->
+    Alcotest.fail "prefix list replayed the wrong entry"
+
+let test_fingerprint_ddl_dml () =
+  (* satellite: fingerprint/equal_stmt over Create_table and Insert
+     nodes — the statement shapes scenarios put in front of a probe.
+     Every pair differs in one structural detail a scenario memo must
+     not conflate: table name, column type, declared precision,
+     NOT NULL flag, inserted literal, column list, row arity. *)
+  let pairs =
+    [
+      ("CREATE TABLE t (v TEXT)", "CREATE TABLE u (v TEXT)");
+      ("CREATE TABLE t (v TEXT)", "CREATE TABLE t (v BIGINT)");
+      ( "CREATE TABLE t (v DECIMAL(38, 10))",
+        "CREATE TABLE t (v DECIMAL(40, 20))" );
+      ("CREATE TABLE t (v TEXT)", "CREATE TABLE t (v TEXT NOT NULL)");
+      ("INSERT INTO t VALUES (1)", "INSERT INTO t VALUES (2)");
+      ("INSERT INTO t VALUES (1)", "INSERT INTO t (v) VALUES (1)");
+      ("INSERT INTO t VALUES (1)", "INSERT INTO t VALUES (1), (1)");
+      ("INSERT INTO t VALUES ('x')", "INSERT INTO u VALUES ('x')");
+    ]
+  in
+  List.iter
+    (fun (a, b) ->
+      let sa = parse_exn a and sb = parse_exn b in
+      Alcotest.(check bool)
+        (Printf.sprintf "%S <> %S structurally" a b)
+        false
+        (Ast_util.equal_stmt sa sb);
+      if Int64.equal (Ast_util.fingerprint sa) (Ast_util.fingerprint sb) then
+        Alcotest.failf "distinct statements %S and %S collided" a b;
+      (* round-trip: print -> parse preserves equality and fingerprint *)
+      match Sqlfun_parse.Parser.parse_stmt (Sql_pp.stmt sa) with
+      | Ok sa' when Ast_util.equal_stmt sa sa' ->
+        Alcotest.(check int64) "round-trip hashes equal"
+          (Ast_util.fingerprint sa) (Ast_util.fingerprint sa')
+      | Ok _ | Error _ -> ())
+    pairs
+
+let test_fingerprint_stmts_lists () =
+  (* satellite: the scenario memo key is sensitive to everything the
+     detector's reset discipline does not neutralize — list length,
+     statement order, and any edit to a prerequisite *)
+  let create = parse_exn "CREATE TABLE t (v TEXT)" in
+  let insert = parse_exn "INSERT INTO t VALUES ('abc')" in
+  let insert' = parse_exn "INSERT INTO t VALUES ('abd')" in
+  let probe = parse_exn "SELECT LENGTH(v) FROM t" in
+  let fp = Ast_util.fingerprint_stmts in
+  let distinct msg a b =
+    Alcotest.(check bool) (msg ^ ": lists structurally distinct") false
+      (Ast_util.equal_stmts a b);
+    if Int64.equal (fp a) (fp b) then Alcotest.failf "%s: collided" msg
+  in
+  distinct "singleton vs doubled" [ probe ] [ probe; probe ];
+  distinct "prefix vs full scenario" [ create; insert ]
+    [ create; insert; probe ];
+  distinct "prereq order" [ create; insert; probe ] [ insert; create; probe ];
+  distinct "prereq literal edit" [ create; insert; probe ]
+    [ create; insert'; probe ];
+  (* a singleton list must not hash like the bare statement — the
+     stateless memo keyspace and the scenario keyspace stay disjoint *)
+  Alcotest.(check bool) "singleton list keyspace is distinct" false
+    (Int64.equal (fp [ probe ]) (Ast_util.fingerprint probe));
+  (* and equal lists hash equal, of course *)
+  let copy = parse_exn "SELECT LENGTH(v) FROM t" in
+  Alcotest.(check bool) "copies equal" true
+    (Ast_util.equal_stmts [ create; copy ] [ create; probe ]);
+  Alcotest.(check int64) "copies hash equal"
+    (fp [ create; probe ])
+    (fp [ create; copy ])
+
+let test_scenario_positions_counted () =
+  (* satellite: count_positions counts INSERT/UPDATE/WHERE substitution
+     slots, via the scenario probes that put calls there *)
+  let prof = Dialect.find_exn "mysql" in
+  let registry = Dialect.registry prof in
+  let seeds =
+    Soft.Collector.collect ~registry ~suite:prof.Dialect.seeds ()
+  in
+  let scenarios = Soft.Patterns.generate_scenarios ~registry ~seeds () in
+  let n = Soft.Patterns.count_scenario_positions scenarios in
+  Alcotest.(check bool) "scenario probes expose substitution slots" true
+    (n > 0);
+  (* INSERT-position and WHERE-position probes specifically carry their
+     calls inside Insert rows / WHERE clauses — both must be seen *)
+  let kinds = Hashtbl.create 4 in
+  Seq.iter
+    (fun (sc : Soft.Patterns.scenario) ->
+      let c = sc.Soft.Patterns.case in
+      let slots =
+        List.length (Ast_util.function_calls c.Soft.Patterns.stmt)
+      in
+      if slots > 0 then
+        Hashtbl.replace kinds c.Soft.Patterns.origin ())
+    (Soft.Patterns.generate_scenarios ~registry ~seeds ());
+  Alcotest.(check bool) "INSERT-position probes counted" true
+    (Hashtbl.mem kinds "scenario:insert-position");
+  Alcotest.(check bool) "WHERE-position probes counted" true
+    (Hashtbl.mem kinds "scenario:where-position")
+
+let test_scenario_crash_restores_baseline () =
+  (* satellite: after a mid-scenario crash the restarted engine's
+     storage equals the post-seed baseline (no half-created scenario
+     tables), and the recorded PoC replays standalone on a cold armed
+     engine *)
+  let prof = Dialect.find_exn "mysql" in
+  let det = Soft.Detector.create prof in
+  let registry = Dialect.registry prof in
+  let seeds =
+    Soft.Collector.collect ~registry ~suite:prof.Dialect.seeds ()
+  in
+  let crashed = ref None in
+  let run_stream scenarios =
+    Seq.iter
+      (fun sc ->
+        match Soft.Detector.run_scenario det sc with
+        | (Soft.Detector.New_bug _ | Soft.Detector.Dup_bug _)
+          when !crashed = None
+               && sc.Soft.Patterns.prereqs <> [] ->
+          crashed := Some sc
+        | _ -> ())
+      scenarios
+  in
+  run_stream (Soft.Patterns.generate_scenarios ~registry ~seeds ());
+  (match !crashed with
+   | None -> Alcotest.fail "no stateful scenario crashed (vacuous test)"
+   | Some _ -> ());
+  (* the detector's engine is back to the post-seed baseline: none of
+     the scenario tables survived the crash restart or the restores *)
+  List.iter
+    (fun tbl ->
+      match
+        Soft.Detector.run_sql det (Printf.sprintf "SELECT v FROM %s" tbl)
+      with
+      | Soft.Detector.Clean_error _ -> ()
+      | _ -> Alcotest.failf "scenario table %s leaked past the baseline" tbl)
+    [ "soft_sa"; "soft_sb"; "soft_sc"; "soft_sd"; "soft_se" ];
+  (* and every recorded stateful PoC replays standalone: a cold armed
+     engine executes the PoC script and crashes again *)
+  let stateful_pocs =
+    List.filter_map
+      (fun (b : Soft.Detector.found_bug) ->
+        if String.contains b.Soft.Detector.poc '\n' then
+          Some b.Soft.Detector.poc
+        else None)
+      (Soft.Detector.bugs det)
+  in
+  Alcotest.(check bool) "found stateful PoCs" true (stateful_pocs <> []);
+  List.iter
+    (fun poc ->
+      let e = Dialect.make_engine ~armed:true prof in
+      match Sqlfun_engine.Engine.exec_script e poc with
+      | exception Sqlfun_fault.Fault.Crash _ -> ()
+      | exception Stack_overflow -> ()
+      | Ok _ | Error _ ->
+        Alcotest.failf "stateful PoC did not replay standalone:\n%s" poc)
+    stateful_pocs
+
+let test_stateful_campaign_identical () =
+  (* the scenario determinism bar: a stateful campaign's verdict JSON
+     (scenario counters and stage attribution included — they live in
+     [totals]) is identical with memoization on vs off *)
+  let open Sqlfun_telemetry in
+  let prof = Dialect.find_exn "duckdb" in
+  let on = Soft.Soft_runner.fuzz ~budget:2_000 ~memo:true prof in
+  let off = Soft.Soft_runner.fuzz ~budget:2_000 ~memo:false prof in
+  let jon = Soft.Report.campaign_to_json on
+  and joff = Soft.Report.campaign_to_json off in
+  List.iter
+    (fun key ->
+      let get j =
+        match Json.member key j with
+        | Some v -> Json.to_string v
+        | None -> Alcotest.failf "report lacks %S" key
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "%s identical" key)
+        (get joff) (get jon))
+    [ "totals"; "verdicts"; "bugs"; "fp_signatures"; "families" ];
+  Alcotest.(check bool) "scenarios executed" true
+    (on.Soft.Soft_runner.scenarios_executed > 0);
+  let sv = on.Soft.Soft_runner.stage_verdicts in
+  Alcotest.(check bool) "all three stages surfaced" true
+    (sv.Soft.Detector.parse > 0 && sv.Soft.Detector.execute > 0
+     && sv.Soft.Detector.storage > 0);
+  (* stateful-off runs no scenarios and reaches no staged fault site *)
+  let legacy = Soft.Soft_runner.fuzz ~budget:2_000 ~stateful:false prof in
+  Alcotest.(check int) "no scenarios when off" 0
+    legacy.Soft.Soft_runner.scenarios_executed;
+  Alcotest.(check int) "no prereqs when off" 0
+    legacy.Soft.Soft_runner.prereq_statements;
+  let lsv = legacy.Soft.Soft_runner.stage_verdicts in
+  Alcotest.(check int) "no parse-stage verdicts when off" 0
+    lsv.Soft.Detector.parse;
+  Alcotest.(check int) "no storage-stage verdicts when off" 0
+    lsv.Soft.Detector.storage
 
 let test_memo_campaign_identical () =
   (* the acceptance bar: a memoized campaign is field-for-field
@@ -566,6 +768,16 @@ let suite =
       Alcotest.test_case "fingerprint sensitivity" `Quick
         test_fingerprint_sensitivity;
       Alcotest.test_case "collision guard" `Quick test_collision_guard;
+      Alcotest.test_case "fingerprint over DDL/DML" `Quick
+        test_fingerprint_ddl_dml;
+      Alcotest.test_case "fingerprint over statement lists" `Quick
+        test_fingerprint_stmts_lists;
+      Alcotest.test_case "scenario positions counted" `Quick
+        test_scenario_positions_counted;
+      Alcotest.test_case "scenario crash restores baseline" `Quick
+        test_scenario_crash_restores_baseline;
+      Alcotest.test_case "stateful campaign identical (memo on/off)" `Slow
+        test_stateful_campaign_identical;
       Alcotest.test_case "memoized campaign identical" `Slow
         test_memo_campaign_identical;
       Alcotest.test_case "compiled campaign identical (all dialects)" `Slow
