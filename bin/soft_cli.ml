@@ -82,6 +82,17 @@ let no_compact_arg =
                  signatures are bit-identical with compaction on or \
                  off; the flag exists to verify that and to time it.")
 
+let no_batch_arg =
+  Arg.(value & flag
+       & info [ "no-batch" ]
+           ~doc:"Disable slot-stream batched execution (skeleton-sharing \
+                 pattern families are enumerated and classified one \
+                 materialized statement at a time instead of one \
+                 skeleton plus slot vectors per family). Verdicts, bug \
+                 lists and FP signatures are bit-identical with batching \
+                 on or off; the flag exists to verify that and to time \
+                 it.")
+
 let no_stateful_arg =
   Arg.(value & flag
        & info [ "no-stateful" ]
@@ -199,8 +210,8 @@ let progress_renderer dialect_id =
 
 let fuzz_cmd =
   let run dialect budget jobs shards no_memo no_compile no_compact
-      no_stateful verbose report trace json profile_out timeseries_out
-      progress =
+      no_stateful no_batch verbose report trace json profile_out
+      timeseries_out progress =
     match resolve_dialect dialect with
     | Error msg ->
       prerr_endline msg;
@@ -233,8 +244,8 @@ let fuzz_cmd =
           let r =
             Soft.Soft_runner.fuzz ?budget ~telemetry:tel ?timeseries
               ~memo:(not no_memo) ~compile:(not no_compile)
-              ~compact:(not no_compact) ~stateful:(not no_stateful) ~shards
-              ~jobs prof
+              ~compact:(not no_compact) ~stateful:(not no_stateful)
+              ~batch:(not no_batch) ~shards ~jobs prof
           in
           if progress then prerr_newline ();
           Option.iter close_out ts_oc;
@@ -283,6 +294,9 @@ let fuzz_cmd =
           (let kc = Telemetry.compact_counts r.Soft.Soft_runner.telemetry in
            Printf.printf "  compact values:       %d built, %d spilled\n"
              kc.Telemetry.k_hits kc.Telemetry.k_spills);
+          (let bc = Telemetry.batch_counts r.Soft.Soft_runner.telemetry in
+           Printf.printf "  batched cases:        %d (%d family batches)\n"
+             bc.Telemetry.b_cases bc.Telemetry.b_flushes);
           Printf.printf "  passed / clean errors: %d / %d\n" r.Soft.Soft_runner.passed
             r.Soft.Soft_runner.clean_errors;
           (* the paper's "7 false positives" counts unique reports, so both
@@ -314,8 +328,8 @@ let fuzz_cmd =
     (Cmd.info "fuzz" ~doc:"Run a SOFT campaign against a simulated dialect")
     Term.(const run $ dialect_arg $ budget_arg 0 $ jobs_arg $ shards_arg
           $ no_memo_arg $ no_compile_arg $ no_compact_arg $ no_stateful_arg
-          $ verbose $ report $ trace_arg $ json_arg $ profile_arg
-          $ timeseries_arg $ progress_arg)
+          $ no_batch_arg $ verbose $ report $ trace_arg $ json_arg
+          $ profile_arg $ timeseries_arg $ progress_arg)
 
 let study_cmd =
   let run () =

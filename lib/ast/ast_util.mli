@@ -73,5 +73,32 @@ val fold_slots : ('a -> Ast.expr -> 'a) -> 'a -> Ast.stmt -> 'a
     projection, then from/where/group_by/having, then ORDER BY
     expressions. Subquery interiors contribute no slots. *)
 
+val equal_skeleton_expr : Ast.expr -> Ast.expr -> bool
+(** {!equal_skeleton} at expression granularity: structural equality
+    with any literal leaf matching any literal leaf and subquery
+    interiors compared in full. Two expressions that are
+    skeleton-equal occupy interchangeable positions in a shared
+    compiled plan. *)
+
+val subst_slots : Ast.stmt -> Ast.expr array -> Ast.stmt
+(** [subst_slots skel vec] rebuilds a statement from a skeleton and a
+    slot vector: leaf [i] of {!fold_slots} (same traversal, same
+    order) is replaced by [vec.(i)], every non-slot node is kept, and
+    subquery interiors are preserved verbatim. For any statement [s]
+    with slot vector [v = fold_slots snoc [] s],
+    [subst_slots s (of_list v) = s]; substituting a skeleton-equal
+    vector reconstructs the sibling family member — the lazy
+    case-reconstruction path of batched execution. Raises
+    [Invalid_argument] if [vec] has fewer entries than the skeleton
+    has slots. *)
+
+val expr_slots : Ast.expr -> Ast.expr list option
+(** The literal leaves of one expression in {!fold_slots} order, or
+    [None] when the expression contains a [Subquery]/[Exists] interior
+    (whose leaves are invisible to the slot traversal, so the
+    expression cannot be described as a slot window). Splicing an
+    expression with [expr_slots e = Some leaves] into a statement
+    occupies a contiguous slot window of width [List.length leaves]. *)
+
 val referenced_tables : Ast.stmt -> string list
 (** Table names mentioned in FROM clauses (deduplicated, in order). *)

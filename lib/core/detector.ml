@@ -136,6 +136,75 @@ let verdict_class = function
   | Dup_bug _ -> Telemetry.Dup_bug
   | Known_crash _ -> Telemetry.Known_crash
 
+(* The verdict bookkeeping for one executed outcome — counter updates,
+   FP-signature dedup, crash restart, site registration, bug events.
+   The single source of truth shared by [classify] (one engine
+   round-trip per call) and [run_batch] (one call per batch member
+   inside the batched loop): both paths produce bit-identical verdicts,
+   counters and events because both end here. *)
+let settle t ~pattern ~pat ~dialect ~case_number ~poc outcome =
+  match outcome with
+  | `Res (Ok _) ->
+    t.passed <- t.passed + 1;
+    Passed
+  | `Res (Error (Engine.Parse_failed msg) | Error (Engine.Sql_failed msg)) ->
+    t.clean_errors <- t.clean_errors + 1;
+    Clean_error msg
+  | `Res (Error (Engine.Limit_hit msg)) ->
+    t.false_positives <- t.false_positives + 1;
+    (* the paper counts unique false-positive *reports*; dedupe on the
+       message with digits normalized out. Stored signatures are
+       digit-free ('#' stands for every digit run), so a raw message
+       that already hits the table must itself be digit-free — its
+       normalization is the identity and can be skipped. Messages
+       that do need normalizing reuse one per-detector buffer instead
+       of allocating a fresh one per false positive. *)
+    if Hashtbl.mem t.fp_signatures msg then False_positive msg
+    else begin
+      let signature =
+        let buf = t.fp_buf in
+        Buffer.clear buf;
+        let prev_digit = ref false in
+        String.iter
+          (fun c ->
+            let is_digit = c >= '0' && c <= '9' in
+            if is_digit then begin
+              if not !prev_digit then Buffer.add_char buf '#'
+            end
+            else Buffer.add_char buf c;
+            prev_digit := is_digit)
+          msg;
+        Buffer.contents buf
+      in
+      if not (Hashtbl.mem t.fp_signatures signature) then begin
+        Hashtbl.add t.fp_signatures signature ();
+        Telemetry.fp_event t.tel ~dialect ~signature
+      end;
+      False_positive msg
+    end
+  | `Crashed spec ->
+    restart t;
+    count_stage t spec.Fault.stage;
+    if Hashtbl.mem t.sites spec.Fault.site then begin
+      t.dup_crashes <- t.dup_crashes + 1;
+      Dup_bug spec
+    end
+    else begin
+      Hashtbl.add t.sites spec.Fault.site ();
+      t.found <-
+        { spec; found_by = pattern; poc = poc (); case_number }
+        :: t.found;
+      Telemetry.bug_event t.tel ~dialect ~site:spec.Fault.site
+        ~kind:(Bug_kind.to_string spec.Fault.kind)
+        ~pattern:pat ~case_number;
+      New_bug spec
+    end
+  | `Blown ->
+    restart t;
+    count_stage t Fault.Execute;
+    t.known_crashes <- t.known_crashes + 1;
+    Known_crash "stack exhausted (CVE-2015-5289 class)"
+
 (* [poc] is rendered lazily: pretty-printing every generated statement
    would dominate the runtime, and only crashing statements need SQL.
    [case_number] overrides the detector-local execution index — shard
@@ -182,67 +251,7 @@ let classify t ?pattern ?case_number ~poc run =
   let verdict =
     Telemetry.with_span t.tel ~dialect ~pattern:pat "detect" @@ fun () ->
     Profile.with_phase t.xprof Profile.Classify @@ fun () ->
-    match outcome with
-    | `Res (Ok _) ->
-      t.passed <- t.passed + 1;
-      Passed
-    | `Res (Error (Engine.Parse_failed msg) | Error (Engine.Sql_failed msg)) ->
-      t.clean_errors <- t.clean_errors + 1;
-      Clean_error msg
-    | `Res (Error (Engine.Limit_hit msg)) ->
-      t.false_positives <- t.false_positives + 1;
-      (* the paper counts unique false-positive *reports*; dedupe on the
-         message with digits normalized out. Stored signatures are
-         digit-free ('#' stands for every digit run), so a raw message
-         that already hits the table must itself be digit-free — its
-         normalization is the identity and can be skipped. Messages
-         that do need normalizing reuse one per-detector buffer instead
-         of allocating a fresh one per false positive. *)
-      if Hashtbl.mem t.fp_signatures msg then False_positive msg
-      else begin
-        let signature =
-          let buf = t.fp_buf in
-          Buffer.clear buf;
-          let prev_digit = ref false in
-          String.iter
-            (fun c ->
-              let is_digit = c >= '0' && c <= '9' in
-              if is_digit then begin
-                if not !prev_digit then Buffer.add_char buf '#'
-              end
-              else Buffer.add_char buf c;
-              prev_digit := is_digit)
-            msg;
-          Buffer.contents buf
-        in
-        if not (Hashtbl.mem t.fp_signatures signature) then begin
-          Hashtbl.add t.fp_signatures signature ();
-          Telemetry.fp_event t.tel ~dialect ~signature
-        end;
-        False_positive msg
-      end
-    | `Crashed spec ->
-      restart t;
-      count_stage t spec.Fault.stage;
-      if Hashtbl.mem t.sites spec.Fault.site then begin
-        t.dup_crashes <- t.dup_crashes + 1;
-        Dup_bug spec
-      end
-      else begin
-        Hashtbl.add t.sites spec.Fault.site ();
-        t.found <-
-          { spec; found_by = pattern; poc = poc (); case_number }
-          :: t.found;
-        Telemetry.bug_event t.tel ~dialect ~site:spec.Fault.site
-          ~kind:(Bug_kind.to_string spec.Fault.kind)
-          ~pattern:pat ~case_number;
-        New_bug spec
-      end
-    | `Blown ->
-      restart t;
-      count_stage t Fault.Execute;
-      t.known_crashes <- t.known_crashes + 1;
-      Known_crash "stack exhausted (CVE-2015-5289 class)"
+    settle t ~pattern ~pat ~dialect ~case_number ~poc outcome
   in
   Telemetry.count_verdict t.tel ~dialect ~pattern:pat ~case_number
     (verdict_class verdict);
@@ -522,6 +531,166 @@ let run_scenario t ?case_number (sc : Patterns.scenario) =
           if admit then Verdict_cache.add cache ~fp stmts (to_cached verdict);
           verdict)
      | None -> execute ())
+
+(* ----- slot-stream batched execution -----
+
+   One batch = one skeleton-sharing case family. The per-case fixed
+   overhead the unbatched path pays n times — telemetry span entry,
+   plan-cache probe (skeleton fingerprint + structural verify), the
+   memo/compile partition decision, full slot refill, and a fresh PoC
+   closure per case — is paid once here; the member loop is
+   fill-window → eval → settle. Soundness: within a batch the probed
+   skeleton, the partition decision, and the non-window slots are
+   constant by construction (that is what makes it a family), so
+   hoisting them cannot change any member's verdict; and compiled
+   execution is observably identical to interpretation (values,
+   provenance, tick counts, coverage, fault checks — see compile.ml),
+   so members a batch runs compiled where the unbatched run would
+   still have been warming the admission counter classify
+   identically. Member ASTs are never materialized on the hot path;
+   [Patterns.batch_stmt] rebuilds one lazily when a crash needs its
+   PoC, byte-identical to the unbatched pretty-print because the
+   reconstruction is structurally equal to the unbatched statement. *)
+let run_batch t ?case_numbers (b : Patterns.batch) =
+  let n = Patterns.batch_size b in
+  if n > 0 then begin
+    Telemetry.batch_flush t.tel ~cases:n;
+    let pattern = b.Patterns.b_pattern in
+    let pat = Pattern_id.to_string pattern in
+    let dialect = t.prof.Dialect.id in
+    let number i =
+      match case_numbers with Some a -> Some a.(i) | None -> None
+    in
+    match t.plans with
+    | None ->
+      (* --no-compile: the interpreter path memoizes (the partition
+         gives these families to the verdict cache when there is no
+         plan cache), so members take the classic per-case route *)
+      List.iteri
+        (fun i vec ->
+          let stmt = Patterns.batch_stmt b vec in
+          ignore
+            (exec_classified t ~pattern ?case_number:(number i)
+               ~poc:(fun () -> Sqlfun_ast.Sql_pp.stmt stmt)
+               stmt))
+        b.Patterns.b_vecs
+    | Some cache ->
+      let hits k = for _ = 1 to k do Telemetry.compile_hit t.tel done in
+      let fallbacks k =
+        for _ = 1 to k do Telemetry.compile_fallback t.tel done
+      in
+      (* one probe resolves the whole family; the per-member counters
+         mirror what n unbatched probes of an admitted family record *)
+      let plan =
+        Profile.with_phase t.xprof Profile.Plan @@ fun () ->
+        let compiled =
+          match
+            Compile.Cache.get_batched cache
+              ~registry:(Engine.registry t.engine) ~count:n
+              b.Patterns.b_skeleton
+          with
+          | Compile.Cache.Skip ->
+            fallbacks n;
+            None
+          | Compile.Cache.Found c ->
+            hits n;
+            Some c
+          | Compile.Cache.Added c ->
+            Telemetry.compile_miss t.tel;
+            hits (n - 1);
+            Some c
+        in
+        match compiled with
+        | None -> None
+        | Some Compile.Fallback ->
+          fallbacks n;
+          None
+        | Some (Compile.Plan plan) ->
+          if Compile.n_slots plan <> Array.length b.Patterns.b_slots then begin
+            (* traversal disagreement would mean a skeleton bug; never
+               let it corrupt a verdict — run the interpreter instead *)
+            fallbacks n;
+            None
+          end
+          else Some plan
+      in
+      (match plan with
+       | None ->
+         (* unadmitted or uncompilable family: interpret members one by
+            one. The memo probe is skipped exactly as the unbatched
+            partition skips it — with the plan cache on, a
+            skeleton-sharing family is the compiler's. *)
+         List.iteri
+           (fun i vec ->
+             let stmt = Patterns.batch_stmt b vec in
+             ignore
+               (classify t ~pattern ?case_number:(number i)
+                  ~poc:(fun () -> Sqlfun_ast.Sql_pp.stmt stmt)
+                  (fun () -> Engine.exec_stmt t.engine stmt)))
+           b.Patterns.b_vecs
+       | Some plan ->
+         let nslots = Array.length b.Patterns.b_slots in
+         if Array.length t.slot_buf < nslots then
+           t.slot_buf <-
+             Array.make
+               (Stdlib.max nslots (2 * Array.length t.slot_buf))
+               Sqlfun_ast.Ast.Null;
+         let buf = t.slot_buf in
+         (* constant slots land once; the member loop only rewrites the
+            varying window *)
+         Array.blit b.Patterns.b_slots 0 buf 0 nslots;
+         (* one PoC closure for the whole batch: it reads the member
+            vector out of [cur], so clean cases allocate nothing *)
+         let cur = ref b.Patterns.b_slots in
+         let poc () = Sqlfun_ast.Sql_pp.stmt (Patterns.batch_stmt b !cur) in
+         (* the verdict-counter row and the profiler's root record are
+            keyed by dialect x pattern, both constant across the batch:
+            resolve them once instead of probing string-keyed tables
+            per member *)
+         let vrow = Telemetry.verdict_counter t.tel ~dialect ~pattern:pat in
+         let root = Profile.root_stats t.xprof in
+         Telemetry.with_span t.tel ~dialect ~pattern:pat "execute"
+           (fun () ->
+             List.iteri
+               (fun i vec ->
+                 t.executed <- t.executed + 1;
+                 let case_number =
+                   match case_numbers with
+                   | Some a -> a.(i)
+                   | None -> t.executed
+                 in
+                 (* [t.engine] is re-read each member: a crash restart
+                    replaces it mid-batch, and the plan stays valid
+                    because registries are static per-dialect data *)
+                 Sqlfun_functions.Fn_ctx.reset_session
+                   (Engine.context t.engine);
+                 Array.blit vec 0 buf b.Patterns.b_lo b.Patterns.b_n;
+                 (* the root attribution frame covers the engine
+                    round-trip only, exactly like [classify]'s —
+                    widening it over the verdict bookkeeping would
+                    deflate the attribution ratio *)
+                 Profile.enter_with t.xprof root Profile.Other;
+                 let outcome =
+                   match Engine.exec_compiled t.engine plan buf with
+                   | r ->
+                     Profile.exit t.xprof;
+                     `Res r
+                   | exception Fault.Crash spec ->
+                     Profile.exit t.xprof;
+                     `Crashed spec
+                   | exception Stack_overflow ->
+                     Profile.exit t.xprof;
+                     `Blown
+                 in
+                 cur := vec;
+                 let verdict =
+                   settle t ~pattern:(Some pattern) ~pat ~dialect
+                     ~case_number ~poc outcome
+                 in
+                 Telemetry.count_verdict_row t.tel vrow ~dialect
+                   ~pattern:pat ~case_number (verdict_class verdict))
+               b.Patterns.b_vecs))
+  end
 
 let run_cases t ?budget cases =
   let limit = match budget with Some b -> b | None -> max_int in

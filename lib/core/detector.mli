@@ -113,6 +113,21 @@ val run_scenario : t -> ?case_number:int -> Patterns.scenario -> verdict
     engine). Stateful scenarios are memoized under
     {!Sqlfun_ast.Ast_util.fingerprint_stmts} over the whole list. *)
 
+val run_batch : t -> ?case_numbers:int array -> Patterns.batch -> unit
+(** Execute one skeleton-sharing family as a batch: the telemetry
+    span, plan-cache probe and memo/compile partition are resolved
+    once, and the member loop is fill-window → eval → classify, with
+    no statement ASTs materialized and one PoC closure for the whole
+    batch. Verdicts, counters, bug records, fault sites and coverage
+    are bit-identical to running the members through {!run_case} —
+    the decisions hoisted out of the loop are constant across a
+    family by construction, and compiled execution is observably
+    identical to interpretation. Families without a usable plan
+    (unadmitted, uncompilable, or [compile:false]) fall back to
+    per-member execution, reconstructing each AST lazily.
+    [case_numbers.(i)] overrides member [i]'s global case number,
+    exactly like [case_number] on {!run_case}. *)
+
 val run_cases : t -> ?budget:int -> Patterns.case Seq.t -> int
 (** Executes cases until the sequence or the budget is exhausted; returns
     the number executed. *)

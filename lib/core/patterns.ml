@@ -132,26 +132,26 @@ let literal_arg_variants stmt ci (c : Ast.call) ai variants_of =
          variants)
   | None -> []
 
+let p1_3_variants_of = function
+  | Ast.Str_lit s when s <> "" ->
+    List.map (fun s' -> Ast.Str_lit s') (splice_digits s)
+  | Ast.Int_lit s -> List.map (fun s' -> Ast.Int_lit s') (splice_into_number s)
+  | Ast.Dec_lit s -> List.map (fun s' -> Ast.Dec_lit s') (splice_into_number s)
+  | _ -> []
+
 let p1_3 seeds =
   over_positions seeds (fun ~stmt ~origin ~ci ~ai ~call ->
-      let variants_of = function
-        | Ast.Str_lit s when s <> "" ->
-          List.map (fun s' -> Ast.Str_lit s') (splice_digits s)
-        | Ast.Int_lit s -> List.map (fun s' -> Ast.Int_lit s') (splice_into_number s)
-        | Ast.Dec_lit s -> List.map (fun s' -> Ast.Dec_lit s') (splice_into_number s)
-        | _ -> []
-      in
-      seq_of_list (literal_arg_variants stmt ci call ai variants_of)
+      seq_of_list (literal_arg_variants stmt ci call ai p1_3_variants_of)
       |> Seq.map (fun stmt' -> case Pattern_id.P1_3 origin stmt'))
+
+let p1_4_variants_of = function
+  | Ast.Str_lit s when s <> "" ->
+    List.map (fun s' -> Ast.Str_lit s') (duplicate_chars s)
+  | _ -> []
 
 let p1_4 seeds =
   over_positions seeds (fun ~stmt ~origin ~ci ~ai ~call ->
-      let variants_of = function
-        | Ast.Str_lit s when s <> "" ->
-          List.map (fun s' -> Ast.Str_lit s') (duplicate_chars s)
-        | _ -> []
-      in
-      seq_of_list (literal_arg_variants stmt ci call ai variants_of)
+      seq_of_list (literal_arg_variants stmt ci call ai p1_4_variants_of)
       |> Seq.map (fun stmt' -> case Pattern_id.P1_4 origin stmt'))
 
 let p2_1 seeds =
@@ -204,18 +204,47 @@ let is_literal_expr = function
     true
   | _ -> false
 
+let p2_3_donor_arglists seeds =
+  List.filter_map
+    (fun (c : Ast.call) ->
+      if c.Ast.args <> [] && List.for_all is_literal_expr c.Ast.args then
+        Some c.Ast.args
+      else None)
+    (Collector.donors seeds)
+
+(* The replacement-call variants one receiver admits, in donor order:
+   each donor list truncated to the receiver's maximum arity, missing
+   positions keeping the receiver's original arguments, no-op and
+   empty substitutions dropped. *)
+let p2_3_variants_of spec (c : Ast.call) donor_arglists =
+  List.filter_map
+    (fun donor_args ->
+      let max_n =
+        match spec.Func_sig.max_args with
+        | Some mx -> mx
+        | None -> List.length donor_args
+      in
+      let rec take n = function
+        | [] -> []
+        | _ when n = 0 -> []
+        | x :: rest -> x :: take (n - 1) rest
+      in
+      let taken = take max_n donor_args in
+      let rec drop n = function
+        | l when n = 0 -> l
+        | [] -> []
+        | _ :: rest -> drop (n - 1) rest
+      in
+      let args = taken @ drop (List.length taken) c.Ast.args in
+      if args = c.Ast.args || args = [] then None
+      else Some (Ast.Call { c with args }))
+    donor_arglists
+
 let p2_3 ~registry seeds =
   (* Only literal argument lists migrate between functions: P2.3 is about
      *format* mismatch of plain values (a date string landing in a JSON
      slot); nested calls as arguments are P3.3's territory. *)
-  let donor_arglists =
-    List.filter_map
-      (fun (c : Ast.call) ->
-        if c.Ast.args <> [] && List.for_all is_literal_expr c.Ast.args then
-          Some c.Ast.args
-        else None)
-      (Collector.donors seeds)
-  in
+  let donor_arglists = p2_3_donor_arglists seeds in
   seq_of_list seeds
   |> Seq.concat_map (fun (seed : Collector.seed) ->
          let stmt = seed.Collector.stmt in
@@ -228,58 +257,38 @@ let p2_3 ~registry seeds =
                   match Registry.find registry c.Ast.fname with
                   | None -> Seq.empty
                   | Some spec ->
-                    seq_of_list donor_arglists
-                    |> Seq.filter_map (fun donor_args ->
-                           let max_n =
-                             match spec.Func_sig.max_args with
-                             | Some mx -> mx
-                             | None -> List.length donor_args
-                           in
-                           let rec take n = function
-                             | [] -> []
-                             | _ when n = 0 -> []
-                             | x :: rest -> x :: take (n - 1) rest
-                           in
-                           let taken = take max_n donor_args in
-                           let rec drop n = function
-                             | l when n = 0 -> l
-                             | [] -> []
-                             | _ :: rest -> drop (n - 1) rest
-                           in
-                           let args = taken @ drop (List.length taken) c.Ast.args in
-                           if args = c.Ast.args || args = [] then None
-                           else
-                             Ast_util.replace_nth_call stmt ci
-                               (Ast.Call { c with args })
-                             |> Option.map (fun stmt' ->
-                                    case Pattern_id.P2_3 origin stmt')))
+                    seq_of_list (p2_3_variants_of spec c donor_arglists)
+                    |> Seq.filter_map (fun repl ->
+                           Ast_util.replace_nth_call stmt ci repl
+                           |> Option.map (fun stmt' ->
+                                  case Pattern_id.P2_3 origin stmt')))
          end)
+
+let p3_1_variants_of = function
+  | Ast.Str_lit s when s <> "" ->
+    let prefixes =
+      List.sort_uniq compare
+        [
+          String.sub s 0 1;
+          String.sub s 0 (Stdlib.min 2 (String.length s));
+          String.sub s 0 (Stdlib.min 3 (String.length s));
+        ]
+    in
+    List.concat_map
+      (fun prefix ->
+        List.map
+          (fun count ->
+            Ast.call "REPEAT"
+              [ Ast.Str_lit prefix; Ast.Int_lit (string_of_int count) ])
+          Boundary_pool.repeat_counts)
+      prefixes
+  | _ -> []
 
 let p3_1 seeds =
   over_positions seeds (fun ~stmt ~origin ~ci ~ai ~call ->
-      let variants_of = function
-        | Ast.Str_lit s when s <> "" ->
-          let prefixes =
-            List.sort_uniq compare
-              [
-                String.sub s 0 1;
-                String.sub s 0 (Stdlib.min 2 (String.length s));
-                String.sub s 0 (Stdlib.min 3 (String.length s));
-              ]
-          in
-          List.concat_map
-            (fun prefix ->
-              List.map
-                (fun count ->
-                  Ast.call "REPEAT"
-                    [ Ast.Str_lit prefix; Ast.Int_lit (string_of_int count) ])
-                Boundary_pool.repeat_counts)
-            prefixes
-        | _ -> []
-      in
       if not (small_stmt stmt) then Seq.empty
       else
-        seq_of_list (literal_arg_variants stmt ci call ai variants_of)
+        seq_of_list (literal_arg_variants stmt ci call ai p3_1_variants_of)
         |> Seq.map (fun stmt' -> case Pattern_id.P3_1 origin stmt'))
 
 (* Wrappers for P3.2: any scalar function that accepts one argument. *)
@@ -584,3 +593,244 @@ let count_scenario_positions scenarios =
   Seq.fold_left
     (fun acc sc -> acc + List.length (positions sc.case.stmt))
     0 scenarios
+
+(* ----- slot-stream batches -----
+
+   For the skeleton-sharing families (P1.1–P1.4, P2.3, P3.1) every
+   case at one (seed, position) differs from its siblings only in a
+   contiguous window of literal slots. A batch carries the family
+   once — one skeleton statement, its full slot vector, the varying
+   window — plus one small literal vector per case, so the executor
+   can resolve the plan and the memo/compile partition once and run
+   the whole family as fill-window → eval → classify. Any member's
+   full AST is recoverable on demand ([batch_stmt]), and flattening a
+   work stream back to cases ([work_cases]) reproduces the unbatched
+   generator's stream element for element — the equivalence the
+   property tests pin down. *)
+
+type batch = {
+  b_pattern : Pattern_id.t;
+  b_origin : string;
+  b_skeleton : Ast.stmt;  (** first member's full statement *)
+  b_slots : Ast.expr array;  (** [Ast_util.fold_slots] of the skeleton *)
+  b_lo : int;  (** varying window start in [b_slots] *)
+  b_n : int;  (** varying window width *)
+  b_vecs : Ast.expr array list;  (** one window vector per case, in order *)
+}
+
+type work = Single of scenario | Batched of batch
+
+let batch_size b = List.length b.b_vecs
+let work_size = function Single _ -> 1 | Batched b -> batch_size b
+
+let batch_stmt b vec =
+  let slots = Array.copy b.b_slots in
+  Array.blit vec 0 slots b.b_lo b.b_n;
+  Ast_util.subst_slots b.b_skeleton slots
+
+let batch_case b vec =
+  { stmt = batch_stmt b vec; pattern = b.b_pattern; origin = b.b_origin }
+
+let batch_cases b = Seq.map (batch_case b) (List.to_seq b.b_vecs)
+
+let work_cases = function
+  | Single sc -> Seq.return sc.case
+  | Batched b -> batch_cases b
+
+let split_batch b k =
+  let rec take_drop k acc = function
+    | rest when k = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | v :: rest -> take_drop (k - 1) (v :: acc) rest
+  in
+  let first, rest = take_drop k [] b.b_vecs in
+  ({ b with b_vecs = first }, { b with b_vecs = rest })
+
+(* A literal no real case ever contains, used to locate one position's
+   slot window: build the statement once with the sentinel spliced in,
+   then find it in the slot fold by physical identity. *)
+let batch_sentinel = Ast.Str_lit "\000soft-batch-sentinel\000"
+
+(* Turn one position's variant list into work items: maximal runs of
+   consecutive same-shaped variants become batches, everything else
+   (subquery-carrying variants, leafless variants like [Star], shape
+   changes, window mismatches) falls back to singleton cases built
+   exactly as the unbatched generator would. [build] is the
+   substitution the unbatched generator applies per variant; it either
+   always succeeds or always fails for a given position, so probing it
+   with the sentinel is sound. *)
+let batched_position ~pattern ~origin ~build (variants : Ast.expr list) :
+    work list =
+  let mk v =
+    match build v with
+    | Some stmt -> Some (Single (stateless (case pattern origin stmt)))
+    | None -> None
+  in
+  let singles vs = List.filter_map mk vs in
+  match build batch_sentinel with
+  | None -> []
+  | Some rep ->
+    let lo, _ =
+      Ast_util.fold_slots
+        (fun (lo, n) s ->
+          ((if s == batch_sentinel then n else lo), n + 1))
+        (-1, 0) rep
+    in
+    if lo < 0 then singles variants
+    else begin
+      (* [out] and [group] accumulate in reverse *)
+      let flush_group members out =
+        match members with
+        | [] -> out
+        | [ (v, _) ] -> (
+          match mk v with Some w -> w :: out | None -> out)
+        | (v1, leaves1) :: _ -> (
+          let fallback () =
+            List.rev_append (singles (List.map fst members)) out
+          in
+          match build v1 with
+          | None -> fallback ()
+          | Some skeleton ->
+            let slots =
+              Array.of_list
+                (List.rev
+                   (Ast_util.fold_slots (fun acc s -> s :: acc) [] skeleton))
+            in
+            let k = List.length leaves1 in
+            (* the window must be exactly v1's leaves: [build] splices
+               the variant subtree in by reference, so physical
+               equality both checks contiguity and guards against a
+               substitution that copied nodes *)
+            let window_ok =
+              lo + k <= Array.length slots
+              && (let ok = ref true and i = ref lo in
+                  List.iter
+                    (fun leaf ->
+                      if not (slots.(!i) == leaf) then ok := false;
+                      incr i)
+                    leaves1;
+                  !ok)
+            in
+            if not window_ok then fallback ()
+            else
+              Batched
+                {
+                  b_pattern = pattern;
+                  b_origin = origin;
+                  b_skeleton = skeleton;
+                  b_slots = slots;
+                  b_lo = lo;
+                  b_n = k;
+                  b_vecs =
+                    List.map (fun (_, ls) -> Array.of_list ls) members;
+                }
+              :: out)
+      in
+      let out = ref [] and group = ref [] and shape = ref None in
+      let flush () =
+        out := flush_group (List.rev !group) !out;
+        group := [];
+        shape := None
+      in
+      List.iter
+        (fun v ->
+          match Ast_util.expr_slots v with
+          | None | Some [] ->
+            flush ();
+            (match mk v with Some w -> out := w :: !out | None -> ())
+          | Some leaves -> (
+            match !shape with
+            | Some s when Ast_util.equal_skeleton_expr s v ->
+              group := (v, leaves) :: !group
+            | _ ->
+              flush ();
+              shape := Some v;
+              group := [ (v, leaves) ]))
+        variants;
+      flush ();
+      List.rev !out
+    end
+
+let p1_1_work () =
+  let lits =
+    List.filter (fun l -> l <> Ast.Star) (Boundary_pool.all ())
+  in
+  List.to_seq
+    (batched_position ~pattern:Pattern_id.P1_1 ~origin:"pool"
+       ~build:(fun v -> Some (Ast.select_expr v))
+       lits)
+
+let p1_2_work seeds =
+  over_positions seeds (fun ~stmt ~origin ~ci ~ai ~call ->
+      List.to_seq
+        (batched_position ~pattern:Pattern_id.P1_2 ~origin
+           ~build:(fun v -> with_arg stmt ci call ai (fun _ -> Some v))
+           (Boundary_pool.all ())))
+
+let literal_variants_work ~pattern ~guard seeds variants_of =
+  over_positions seeds (fun ~stmt ~origin ~ci ~ai ~call ->
+      if not (guard stmt) then Seq.empty
+      else
+        match List.nth_opt call.Ast.args ai with
+        | None -> Seq.empty
+        | Some arg -> (
+          match variants_of arg with
+          | [] -> Seq.empty
+          | variants ->
+            List.to_seq
+              (batched_position ~pattern ~origin
+                 ~build:(fun v -> with_arg stmt ci call ai (fun _ -> Some v))
+                 variants)))
+
+let p1_3_work seeds =
+  literal_variants_work ~pattern:Pattern_id.P1_3
+    ~guard:(fun _ -> true)
+    seeds p1_3_variants_of
+
+let p1_4_work seeds =
+  literal_variants_work ~pattern:Pattern_id.P1_4
+    ~guard:(fun _ -> true)
+    seeds p1_4_variants_of
+
+let p3_1_work seeds =
+  literal_variants_work ~pattern:Pattern_id.P3_1 ~guard:small_stmt seeds
+    p3_1_variants_of
+
+let p2_3_work ~registry seeds =
+  let donor_arglists = p2_3_donor_arglists seeds in
+  seq_of_list seeds
+  |> Seq.concat_map (fun (seed : Collector.seed) ->
+         let stmt = seed.Collector.stmt in
+         if not (small_stmt stmt) then Seq.empty
+         else begin
+           let origin = Sql_pp.stmt stmt in
+           let calls = Ast_util.function_calls stmt in
+           seq_of_list (List.mapi (fun ci c -> (ci, c)) calls)
+           |> Seq.concat_map (fun (ci, (c : Ast.call)) ->
+                  match Registry.find registry c.Ast.fname with
+                  | None -> Seq.empty
+                  | Some spec ->
+                    List.to_seq
+                      (batched_position ~pattern:Pattern_id.P2_3 ~origin
+                         ~build:(fun v -> Ast_util.replace_nth_call stmt ci v)
+                         (p2_3_variants_of spec c donor_arglists)))
+         end)
+
+let generate_work ?telemetry ~registry ~seeds pattern : work Seq.t =
+  let works =
+    match pattern with
+    | Pattern_id.P1_1 -> p1_1_work ()
+    | Pattern_id.P1_2 -> p1_2_work seeds
+    | Pattern_id.P1_3 -> p1_3_work seeds
+    | Pattern_id.P1_4 -> p1_4_work seeds
+    | Pattern_id.P2_3 -> p2_3_work ~registry seeds
+    | Pattern_id.P3_1 -> p3_1_work seeds
+    | (Pattern_id.P2_1 | Pattern_id.P2_2 | Pattern_id.P3_2 | Pattern_id.P3_3)
+      as p ->
+      Seq.map (fun c -> Single (stateless c)) (generate ~registry ~seeds p)
+  in
+  match telemetry with
+  | None -> works
+  | Some t ->
+    Sqlfun_telemetry.Telemetry.time_seq t
+      ~pattern:(Pattern_id.to_string pattern) ~stage:"generate" works

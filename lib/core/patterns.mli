@@ -66,3 +66,55 @@ val count_scenario_positions : scenario Seq.t -> int
 (** Substitution slots across the scenario probes (INSERT/WHERE
     expression positions included) — the stateful share of the CLI
     "positions" line. Forces the sequence. *)
+
+(** A slot-stream batch: one case family that shares a skeleton —
+    every member differs from [b_skeleton] only in the literal window
+    [b_lo, b_lo + b_n) of its {!Ast_util.fold_slots} vector. The
+    executor resolves the compiled plan and the memo/compile partition
+    once per batch and runs members as fill-window → eval → classify;
+    any member's full AST is recoverable with {!batch_stmt}. *)
+type batch = {
+  b_pattern : Pattern_id.t;
+  b_origin : string;
+  b_skeleton : Ast.stmt;  (** first member's full statement *)
+  b_slots : Ast.expr array;  (** [Ast_util.fold_slots] of the skeleton *)
+  b_lo : int;  (** varying window start in [b_slots] *)
+  b_n : int;  (** varying window width *)
+  b_vecs : Ast.expr array list;  (** one window vector per case, in order *)
+}
+
+(** The batched unit of work: a singleton scenario or a whole family. *)
+type work = Single of scenario | Batched of batch
+
+val batch_size : batch -> int
+val work_size : work -> int
+
+val batch_stmt : batch -> Ast.expr array -> Ast.stmt
+(** [batch_stmt b vec] reconstructs one member's full statement from
+    the skeleton and its window vector — structurally equal to what
+    the unbatched generator emitted for that member. Only called off
+    the hot path: PoC pretty-printing, compile fallback, tests. *)
+
+val batch_cases : batch -> case Seq.t
+(** All members reconstructed, in stream order. *)
+
+val work_cases : work -> case Seq.t
+(** Flatten one work item back to the unbatched case stream. *)
+
+val split_batch : batch -> int -> batch * batch
+(** [split_batch b k] splits the member list at [k] (clamped), sharing
+    the skeleton — how the sharded producer cuts a family at a budget
+    or shard boundary without re-deriving it. *)
+
+val generate_work :
+  ?telemetry:Sqlfun_telemetry.Telemetry.t ->
+  registry:Registry.t ->
+  seeds:Collector.seed list ->
+  Pattern_id.t ->
+  work Seq.t
+(** {!generate}, batched: the skeleton-sharing families (P1.1–P1.4,
+    P2.3, P3.1) arrive as [Batched] runs of consecutive same-shaped
+    variants, everything else as [Single] items. Flattening with
+    {!work_cases} reproduces {!generate}'s stream element for element
+    — same statements, same order — which is what keeps batched
+    campaigns bit-identical to [--no-batch]. *)

@@ -229,6 +229,10 @@ let campaign_to_json (r : Soft_runner.result) =
          construction/spill counts vary with the [--no-compact] knob
          while verdicts and bugs do not *)
       ("compact", Telemetry.compact_to_json r.Soft_runner.telemetry);
+      (* batched-execution counters are throughput metadata too: flush
+         and member counts vary with the [--no-batch] knob and with
+         budget-share splits while verdicts and bugs do not *)
+      ("batch", Telemetry.batch_to_json r.Soft_runner.telemetry);
       ( "stages",
         Json.Arr (List.map Telemetry.stage_timing_to_json r.Soft_runner.timings)
       );

@@ -48,20 +48,35 @@ let split_budget b n =
     List.init n (fun i -> if i < extra then base + 1 else base)
   end
 
-(* [drain_share emit cases n] forces up to [n] cases through [emit];
-   returns how many were emitted and the unconsumed rest of the stream
-   ([None] when the stream ran dry). *)
-let drain_share emit cases n =
-  let rec go cases taken =
-    if taken >= n then (taken, Some cases)
+(* [drain_share emit works n] forces work items through [emit] until
+   exactly [n] cases have been emitted; returns how many were emitted
+   and the unconsumed rest of the stream ([None] when the stream ran
+   dry). A [Batched] item counts as its member count; one that would
+   overshoot the share is split at the boundary and its tail becomes
+   the stream's next item, so budget shares cut families at exactly
+   the same case index the unbatched enumeration would have stopped
+   at. *)
+let drain_share emit works n =
+  let rec go works taken =
+    if taken >= n then (taken, Some works)
     else
-      match Seq.uncons cases with
+      match Seq.uncons works with
       | None -> (taken, None)
-      | Some (c, rest) ->
-        emit c;
-        go rest (taken + 1)
+      | Some (w, rest) ->
+        let size = Patterns.work_size w in
+        if taken + size <= n then begin
+          emit w;
+          go rest (taken + size)
+        end
+        else
+          (match w with
+           | Patterns.Single _ -> assert false (* size 1 always fits *)
+           | Patterns.Batched b ->
+             let head, tail = Patterns.split_batch b (n - taken) in
+             emit (Patterns.Batched head);
+             (n, Some (Seq.cons (Patterns.Batched tail) rest)))
   in
-  go cases 0
+  go works 0
 
 (* The budgeted enumeration both the sequential and the sharded path
    share — they MUST emit the same stream in the same order, or sharding
@@ -151,25 +166,35 @@ let count_all_positions ~registry ~seeds ~stateful =
      else 0)
 
 (* The budgeted streams both paths share: every pattern's stateless
-   cases (wrapped as bare scenarios) in paper order, then — by default —
-   the synthesized stateful stream as an eleventh source. With
-   [stateful:false] the shares revert to exactly the historical
-   stateless split. *)
-let scenario_streams ~tel ~registry ~seeds ~patterns ~stateful =
+   work in paper order, then — by default — the synthesized stateful
+   stream as an eleventh source. With [batch] the skeleton-sharing
+   families arrive as [Patterns.Batched] slot-stream runs; with
+   [batch:false] (and always for the stateful stream, whose scenarios
+   are atomic) every item is a [Single], reproducing the historical
+   per-case enumeration. Flattening either form yields the same cases
+   in the same order, so the two modes execute identical streams. *)
+let work_streams ~tel ~registry ~seeds ~patterns ~stateful ~batch =
   List.map
     (fun p ->
-      Seq.map Patterns.stateless
-        (Patterns.generate ~telemetry:tel ~registry ~seeds p))
+      if batch then Patterns.generate_work ~telemetry:tel ~registry ~seeds p
+      else
+        Seq.map
+          (fun c -> Patterns.Single (Patterns.stateless c))
+          (Patterns.generate ~telemetry:tel ~registry ~seeds p))
     patterns
   @ (if stateful then
-       [ Patterns.generate_scenarios ~telemetry:tel ~registry ~seeds () ]
+       [
+         Seq.map
+           (fun sc -> Patterns.Single sc)
+           (Patterns.generate_scenarios ~telemetry:tel ~registry ~seeds ());
+       ]
      else [])
 
 (* ----- the sequential path (shards = 1) ----- *)
 
 let fuzz_sequential ?budget ?cov ?telemetry ?timeseries
     ?(patterns = Pattern_id.all) ?(memo = true) ?(compile = true)
-    ?(compact = true) ?(stateful = true) prof =
+    ?(compact = true) ?(stateful = true) ?(batch = true) prof =
   let tel = match telemetry with Some t -> t | None -> Telemetry.create () in
   let t0 = Telemetry.now_ns () in
   (* compact hit/spill cells are domain-local; the whole sequential
@@ -209,10 +234,16 @@ let fuzz_sequential ?budget ?cov ?telemetry ?timeseries
             tick ())
           seeds);
     emit_budgeted ~budget
-      ~streams:(scenario_streams ~tel ~registry ~seeds ~patterns ~stateful)
-      ~emit:(fun sc ->
-        ignore (Detector.run_scenario detector sc);
-        tick ());
+      ~streams:(work_streams ~tel ~registry ~seeds ~patterns ~stateful ~batch)
+      ~emit:(function
+        | Patterns.Single sc ->
+          ignore (Detector.run_scenario detector sc);
+          tick ()
+        | Patterns.Batched b ->
+          Detector.run_batch detector b;
+          for _ = 1 to Patterns.batch_size b do
+            tick ()
+          done);
     Option.iter Timeseries.finalize recorder;
     (registry, seeds, detector)
   in
@@ -274,10 +305,16 @@ type shard_work =
   | Gen_scenario of Patterns.scenario
       (* one scenario is one atomic work item: its prerequisites and
          probe never split across shards *)
+  | Gen_batch of Patterns.batch * int array
+      (* one shard's slice of a family batch, paired with each member's
+         global case number: member [i] of the slice is global case
+         [nums.(i)], so merged bug records and verdict events carry the
+         numbers a sequential run would have produced *)
 
 let fuzz_sharded ?budget ?cov ?telemetry ?timeseries
     ?(patterns = Pattern_id.all) ?(memo = true) ?(compile = true)
-    ?(compact = true) ?(stateful = true) ~shards ?jobs prof =
+    ?(compact = true) ?(stateful = true) ?(batch = true) ~shards ?jobs
+    prof =
   let shards = Stdlib.max 1 shards in
   let jobs =
     match jobs with
@@ -350,12 +387,21 @@ let fuzz_sharded ?budget ?cov ?telemetry ?timeseries
               let _, det, recorder =
                 List.find (fun (s', _, _) -> s' = s) dets
               in
-              ignore
-                (match work with
-                 | Seed_stmt stmt -> Detector.run_stmt det ~case_number stmt
-                 | Gen_scenario sc -> Detector.run_scenario det ~case_number sc);
-              Progress.tick progress s;
-              Option.iter Timeseries.tick recorder)
+              match work with
+              | Seed_stmt stmt ->
+                ignore (Detector.run_stmt det ~case_number stmt);
+                Progress.tick progress s;
+                Option.iter Timeseries.tick recorder
+              | Gen_scenario sc ->
+                ignore (Detector.run_scenario det ~case_number sc);
+                Progress.tick progress s;
+                Option.iter Timeseries.tick recorder
+              | Gen_batch (b, nums) ->
+                Detector.run_batch det ~case_numbers:nums b;
+                for _ = 1 to Array.length nums do
+                  Progress.tick progress s;
+                  Option.iter Timeseries.tick recorder
+                done)
             chunk;
           drain ()
       in
@@ -371,6 +417,41 @@ let fuzz_sharded ?budget ?cov ?telemetry ?timeseries
         let s = (n - 1) mod shards in
         Chunk_queue.push queues.(s mod jobs) (n, s, work)
       in
+      (* a family batch reserves one global number per member and is
+         split by shard exactly as the per-case dispatch would have
+         split its members: member at global index [n] goes to shard
+         [(n - 1) mod shards]. Each shard receives its slice as one
+         queue item (pushed while [next] is frozen past the family, so
+         per-shard FIFO order equals global order), keeping the
+         one-probe-per-batch economics on every shard. *)
+      let dispatch_batch (b : Patterns.batch) =
+        let m = Patterns.batch_size b in
+        let n0 = !next + 1 in
+        next := !next + m;
+        if shards = 1 then
+          Chunk_queue.push queues.(0)
+            (n0, 0, Gen_batch (b, Array.init m (fun i -> n0 + i)))
+        else begin
+          let per_shard = Array.make shards [] in
+          List.iteri
+            (fun i vec ->
+              let n = n0 + i in
+              let s = (n - 1) mod shards in
+              per_shard.(s) <- (vec, n) :: per_shard.(s))
+            b.Patterns.b_vecs;
+          Array.iteri
+            (fun s members ->
+              match List.rev members with
+              | [] -> ()
+              | (_, first_n) :: _ as members ->
+                let sub = { b with Patterns.b_vecs = List.map fst members } in
+                let nums = Array.of_list (List.map snd members) in
+                Chunk_queue.push
+                  queues.(s mod jobs)
+                  (first_n, s, Gen_batch (sub, nums)))
+            per_shard
+        end
+      in
       (* the queues must close even when generation raises, or the
          workers (and then [shutdown]) would block forever *)
       Fun.protect
@@ -382,8 +463,11 @@ let fuzz_sharded ?budget ?cov ?telemetry ?timeseries
                   dispatch (Seed_stmt seed.Collector.stmt))
                 seeds);
           emit_budgeted ~budget
-            ~streams:(scenario_streams ~tel ~registry ~seeds ~patterns ~stateful)
-            ~emit:(fun sc -> dispatch (Gen_scenario sc)));
+            ~streams:
+              (work_streams ~tel ~registry ~seeds ~patterns ~stateful ~batch)
+            ~emit:(function
+              | Patterns.Single sc -> dispatch (Gen_scenario sc)
+              | Patterns.Batched b -> dispatch_batch b));
       List.map Pool.await handles
     in
     let detectors = Array.make shards None in
@@ -472,21 +556,21 @@ let fuzz_sharded ?budget ?cov ?telemetry ?timeseries
     ~fp_signatures ~known_crashes:(sum Detector.known_crashes) ~bugs
 
 let fuzz ?budget ?cov ?telemetry ?timeseries ?patterns ?memo ?compile
-    ?compact ?stateful ?(shards = 1) ?jobs prof =
+    ?compact ?stateful ?batch ?(shards = 1) ?jobs prof =
   if shards <= 1 then
     fuzz_sequential ?budget ?cov ?telemetry ?timeseries ?patterns ?memo
-      ?compile ?compact ?stateful prof
+      ?compile ?compact ?stateful ?batch prof
   else
     fuzz_sharded ?budget ?cov ?telemetry ?timeseries ?patterns ?memo ?compile
-      ?compact ?stateful ~shards ?jobs prof
+      ?compact ?stateful ?batch ~shards ?jobs prof
 
 let fuzz_all ?budget ?telemetry ?timeseries ?memo ?compile ?compact
-    ?stateful ?(jobs = 1) ?(shards = 1) () =
+    ?stateful ?batch ?(jobs = 1) ?(shards = 1) () =
   if jobs <= 1 then
     List.map
       (fun prof ->
         fuzz ?budget ?telemetry ?timeseries ?memo ?compile ?compact ?stateful
-          ~shards prof)
+          ?batch ~shards prof)
       Dialect.all
   else begin
     (* each campaign records into a private collector on its own domain;
@@ -503,7 +587,7 @@ let fuzz_all ?budget ?telemetry ?timeseries ?memo ?compile ?compact
             (List.map
                (fun prof () ->
                  fuzz ?budget ?timeseries ?memo ?compile ?compact ?stateful
-                   ~shards prof)
+                   ?batch ~shards prof)
                Dialect.all))
     in
     Option.iter

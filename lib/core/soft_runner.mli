@@ -82,6 +82,7 @@ val fuzz :
   ?compile:bool ->
   ?compact:bool ->
   ?stateful:bool ->
+  ?batch:bool ->
   ?shards:int ->
   ?jobs:int ->
   Dialect.profile ->
@@ -103,7 +104,21 @@ val fuzz :
     budget stream; with [stateful:false] the campaign is bit-identical
     to the historical single-statement pipeline (the stateless streams
     never execute DDL/DML as cases, so the parse/storage fault stages
-    are unreachable and every staged counter is zero). Compact construction/spill
+    are unreachable and every staged counter is zero).
+    [batch] (default [true]) streams skeleton-sharing pattern families
+    as slot-stream batches ({!Patterns.generate_work} /
+    {!Detector.run_batch}): one skeleton AST plus slot vectors per
+    family run, with the telemetry span, plan-cache probe and
+    memo/compile partition resolved once per batch instead of once per
+    case. Throughput-only, like the caches: flattened case streams,
+    verdicts, bug lists (case numbers included), FP signatures and
+    coverage are bit-identical to [batch:false] under any combination
+    of the other toggles and any [shards]/[jobs]; batch counters are
+    reported on the collector
+    ({!Sqlfun_telemetry.Telemetry.batch_counts}). Under sharding a
+    family batch is split by member across shards along the same
+    round-robin the per-case dispatch uses, so every shard keeps the
+    one-probe-per-batch economics. Compact construction/spill
     counts are credited to the campaign collector
     ({!Sqlfun_telemetry.Telemetry.compact_counts}) once per campaign
     side (per worker domain under sharding).
@@ -143,6 +158,7 @@ val fuzz_sharded :
   ?compile:bool ->
   ?compact:bool ->
   ?stateful:bool ->
+  ?batch:bool ->
   shards:int ->
   ?jobs:int ->
   Dialect.profile ->
@@ -160,6 +176,7 @@ val fuzz_all :
   ?compile:bool ->
   ?compact:bool ->
   ?stateful:bool ->
+  ?batch:bool ->
   ?jobs:int ->
   ?shards:int ->
   unit ->

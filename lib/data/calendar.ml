@@ -74,8 +74,47 @@ let datetime_of_string s =
      | Some date -> Some { date; time = midnight }
      | None -> None)
 
-let date_to_string d = Printf.sprintf "%04d-%02d-%02d" d.year d.month d.day
-let time_to_string t = Printf.sprintf "%02d:%02d:%02d" t.hour t.minute t.second
+(* Rendering is on the campaign's hot path (every DATE/TIME value a
+   boundary case produces is formatted), so the fixed-width fields are
+   written digit-by-digit into an exact-size byte buffer instead of
+   going through the format-string interpreter. Components outside the
+   fixed widths (never produced by [make_date]/[make_time], but
+   possible on hand-built records) take the sprintf path so the output
+   stays byte-identical to the historical rendering either way. *)
+let two_digits b i n =
+  Bytes.unsafe_set b i (Char.unsafe_chr (Char.code '0' + (n / 10)));
+  Bytes.unsafe_set b (i + 1) (Char.unsafe_chr (Char.code '0' + (n mod 10)))
+
+let date_to_string d =
+  if
+    d.year >= 0 && d.year <= 9999 && d.month >= 0 && d.month <= 99
+    && d.day >= 0 && d.day <= 99
+  then begin
+    let b = Bytes.create 10 in
+    two_digits b 0 (d.year / 100);
+    two_digits b 2 (d.year mod 100);
+    Bytes.unsafe_set b 4 '-';
+    two_digits b 5 d.month;
+    Bytes.unsafe_set b 7 '-';
+    two_digits b 8 d.day;
+    Bytes.unsafe_to_string b
+  end
+  else Printf.sprintf "%04d-%02d-%02d" d.year d.month d.day
+
+let time_to_string t =
+  if
+    t.hour >= 0 && t.hour <= 99 && t.minute >= 0 && t.minute <= 99
+    && t.second >= 0 && t.second <= 99
+  then begin
+    let b = Bytes.create 8 in
+    two_digits b 0 t.hour;
+    Bytes.unsafe_set b 2 ':';
+    two_digits b 3 t.minute;
+    Bytes.unsafe_set b 5 ':';
+    two_digits b 6 t.second;
+    Bytes.unsafe_to_string b
+  end
+  else Printf.sprintf "%02d:%02d:%02d" t.hour t.minute t.second
 
 let datetime_to_string dt =
   date_to_string dt.date ^ " " ^ time_to_string dt.time

@@ -599,7 +599,8 @@ module Cache = struct
         projection
     | _ -> false
 
-  let get t ~registry stmt =
+  let get_batched t ~registry ~count stmt =
+    let count = if count < 1 then 1 else count in
     match t.last with
     | Some e when Ast_util.equal_skeleton e.rep stmt -> Found e.plan
     | _ ->
@@ -621,10 +622,14 @@ module Cache = struct
               t.last <- Some e;
               Found e.plan
             | None ->
+              (* a batch sights its whole family at once: a family of
+                 [count >= 3] members clears the admission bar on its
+                 first probe, exactly as its third unbatched member
+                 would have *)
               let sightings =
                 match Hashtbl.find_opt t.seen fp with
-                | Some n -> n + 1
-                | None -> 1
+                | Some n -> n + count
+                | None -> count
               in
               if sightings >= 3 then begin
                 (* repeat sightings prove the family is worth a plan *)
@@ -638,6 +643,8 @@ module Cache = struct
                 Hashtbl.replace t.seen fp sightings;
                 Skip
               end))
+
+  let get t ~registry stmt = get_batched t ~registry ~count:1 stmt
 
   let size t = Hashtbl.fold (fun _ l acc -> acc + List.length l) t.tbl 0
 end

@@ -132,6 +132,8 @@ let push t stats phase =
   t.depth <- t.depth + 1
 
 let enter_fn t func phase = push t (stats_of t func) phase
+let root_stats t = stats_of t ""
+let enter_with t stats phase = push t stats phase
 
 let enter t phase =
   let stats =

@@ -62,6 +62,22 @@ val exit : t -> unit
     children) to its key and adds its full duration to the parent's
     child account. No-op at depth 0. *)
 
+type fn_stats
+(** A pre-resolved [dialect x function] stats record. The batched
+    member loop opens one root scope per engine round-trip; resolving
+    the anonymous-function record once per batch skips the per-call
+    table probe {!enter} pays at depth 0. *)
+
+val root_stats : t -> fn_stats
+(** The anonymous-function ([""]) record of the current dialect —
+    what a depth-0 {!enter} charges. Re-resolve after
+    {!set_dialect}. *)
+
+val enter_with : t -> fn_stats -> phase -> unit
+(** [enter_with t stats phase] opens a scope charging [stats]
+    directly — observably identical to {!enter} at depth 0 with the
+    same dialect. *)
+
 val with_phase : t -> phase -> (unit -> 'a) -> 'a
 (** Exception-safe [enter]/[exit] pair; the scope closes (and the
     exception is re-raised) when the thunk raises — crashes must

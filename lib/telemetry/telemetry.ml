@@ -289,6 +289,12 @@ type t = {
      Throughput metadata only — never feeds a verdict. *)
   mutable compact_hits : int;
   mutable compact_spills : int;
+  (* batched-execution counters: one flush per family batch the
+     detector ran through the batched hot loop, and how many member
+     cases those batches carried. Throughput metadata only — the
+     determinism diff never includes them. *)
+  mutable batch_flushes : int;
+  mutable batch_cases : int;
   (* sink flushers, run on campaign end and on the crash/restart path so
      abnormal termination cannot truncate a JSONL stream mid-campaign *)
   mutable flushers : (unit -> unit) list;
@@ -308,6 +314,8 @@ let create ?(sink = Null) () =
     compile_fallbacks = 0;
     compact_hits = 0;
     compact_spills = 0;
+    batch_flushes = 0;
+    batch_cases = 0;
     flushers = [];
   }
 
@@ -405,6 +413,18 @@ let count_verdict t ~dialect ~pattern ~case_number verdict =
   | Emit e ->
     e (Verdict { dialect; pattern; verdict; case_number; ts_ns = now_ns () })
 
+type verdict_counter = verdict_row
+
+let verdict_counter t ~dialect ~pattern = verdict_row t ~dialect ~pattern
+
+let count_verdict_row t row ~dialect ~pattern ~case_number verdict =
+  let i = verdict_index verdict in
+  row.counts.(i) <- row.counts.(i) + 1;
+  match t.sink with
+  | Null -> ()
+  | Emit e ->
+    e (Verdict { dialect; pattern; verdict; case_number; ts_ns = now_ns () })
+
 let reclassify_verdict t ~dialect ~pattern ~from_ ~to_ =
   let row = verdict_row t ~dialect ~pattern in
   let i = verdict_index from_ and j = verdict_index to_ in
@@ -461,6 +481,17 @@ type compact_counts = { k_hits : int; k_spills : int }
 let compact_counts t =
   { k_hits = t.compact_hits; k_spills = t.compact_spills }
 
+(* ----- batched-execution counters ----- *)
+
+let batch_flush t ~cases =
+  t.batch_flushes <- t.batch_flushes + 1;
+  t.batch_cases <- t.batch_cases + cases
+
+type batch_counts = { b_flushes : int; b_cases : int }
+
+let batch_counts t =
+  { b_flushes = t.batch_flushes; b_cases = t.batch_cases }
+
 (* ----- merging (shard -> campaign aggregation) ----- *)
 
 let merge_into ~dst src =
@@ -489,7 +520,9 @@ let merge_into ~dst src =
   dst.compile_misses <- dst.compile_misses + src.compile_misses;
   dst.compile_fallbacks <- dst.compile_fallbacks + src.compile_fallbacks;
   dst.compact_hits <- dst.compact_hits + src.compact_hits;
-  dst.compact_spills <- dst.compact_spills + src.compact_spills
+  dst.compact_spills <- dst.compact_spills + src.compact_spills;
+  dst.batch_flushes <- dst.batch_flushes + src.batch_flushes;
+  dst.batch_cases <- dst.batch_cases + src.batch_cases
 
 let merge a b =
   let t = create () in
@@ -630,6 +663,13 @@ let compact_to_json t =
       ("spills", Json.Int t.compact_spills);
     ]
 
+let batch_to_json t =
+  Json.Obj
+    [
+      ("flushes", Json.Int t.batch_flushes);
+      ("cases", Json.Int t.batch_cases);
+    ]
+
 let snapshot_json t =
   Json.Obj
     [
@@ -638,4 +678,5 @@ let snapshot_json t =
       ("memo", memo_to_json t);
       ("compile", compile_to_json t);
       ("compact", compact_to_json t);
+      ("batch", batch_to_json t);
     ]

@@ -146,6 +146,20 @@ val count_verdict :
 (** Bumps the dialect x pattern x class counter and, with a live sink,
     emits a [Verdict] event. *)
 
+type verdict_counter
+(** A pre-resolved dialect x pattern counter row. Both keys are
+    constant across a batch, so the batched member loop resolves the
+    row once and skips the two string-keyed probes {!count_verdict}
+    pays per call. *)
+
+val verdict_counter : t -> dialect:string -> pattern:string -> verdict_counter
+
+val count_verdict_row :
+  t -> verdict_counter -> dialect:string -> pattern:string ->
+  case_number:int -> verdict_class -> unit
+(** Identical observable behaviour to {!count_verdict} on the row's own
+    keys: same counter cell, same [Verdict] event with a live sink. *)
+
 val bug_event :
   t -> dialect:string -> site:string -> kind:string -> pattern:string ->
   case_number:int -> unit
@@ -207,6 +221,15 @@ val compact_add : t -> hits:int -> spills:int -> unit
 type compact_counts = { k_hits : int; k_spills : int }
 
 val compact_counts : t -> compact_counts
+
+val batch_flush : t -> cases:int -> unit
+(** Records one family batch run through the batched executor and the
+    [cases] member cases it carried. Throughput metadata, not
+    determinism-bearing totals — the [--no-batch] diff excludes it. *)
+
+type batch_counts = { b_flushes : int; b_cases : int }
+
+val batch_counts : t -> batch_counts
 
 val reclassify_verdict :
   t ->
@@ -284,10 +307,13 @@ val compile_to_json : t -> Json.t
 val compact_to_json : t -> Json.t
 (** [{"hits": ..., "spills": ...}]. *)
 
+val batch_to_json : t -> Json.t
+(** [{"flushes": ..., "cases": ...}]. *)
+
 val snapshot_json : t -> Json.t
 (** [{"stages": ..., "verdicts": ..., "memo": ..., "compile": ...,
-    "compact": ...}] — the generic part of a campaign snapshot; callers
-    add their own run-level fields. *)
+    "compact": ..., "batch": ...}] — the generic part of a campaign
+    snapshot; callers add their own run-level fields. *)
 
 (** {1 Histograms}
 

@@ -112,6 +112,55 @@ let prop_add_days_inverse =
          | None -> true (* left the supported range; nothing to check *)
          | Some d2 -> Calendar.diff_days d2 d = n))
 
+(* the digit-writer rendering must stay byte-identical to the sprintf
+   it replaced, across boundary dates (year 1, 9999, leap days, month
+   and day-of-month edges) and every time-of-day edge *)
+let prop_to_string_matches_sprintf =
+  QCheck.Test.make ~name:"calendar to_string equals sprintf" ~count:500
+    QCheck.(
+      pair
+        (int_range 1721426 5373484) (* JDN of year 1 .. 9999 *)
+        (triple (int_range 0 23) (int_range 0 59) (int_range 0 59)))
+    (fun (jd, (hour, minute, second)) ->
+      match Calendar.of_julian_day jd with
+      | None -> false
+      | Some d ->
+        let t =
+          match Calendar.make_time ~hour ~minute ~second with
+          | Some t -> t
+          | None -> assert false
+        in
+        Calendar.date_to_string d
+        = Printf.sprintf "%04d-%02d-%02d" d.Calendar.year d.Calendar.month
+            d.Calendar.day
+        && Calendar.time_to_string t
+           = Printf.sprintf "%02d:%02d:%02d" t.Calendar.hour t.Calendar.minute
+               t.Calendar.second)
+
+let test_to_string_boundary_sample () =
+  List.iter
+    (fun s ->
+      let d = date s in
+      Alcotest.(check string) s
+        (Printf.sprintf "%04d-%02d-%02d" d.Calendar.year d.Calendar.month
+           d.Calendar.day)
+        (Calendar.date_to_string d))
+    [
+      "0001-01-01"; "0009-09-09"; "0099-12-31"; "0100-01-01"; "0999-02-28";
+      "1000-01-01"; "1582-10-15"; "1900-02-28"; "2000-02-29"; "2024-02-29";
+      "9999-12-31";
+    ];
+  List.iter
+    (fun s ->
+      match Calendar.time_of_string s with
+      | None -> Alcotest.failf "bad time %S" s
+      | Some t ->
+        Alcotest.(check string) s
+          (Printf.sprintf "%02d:%02d:%02d" t.Calendar.hour t.Calendar.minute
+             t.Calendar.second)
+          (Calendar.time_to_string t))
+    [ "00:00:00"; "00:00:01"; "09:09:09"; "10:10:10"; "23:59:59" ]
+
 let prop_julian_roundtrip =
   QCheck.Test.make ~name:"calendar julian roundtrip" ~count:300
     QCheck.(int_range 1721426 5373484) (* year 1 .. 9999 *)
@@ -134,6 +183,9 @@ let suite =
       Alcotest.test_case "add interval" `Quick test_add_interval;
       Alcotest.test_case "units" `Quick test_units;
       Alcotest.test_case "compare" `Quick test_compare;
+      Alcotest.test_case "to_string boundary sample" `Quick
+        test_to_string_boundary_sample;
       QCheck_alcotest.to_alcotest prop_add_days_inverse;
+      QCheck_alcotest.to_alcotest prop_to_string_matches_sprintf;
       QCheck_alcotest.to_alcotest prop_julian_roundtrip;
     ] )

@@ -363,6 +363,34 @@ let test_stateful_sharded_deterministic () =
     (verdict_key seq.Soft.Soft_runner.telemetry
     = verdict_key par.Soft.Soft_runner.telemetry)
 
+let test_batched_sharded_deterministic () =
+  (* the batch gating regression: a family batch is split by member
+     across shards along the per-case round-robin, so batch-on at any
+     jobs/shards combination must match the batch-off sequential run on
+     every result field — and batches must actually execute on the
+     sharded legs for the check to mean anything *)
+  let prof = Dialect.find_exn "clickhouse" in
+  let baseline = Soft.Soft_runner.fuzz ~budget:3000 ~batch:false prof in
+  List.iter
+    (fun (shards, jobs) ->
+      let r =
+        Soft.Soft_runner.fuzz ~budget:3000 ~batch:true ~shards ~jobs prof
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "batch-on shards=%d jobs=%d matches batch-off"
+           shards jobs)
+        true
+        (result_key baseline = result_key r);
+      Alcotest.(check bool) "verdict counters agree" true
+        (verdict_key baseline.Soft.Soft_runner.telemetry
+        = verdict_key r.Soft.Soft_runner.telemetry);
+      let bc =
+        Sqlfun_telemetry.Telemetry.batch_counts r.Soft.Soft_runner.telemetry
+      in
+      Alcotest.(check bool) "batches executed" true
+        (bc.Sqlfun_telemetry.Telemetry.b_cases > 0))
+    [ (1, 1); (3, 2); (4, 4) ]
+
 let test_timeseries_final_snapshot_shard_invariant () =
   (* the campaign-final timeseries snapshot (shard = -1) is computed
      from the deterministically merged totals, so its
@@ -449,6 +477,8 @@ let suite =
         test_stateful_sharded_deterministic;
       Alcotest.test_case "memo invariant under sharding" `Slow
         test_memo_invariant_under_sharding;
+      Alcotest.test_case "batched campaign shard-deterministic" `Slow
+        test_batched_sharded_deterministic;
       Alcotest.test_case "timeseries final snapshot shard-invariant" `Slow
         test_timeseries_final_snapshot_shard_invariant;
       Alcotest.test_case "parallel fuzz_all deterministic" `Slow

@@ -698,6 +698,115 @@ let test_compact_campaign_identical () =
   (* the property is vacuous unless compact values actually flowed *)
   Alcotest.(check bool) "compact values were built" true (!total_hits > 0)
 
+let test_batch_stream_equivalence () =
+  (* the slot-stream soundness bar at the generation layer: flattening
+     the batched work stream (reconstructing each member's AST from the
+     family skeleton plus its slot vector) must reproduce the unbatched
+     generator's stream element for element — same pattern, same origin,
+     structurally equal statement — for every pattern on every
+     dialect. *)
+  List.iter
+    (fun prof ->
+      let name = prof.Dialect.id in
+      let registry = Dialect.registry prof in
+      let seeds =
+        Soft.Collector.collect ~registry ~suite:prof.Dialect.seeds ()
+      in
+      let batched_total = ref 0 in
+      List.iter
+        (fun pattern ->
+          let flat =
+            Soft.Patterns.generate_work ~registry ~seeds pattern
+            |> Seq.concat_map (fun w ->
+                   (match w with
+                    | Soft.Patterns.Batched b ->
+                      batched_total := !batched_total + Soft.Patterns.batch_size b
+                    | Soft.Patterns.Single _ -> ());
+                   Soft.Patterns.work_cases w)
+          in
+          let plain = Soft.Patterns.generate ~registry ~seeds pattern in
+          let rec go i flat plain =
+            match (Seq.uncons flat, Seq.uncons plain) with
+            | None, None -> ()
+            | Some _, None | None, Some _ ->
+              Alcotest.failf "%s %s: streams diverge in length at case %d"
+                name (Pattern_id.to_string pattern) i
+            | Some (f, flat), Some (p, plain) ->
+              let ctx = Printf.sprintf "%s %s case %d" name
+                  (Pattern_id.to_string pattern) i in
+              if f.Soft.Patterns.pattern <> p.Soft.Patterns.pattern then
+                Alcotest.failf "%s: pattern differs" ctx;
+              Alcotest.(check string) (ctx ^ ": origin")
+                p.Soft.Patterns.origin f.Soft.Patterns.origin;
+              if
+                not
+                  (Ast_util.equal_stmt f.Soft.Patterns.stmt
+                     p.Soft.Patterns.stmt)
+              then
+                Alcotest.failf "%s: reconstructed AST differs:\n  %s\n  %s" ctx
+                  (Sql_pp.stmt f.Soft.Patterns.stmt)
+                  (Sql_pp.stmt p.Soft.Patterns.stmt);
+              go (i + 1) flat plain
+          in
+          go 1 flat plain)
+        Pattern_id.all;
+      (* the property is vacuous unless batches actually formed *)
+      Alcotest.(check bool) (name ^ ": batches formed") true
+        (!batched_total > 0))
+    Dialect.all
+
+let test_batch_campaign_identical () =
+  (* the batch soundness bar at the campaign layer, over every dialect:
+     slot-stream batched execution must be behaviour-invisible —
+     identical verdict JSON, bug lists, FP signatures, and the full
+     hit-counted coverage JSON (batching hoists decisions that are
+     constant across a family; it never skips or reorders an engine
+     round-trip, so unlike memo it cannot even shift hit counts). The
+     budget forces {!Soft.Soft_runner.split_budget} shares through
+     mid-family cuts, so batch splitting is exercised too. *)
+  let open Sqlfun_telemetry in
+  let deterministic_keys =
+    [ "totals"; "verdicts"; "bugs"; "fp_signatures"; "families"; "coverage" ]
+  in
+  List.iter
+    (fun prof ->
+      let name = prof.Dialect.id in
+      let on = Soft.Soft_runner.fuzz ~budget:2_000 ~batch:true prof in
+      let off = Soft.Soft_runner.fuzz ~budget:2_000 ~batch:false prof in
+      let jon = Soft.Report.campaign_to_json on
+      and joff = Soft.Report.campaign_to_json off in
+      List.iter
+        (fun key ->
+          let get j =
+            match Json.member key j with
+            | Some v -> Json.to_string v
+            | None -> Alcotest.failf "%s: report lacks %S" name key
+          in
+          Alcotest.(check string)
+            (Printf.sprintf "%s: %s identical" name key)
+            (get joff) (get jon))
+        deterministic_keys;
+      let sites (r : Soft.Soft_runner.result) =
+        List.map
+          (fun (b : Soft.Detector.found_bug) ->
+            (b.Soft.Detector.spec.Fault.site, b.Soft.Detector.case_number))
+          r.Soft.Soft_runner.bugs
+      in
+      Alcotest.(check (list (pair string int)))
+        (name ^ ": fault sites identical")
+        (sites off) (sites on);
+      (* the property is vacuous unless batches actually executed *)
+      let bon = Telemetry.batch_counts on.Soft.Soft_runner.telemetry in
+      Alcotest.(check bool)
+        (name ^ ": batches executed")
+        true (bon.Telemetry.b_cases > 0);
+      let boff = Telemetry.batch_counts off.Soft.Soft_runner.telemetry in
+      Alcotest.(check int)
+        (name ^ ": batch-off executes no batches")
+        0
+        (boff.Telemetry.b_flushes + boff.Telemetry.b_cases))
+    Dialect.all
+
 (* ----- baselines ----- *)
 
 let test_baselines_generate_valid_statements () =
@@ -784,6 +893,10 @@ let suite =
         test_compile_campaign_identical;
       Alcotest.test_case "compact campaign identical (all dialects)" `Slow
         test_compact_campaign_identical;
+      Alcotest.test_case "batch stream equivalence (all dialects)" `Slow
+        test_batch_stream_equivalence;
+      Alcotest.test_case "batched campaign identical (all dialects)" `Slow
+        test_batch_campaign_identical;
       Alcotest.test_case "SOFT beats baselines (mariadb)" `Slow
         test_soft_beats_baselines_on_mariadb;
       Alcotest.test_case "baselines generate valid statements" `Quick
